@@ -1,0 +1,42 @@
+package hetpnoc
+
+import "hetpnoc/internal/photonic"
+
+// LinkBudget is the worst-case optical power budget of one architecture's
+// longest path: its end-to-end insertion loss and the per-wavelength laser
+// power required to reach the detector at its sensitivity floor. It makes
+// quantitative the loss/crosstalk argument ([23], §2.1.3 of the thesis)
+// behind choosing a crossbar over a multi-hop switched fabric.
+type LinkBudget struct {
+	// TotalDB is the worst-case end-to-end insertion loss.
+	TotalDB float64
+	// CrosstalkDB is the accumulated signal-to-crosstalk penalty.
+	CrosstalkDB float64
+	// LaserPowerMW is the per-wavelength launch power required.
+	LaserPowerMW float64
+}
+
+// CrossbarLinkBudget returns the worst-case budget of the crossbar
+// architectures (Firefly and d-HetPNoC) on the thesis's 64-core chip: a
+// 4 cm serpentine data waveguide passing 15 foreign clusters' demodulator
+// rows before the final drop.
+func CrossbarLinkBudget() (LinkBudget, error) {
+	params := photonic.DefaultLossParams()
+	pl, err := params.CrossbarWorstCase(16, 4.0, 4)
+	if err != nil {
+		return LinkBudget{}, err
+	}
+	return LinkBudget{TotalDB: pl.TotalDB, CrosstalkDB: pl.CrosstalkDB, LaserPowerMW: pl.LaserPowerMW}, nil
+}
+
+// TorusLinkBudget returns the worst-case budget of the circuit-switched
+// torus baseline: the 4x4 torus diameter (4 hops of 5 mm), one PSE turn,
+// and the waveguide crossings inside each blocking router.
+func TorusLinkBudget() (LinkBudget, error) {
+	params := photonic.DefaultLossParams()
+	pl, err := params.TorusWorstCase(4, 1, 8, 0.5)
+	if err != nil {
+		return LinkBudget{}, err
+	}
+	return LinkBudget{TotalDB: pl.TotalDB, CrosstalkDB: pl.CrosstalkDB, LaserPowerMW: pl.LaserPowerMW}, nil
+}

@@ -1,0 +1,55 @@
+// Command areacalc evaluates the §3.4.3 analytic electro-optic area model
+// (Equations 5-24) and prints the Figure 3-6 comparison of d-HetPNoC and
+// Firefly device area as the aggregate data bandwidth grows.
+//
+// Usage:
+//
+//	areacalc                  # the default 64..512 wavelength sweep
+//	areacalc -wavelengths 64  # a single point with device counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetpnoc"
+	"hetpnoc/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "areacalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("areacalc", flag.ContinueOnError)
+	single := fs.Int("wavelengths", 0, "evaluate a single wavelength count with device counts (0 = full sweep)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *single > 0 {
+		est, err := hetpnoc.EstimateArea(*single)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("data wavelengths     %d\n", est.DataWavelengths)
+		fmt.Printf("d-HetPNoC            %.3f mm^2 (%d modulators, %d detectors)\n",
+			est.DHetPNoCAreaMM2, est.DHetPNoCModulators, est.DHetPNoCDetectors)
+		fmt.Printf("Firefly              %.3f mm^2 (%d modulators, %d detectors)\n",
+			est.FireflyAreaMM2, est.FireflyModulators, est.FireflyDetectors)
+		fmt.Printf("d-HetPNoC overhead   %.1f%%\n", est.OverheadPct)
+		return nil
+	}
+
+	fmt.Println("Figure 3-6: total electro-optic device area vs aggregate data bandwidth")
+	fmt.Printf("%12s %14s %14s %10s\n", "wavelengths", "d-HetPNoC mm^2", "Firefly mm^2", "overhead")
+	for _, p := range experiments.AreaSweep(nil) {
+		fmt.Printf("%12d %14.3f %14.3f %9.1f%%\n",
+			p.DataWavelengths, p.DynamicMM2, p.FireflyMM2, p.OverheadPct)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunSweep(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSinglePoint(t *testing.T) {
+	if err := run([]string{"-wavelengths", "64"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadWavelengths(t *testing.T) {
+	if err := run([]string{"-wavelengths", "-5"}); err != nil {
+		// -5 <= 0 falls through to the sweep; only parsing errors fail.
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := run([]string{"-wavelengths", "abc"}); err == nil {
+		t.Fatal("non-numeric flag accepted")
+	}
+}

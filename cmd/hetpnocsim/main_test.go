@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTrafficByName(t *testing.T) {
+	names := []string{
+		"uniform", "skewed1", "skewed2", "skewed3",
+		"hotspot1", "hotspot2", "hotspot3", "hotspot4", "realapp",
+	}
+	for _, name := range names {
+		if _, err := trafficByName(name); err != nil {
+			t.Errorf("trafficByName(%q): %v", name, err)
+		}
+	}
+	if _, err := trafficByName("bogus"); err == nil {
+		t.Error("unknown traffic name accepted")
+	}
+}
+
+func TestRunShortSimulation(t *testing.T) {
+	err := run([]string{
+		"-arch", "d-hetpnoc", "-set", "1", "-traffic", "skewed2",
+		"-cycles", "1500", "-warmup", "300", "-energy-breakdown",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	err := run([]string{
+		"-arch", "firefly", "-traffic", "uniform",
+		"-cycles", "1200", "-warmup", "200", "-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-arch", "nonsense"}); err == nil {
+		t.Error("bad architecture accepted")
+	}
+	if err := run([]string{"-traffic", "nonsense"}); err == nil {
+		t.Error("bad traffic accepted")
+	}
+	if err := run([]string{"-set", "9", "-cycles", "100", "-warmup", "10"}); err == nil {
+		t.Error("bad set accepted")
+	}
+}
+
+func TestConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg := `{
+		"Architecture": 1,
+		"BandwidthSet": 1,
+		"Traffic": {"Kind": 2, "SkewLevel": 2},
+		"Cycles": 1500,
+		"WarmupCycles": 300,
+		"Seed": 9
+	}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Flags override the file.
+	if err := run([]string{"-config", path, "-arch", "d-hetpnoc", "-cycles", "1200", "-warmup", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigFileRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"Archtiecture": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err == nil {
+		t.Fatal("unknown config field accepted")
+	}
+	if err := run([]string{"-config", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing config file accepted")
+	}
+}
+
+func TestRunWithEvents(t *testing.T) {
+	if err := run([]string{"-cycles", "1200", "-warmup", "200", "-events", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}

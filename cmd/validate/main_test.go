@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestValidatePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation in -short mode")
+	}
+	if err := run([]string{"-cycles", "3000", "-warmup", "600"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-cycles", "abc"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestCheckAreaIsExact(t *testing.T) {
+	if err := checkArea(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckGPUShape(t *testing.T) {
+	if err := checkGPUShape(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Dbatrace watches the dynamic bandwidth allocation protocol at work: the
+// run starts under uniform traffic (every cluster holds an equal share of
+// the wavelength budget), then the task mapping changes to skewed 3 at
+// cycle 4000 — and the token-passing allocator reshapes the allocation
+// over the following rotations, exactly the reconfiguration path §3.2 of
+// the thesis describes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetpnoc"
+)
+
+func main() {
+	fmt.Println("cycle | token rotations | wavelengths per cluster write channel")
+	fmt.Println("------+-----------------+--------------------------------------")
+
+	var last string
+	res, err := hetpnoc.RunWithTrace(
+		hetpnoc.Config{
+			Architecture: hetpnoc.DHetPNoC,
+			BandwidthSet: 1,
+			Traffic:      hetpnoc.UniformTraffic(),
+			Cycles:       8000,
+			WarmupCycles: 1000,
+			Seed:         1,
+		},
+		[]hetpnoc.TrafficRemap{
+			{AtCycle: 4000, Traffic: hetpnoc.SkewedTraffic(3)},
+		},
+		200, // observe every 200 cycles
+		func(s hetpnoc.Snapshot) {
+			line := fmt.Sprintf("%v", s.AllocatedWavelengths)
+			if line == last {
+				return // only print when the allocation changes
+			}
+			last = line
+			fmt.Printf("%5d | %15d | %s\n", s.Cycle, s.TokenRotations, line)
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nFinal allocation: %v\n", res.AllocatedWavelengths)
+	fmt.Printf("Delivered %.1f Gb/s across the remap; %d token rotations total.\n",
+		res.DeliveredGbps, res.TokenRotations)
+	fmt.Println("After the remap, the high-demand clusters (which want 8 wavelengths each)")
+	fmt.Println("split the contended pool fairly over successive token rotations, while")
+	fmt.Println("low-demand clusters fall back toward their reserved minimum of 1.")
+}

@@ -1,0 +1,33 @@
+// Quickstart: simulate the d-HetPNoC architecture under uniform-random
+// traffic at the thesis's default operating point and print the headline
+// metrics. This is the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetpnoc"
+)
+
+func main() {
+	res, err := hetpnoc.Run(hetpnoc.Config{
+		Architecture: hetpnoc.DHetPNoC,
+		BandwidthSet: 1,                        // 64 wavelengths, 64x32 b packets
+		Traffic:      hetpnoc.UniformTraffic(), // all cores, equal rates
+		Cycles:       10000,                    // Table 3-3
+		WarmupCycles: 1000,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Simulated %s on bandwidth set %s under %s traffic\n",
+		res.Architecture, res.BandwidthSet, res.Traffic)
+	fmt.Printf("  offered:    %8.1f Gb/s aggregate\n", res.OfferedGbps)
+	fmt.Printf("  delivered:  %8.1f Gb/s (%.2f Gb/s per core)\n", res.DeliveredGbps, res.PerCoreGbps)
+	fmt.Printf("  energy:     %8.1f pJ per message\n", res.EnergyPerMessagePJ)
+	fmt.Printf("  latency:    %8.1f cycles on average\n", res.AvgLatencyCycles)
+	fmt.Printf("  wavelengths per cluster write channel: %v\n", res.AllocatedWavelengths)
+}

@@ -1,0 +1,3 @@
+module hetpnoc
+
+go 1.22

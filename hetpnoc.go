@@ -1,0 +1,383 @@
+// Package hetpnoc is a cycle-accurate simulator and analytic model suite
+// for heterogeneous photonic networks-on-chip with dynamic bandwidth
+// allocation, reproducing "Heterogeneous Photonic Network-on-Chip with
+// Dynamic Bandwidth Allocation" (Shah, RIT / IEEE SOCC 2014).
+//
+// Two architectures are modeled end to end on a 64-core, 16-cluster chip
+// multiprocessor:
+//
+//   - Firefly: the baseline crossbar photonic NoC with reservation-assisted
+//     single-write-multiple-read channels and uniform static wavelength
+//     allocation.
+//   - d-HetPNoC: the proposed architecture, which reallocates DWDM
+//     wavelengths between cluster write channels through a token-passing
+//     protocol driven by per-application demand tables.
+//
+// The package front door is Run:
+//
+//	res, err := hetpnoc.Run(hetpnoc.Config{
+//	    Architecture: hetpnoc.DHetPNoC,
+//	    BandwidthSet: 1,
+//	    Traffic:      hetpnoc.SkewedTraffic(3),
+//	})
+//
+// Lower-level building blocks (the router microarchitecture, the DBA
+// token protocol, the photonic crossbar engines, the analytic area model)
+// live under internal/ and are exercised through this API, the example
+// programs and the benchmark harness.
+package hetpnoc
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/fabric"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+	"hetpnoc/internal/traffic"
+)
+
+// Architecture selects which photonic NoC to simulate.
+type Architecture int
+
+// Supported architectures.
+const (
+	// Firefly is the crossbar baseline with static uniform wavelength
+	// allocation.
+	Firefly Architecture = iota + 1
+	// DHetPNoC is the dynamic heterogeneous photonic NoC with
+	// token-passing bandwidth allocation.
+	DHetPNoC
+	// TorusPNoC is the related-work circuit-switched photonic 2D folded
+	// torus (§2.1.3 of the thesis, Shacham et al. [15]): PSE-based
+	// blocking routers with an electronic path-setup network. Note that
+	// its per-link full-DWDM provisioning gives it far more aggregate
+	// photonic hardware than the budget-normalized crossbar
+	// architectures — it is a protocol baseline, not an equal-area one.
+	TorusPNoC
+)
+
+// String returns the architecture name.
+func (a Architecture) String() string {
+	switch a {
+	case Firefly:
+		return "firefly"
+	case DHetPNoC:
+		return "d-hetpnoc"
+	case TorusPNoC:
+		return "torus-pnoc"
+	default:
+		return "unknown"
+	}
+}
+
+// TrafficKind enumerates the built-in workloads of the thesis evaluation.
+type TrafficKind int
+
+// Workload kinds.
+const (
+	// UniformRandom: every core offers the same rate to uniformly random
+	// foreign destinations.
+	UniformRandom TrafficKind = iota + 1
+	// SkewedKind: the Table 3-1 skewed patterns (level 1-3).
+	SkewedKind
+	// SkewedHotspotKind: §3.4.2 synthetic case studies — a hotspot
+	// cluster plus a skewed remainder.
+	SkewedHotspotKind
+	// RealApplication: the §3.4.2 GPU/memory scenario (MUM, BFS, CP,
+	// RAY, LPS plus four memory clusters).
+	RealApplication
+	// PermutationKind: classic synthetic permutations (transpose,
+	// bit-complement, bit-reverse, shuffle, neighbor).
+	PermutationKind
+	// CustomKind: a user-supplied per-core workload.
+	CustomKind
+)
+
+// Traffic describes the workload offered to the network.
+type Traffic struct {
+	Kind TrafficKind
+
+	// SkewLevel selects the Table 3-1 row (1-3) for SkewedKind and the
+	// base pattern for SkewedHotspotKind.
+	SkewLevel int
+
+	// HotspotFraction is the share of traffic aimed at the hotspot
+	// cluster for SkewedHotspotKind (e.g. 0.1 or 0.2).
+	HotspotFraction float64
+
+	// Permutation names the synthetic pattern for PermutationKind:
+	// "transpose", "bit-complement", "bit-reverse", "shuffle" or
+	// "neighbor".
+	Permutation string
+
+	// Burstiness, when above 1, turns every core into an on/off Markov
+	// source: the peak rate is Burstiness x the nominal rate and the
+	// long-run average is preserved. Applies to any built-in kind.
+	Burstiness float64
+
+	// Custom supplies per-core workloads for CustomKind; it must have
+	// one entry per core.
+	Custom []CoreSpec
+}
+
+// UniformTraffic returns the uniform-random workload.
+func UniformTraffic() Traffic { return Traffic{Kind: UniformRandom} }
+
+// SkewedTraffic returns the Table 3-1 skewed workload at level 1-3.
+func SkewedTraffic(level int) Traffic { return Traffic{Kind: SkewedKind, SkewLevel: level} }
+
+// HotspotTraffic returns a §3.4.2 skewed-hotspot workload.
+func HotspotTraffic(fraction float64, baseLevel int) Traffic {
+	return Traffic{Kind: SkewedHotspotKind, HotspotFraction: fraction, SkewLevel: baseLevel}
+}
+
+// RealAppTraffic returns the GPU/memory real-application workload.
+func RealAppTraffic() Traffic { return Traffic{Kind: RealApplication} }
+
+// PermutationTraffic returns a classic synthetic permutation workload:
+// "transpose", "bit-complement", "bit-reverse", "shuffle" or "neighbor".
+func PermutationTraffic(name string) Traffic {
+	return Traffic{Kind: PermutationKind, Permutation: name}
+}
+
+// CustomTraffic returns a workload built from per-core specifications.
+func CustomTraffic(cores []CoreSpec) Traffic { return Traffic{Kind: CustomKind, Custom: cores} }
+
+// CoreSpec describes one core's workload for CustomTraffic.
+type CoreSpec struct {
+	// RateGbps is the core's offered injection rate.
+	RateGbps float64
+	// DemandGbps is the bandwidth class of the core's application,
+	// driving the d-HetPNoC demand tables. Zero defaults to RateGbps
+	// times the cluster size.
+	DemandGbps float64
+	// Dests lists the destination cores, sampled uniformly. Destinations
+	// in the source's own cluster travel the intra-cluster electrical
+	// network; the source core itself is not a valid destination. Empty
+	// means every foreign core.
+	Dests []int
+}
+
+// Config parameterizes one simulation. The zero value of every optional
+// field selects the thesis's Table 3-3 setting.
+type Config struct {
+	// Architecture defaults to DHetPNoC.
+	Architecture Architecture
+
+	// BandwidthSet selects the photonic provisioning point: 1 (64
+	// wavelengths), 2 (256) or 3 (512). Defaults to 1.
+	BandwidthSet int
+
+	// Traffic defaults to UniformTraffic().
+	Traffic Traffic
+
+	// LoadScale multiplies every offered rate (default 1.0).
+	LoadScale float64
+
+	// Cycles and WarmupCycles default to 10,000 and 1,000.
+	Cycles       int
+	WarmupCycles int
+
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+
+	// Concentrated switches the intra-cluster electrical network from
+	// the all-to-all wiring of §3.1 to Firefly-style concentration.
+	Concentrated bool
+
+	// ProportionalDBA switches d-HetPNoC's allocation policy from the
+	// thesis's greedy §3.2.1 rule to the demand-proportional extension
+	// (the thesis's stated future work): under contention every cluster
+	// receives its demand-weighted share of the dynamic pool.
+	ProportionalDBA bool
+
+	// EventCapacity, when positive, enables the protocol event log;
+	// Result.Events then carries the most recent events (reservations,
+	// drops, allocation changes, remaps) formatted one per line.
+	EventCapacity int
+}
+
+// Run simulates the configured network for the configured cycles and
+// returns its measured results.
+func Run(cfg Config) (Result, error) {
+	fc, err := cfg.toFabricConfig()
+	if err != nil {
+		return Result{}, err
+	}
+	f, err := fabric.New(fc)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := f.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := fromFabricResult(res)
+	if log := f.Events(); log != nil {
+		events := log.Events()
+		out.Events = make([]string, len(events))
+		for i, e := range events {
+			out.Events[i] = e.String()
+		}
+	}
+	return out, nil
+}
+
+// toFabricConfig lowers the public configuration onto the internal fabric.
+func (cfg Config) toFabricConfig() (fabric.Config, error) {
+	arch := fabric.DHetPNoC
+	switch cfg.Architecture {
+	case 0, DHetPNoC:
+	case Firefly:
+		arch = fabric.Firefly
+	case TorusPNoC:
+		arch = fabric.TorusPNoC
+	default:
+		return fabric.Config{}, fmt.Errorf("hetpnoc: unknown architecture %d", cfg.Architecture)
+	}
+
+	var set traffic.BandwidthSet
+	switch cfg.BandwidthSet {
+	case 0, 1:
+		set = traffic.BWSet1
+	case 2:
+		set = traffic.BWSet2
+	case 3:
+		set = traffic.BWSet3
+	default:
+		return fabric.Config{}, fmt.Errorf("hetpnoc: bandwidth set must be 1-3, got %d", cfg.BandwidthSet)
+	}
+
+	pattern, err := cfg.Traffic.toPattern()
+	if err != nil {
+		return fabric.Config{}, err
+	}
+
+	intra := fabric.AllToAll
+	if cfg.Concentrated {
+		intra = fabric.Concentrated
+	}
+	return fabric.Config{
+		Arch:            arch,
+		Set:             set,
+		Pattern:         pattern,
+		LoadScale:       cfg.LoadScale,
+		Cycles:          cfg.Cycles,
+		WarmupCycles:    cfg.WarmupCycles,
+		Seed:            cfg.Seed,
+		IntraCluster:    intra,
+		EventCapacity:   cfg.EventCapacity,
+		ProportionalDBA: cfg.ProportionalDBA,
+	}, nil
+}
+
+// toPattern lowers the public traffic description.
+func (t Traffic) toPattern() (traffic.Pattern, error) {
+	base, err := t.basePattern()
+	if err != nil {
+		return nil, err
+	}
+	if t.Burstiness > 1 {
+		return traffic.Bursty{Base: base, Factor: t.Burstiness}, nil
+	}
+	if t.Burstiness < 0 {
+		return nil, fmt.Errorf("hetpnoc: negative burstiness %g", t.Burstiness)
+	}
+	return base, nil
+}
+
+func (t Traffic) basePattern() (traffic.Pattern, error) {
+	switch t.Kind {
+	case 0, UniformRandom:
+		return traffic.Uniform{}, nil
+	case SkewedKind:
+		if t.SkewLevel < 1 || t.SkewLevel > 3 {
+			return nil, fmt.Errorf("hetpnoc: skew level must be 1-3, got %d", t.SkewLevel)
+		}
+		return traffic.Skewed{Level: t.SkewLevel}, nil
+	case SkewedHotspotKind:
+		if t.SkewLevel < 1 || t.SkewLevel > 3 {
+			return nil, fmt.Errorf("hetpnoc: hotspot base skew level must be 1-3, got %d", t.SkewLevel)
+		}
+		if t.HotspotFraction <= 0 || t.HotspotFraction >= 1 {
+			return nil, fmt.Errorf("hetpnoc: hotspot fraction must be in (0,1), got %g", t.HotspotFraction)
+		}
+		return traffic.SkewedHotspot{HotFraction: t.HotspotFraction, BaseLevel: t.SkewLevel}, nil
+	case RealApplication:
+		return traffic.RealApp{}, nil
+	case PermutationKind:
+		kinds := map[string]traffic.PermutationKind{
+			"transpose":      traffic.Transpose,
+			"bit-complement": traffic.BitComplement,
+			"bit-reverse":    traffic.BitReverse,
+			"shuffle":        traffic.Shuffle,
+			"neighbor":       traffic.Neighbor,
+		}
+		kind, ok := kinds[t.Permutation]
+		if !ok {
+			return nil, fmt.Errorf("hetpnoc: unknown permutation %q", t.Permutation)
+		}
+		return traffic.Permutation{Kind: kind}, nil
+	case CustomKind:
+		return customPattern(t.Custom)
+	default:
+		return nil, fmt.Errorf("hetpnoc: unknown traffic kind %d", t.Kind)
+	}
+}
+
+// customPattern converts CoreSpecs to a fixed internal assignment.
+func customPattern(specs []CoreSpec) (traffic.Pattern, error) {
+	topo := topology.Default()
+	if len(specs) != topo.Cores() {
+		return nil, fmt.Errorf("hetpnoc: custom traffic needs %d core specs, got %d", topo.Cores(), len(specs))
+	}
+	cores := make([]traffic.CoreProfile, len(specs))
+	for c, spec := range specs {
+		src := topo.ClusterOf(topology.CoreID(c))
+		demand := spec.DemandGbps
+		if demand == 0 {
+			demand = spec.RateGbps * float64(topo.ClusterSize())
+		}
+		profile := traffic.CoreProfile{RateGbps: spec.RateGbps, DemandGbps: demand}
+		if spec.RateGbps > 0 {
+			dests := make([]topology.CoreID, 0, len(spec.Dests))
+			demandClusters := make(map[topology.ClusterID]bool)
+			for _, d := range spec.Dests {
+				dst := topology.CoreID(d)
+				if !topo.ValidCore(dst) {
+					return nil, fmt.Errorf("hetpnoc: core %d: destination %d outside chip", c, d)
+				}
+				if dst == topology.CoreID(c) {
+					return nil, fmt.Errorf("hetpnoc: core %d cannot send to itself", c)
+				}
+				dests = append(dests, dst)
+				if topo.ClusterOf(dst) != src {
+					demandClusters[topo.ClusterOf(dst)] = true
+				}
+			}
+			if len(dests) > 0 {
+				profile.PickDest = func(rng *sim.RNG) topology.CoreID {
+					return dests[rng.Intn(len(dests))]
+				}
+				clusters := make([]topology.ClusterID, 0, len(demandClusters))
+				for cl := 0; cl < topo.Clusters(); cl++ {
+					if demandClusters[topology.ClusterID(cl)] {
+						clusters = append(clusters, topology.ClusterID(cl))
+					}
+				}
+				profile.DemandDests = clusters
+			} else {
+				profile.PickDest = func(rng *sim.RNG) topology.CoreID {
+					for {
+						dst := topology.CoreID(rng.Intn(topo.Cores()))
+						if topo.ClusterOf(dst) != src {
+							return dst
+						}
+					}
+				}
+			}
+		}
+		cores[c] = profile
+	}
+	return traffic.Fixed{Assignment: traffic.Assignment{Name: "custom", Cores: cores}}, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+// BenchmarkTokenTick measures one cycle of token circulation at the
+// largest configuration (512 wavelengths), the allocator's hot path.
+func BenchmarkTokenTick(b *testing.B) {
+	bundle, err := photonic.NewBundle(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := topology.Default()
+	a, err := NewAllocator(Config{
+		Topology:              topo,
+		Bundle:                bundle,
+		TotalWavelengths:      512,
+		ReservedPerCluster:    1,
+		MaxChannelWavelengths: 64,
+		ClockHz:               2.5e9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Heavy contention: every cluster wants the maximum.
+	table := make([]int, topo.Clusters())
+	for d := range table {
+		table[d] = 64
+	}
+	for c := 0; c < topo.Cores(); c++ {
+		a.SetDemand(topology.CoreID(c), table)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Tick(sim.Cycle(i))
+	}
+}
+
+// BenchmarkSetDemand measures the demand-table update path (runs on every
+// task remap for every core).
+func BenchmarkSetDemand(b *testing.B) {
+	bundle, err := photonic.NewBundle(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := topology.Default()
+	a, err := NewAllocator(Config{
+		Topology:           topo,
+		Bundle:             bundle,
+		TotalWavelengths:   64,
+		ReservedPerCluster: 1,
+		ClockHz:            2.5e9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := make([]int, topo.Clusters())
+	for d := range table {
+		table[d] = 4
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SetDemand(topology.CoreID(i%topo.Cores()), table)
+	}
+}

@@ -1,0 +1,637 @@
+// Package core implements the thesis's primary contribution: the
+// token-passing dynamic bandwidth allocation (DBA) mechanism of d-HetPNoC
+// (§3.2). A token circulates between the photonic routers on a dedicated
+// control waveguide; each bit of the token records whether one dynamically
+// allocatable wavelength is free. The router holding the token acquires or
+// relinquishes wavelengths for its write channel according to its request
+// table — the per-destination maximum of the demand tables its four cores
+// report whenever their task mapping changes.
+//
+// The allocator guarantees a minimum reserved allocation per cluster (at
+// least one wavelength, §3.2.1) so no cluster starves even when the rest
+// of the budget is consumed.
+package core
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/event"
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+	"hetpnoc/internal/xbar"
+)
+
+// Policy selects how a token-holding router sizes its allocation target.
+type Policy int
+
+// Allocation policies.
+const (
+	// PolicyGreedy is the thesis's §3.2.1 rule: aim for the highest
+	// request-table entry, bounded only by the reserve, the channel cap
+	// and pool availability. Simple, but contended pools go to whoever
+	// the token reaches first (mitigated by MaxAcquirePerVisit).
+	PolicyGreedy Policy = iota + 1
+
+	// PolicyProportional is this repository's take on the thesis's
+	// stated future work ("find better ways to effectively manage
+	// bandwidth allocation"): the token additionally carries each
+	// router's latest demand, and every router targets its
+	// demand-proportional share of the dynamic pool. Costs
+	// clusters x 10 extra token bits; converges to a demand-weighted
+	// fair division under contention.
+	PolicyProportional
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyGreedy:
+		return "greedy"
+	case PolicyProportional:
+		return "proportional"
+	default:
+		return "unknown"
+	}
+}
+
+// demandFieldBits is the per-cluster width of the demand field the
+// proportional policy piggybacks on the token.
+const demandFieldBits = 10
+
+// Config parameterizes the allocator.
+type Config struct {
+	Topology topology.Topology
+	Bundle   photonic.WaveguideBundle
+
+	// TotalWavelengths is the aggregate data-wavelength budget (N_W *
+	// lambda_W slots exist physically; only this many are provisioned).
+	TotalWavelengths int
+
+	// ReservedPerCluster is the guaranteed minimum allocation (N_lambdaR
+	// = clusters x this). At least 1 (§3.2.1).
+	ReservedPerCluster int
+
+	// MaxChannelWavelengths caps one write channel's allocation
+	// (Table 3-3: 8, 32 and 64 for the three bandwidth sets). Zero means
+	// "no cap beyond the budget".
+	MaxChannelWavelengths int
+
+	// ClockHz converts the token's serialized size into link cycles.
+	ClockHz float64
+
+	// MaxAcquirePerVisit bounds how many new wavelengths a router may
+	// grab during one token visit. Incremental acquisition lets
+	// contending clusters converge to a fair division of the pool over a
+	// few token rotations instead of the first visitor draining it; the
+	// thesis's request tables are deliberately left unmodified after
+	// allocation so a router "can try to acquire additional wavelengths
+	// ... the next time the token returns" (§3.2.1). Zero selects the
+	// default of max(1, MaxChannelWavelengths/8).
+	MaxAcquirePerVisit int
+
+	// WaveguidesPerCluster, when positive, implements the thesis's
+	// Chapter 4 area-mitigation proposal: "restrict a certain photonic
+	// router PRx to wavelengths of Waveguide(x) and Waveguide(x+1)",
+	// shrinking the modulator/detector count at the cost of allocation
+	// flexibility. Cluster c may then only acquire wavelengths in the
+	// WaveguidesPerCluster waveguides starting at its home waveguide
+	// (c mod N_W). Zero means unrestricted (the baseline d-HetPNoC).
+	// Requires the budget to fill whole waveguides.
+	WaveguidesPerCluster int
+
+	// Ledger, when non-nil, is charged for the token's optical traffic
+	// on the control waveguide.
+	Ledger *photonic.Ledger
+
+	// Events, when non-nil, receives allocation-change events.
+	Events *event.Log
+
+	// Policy selects the allocation rule; zero means PolicyGreedy, the
+	// thesis's behaviour.
+	Policy Policy
+
+	// RegenerationTimeoutCycles is how long the routers wait without
+	// seeing the token before cluster 0 regenerates it (fault
+	// tolerance: a transient control-waveguide fault must not freeze
+	// bandwidth allocation forever). Zero selects the default of two
+	// full rotation times. The wavelength-status bitmap is recovered
+	// from the routers' current tables, which in this model is exactly
+	// the owner state.
+	RegenerationTimeoutCycles int
+}
+
+// Allocator is the token-passing DBA engine. It implements xbar.Allocator.
+type Allocator struct {
+	cfg      Config
+	clusters int
+
+	// owner[slot] is the cluster owning wavelength slot, or -1.
+	owner []int
+	// reservedOwner[slot] is the cluster the slot is permanently
+	// reserved for, or -1 for dynamically allocatable slots.
+	reservedOwner []int
+	// acquired[c] lists the slots cluster c owns, reserved slots first,
+	// then dynamic slots in acquisition order.
+	acquired [][]int
+	// ids[c] caches acquired[c] as WavelengthIDs.
+	ids [][]photonic.WavelengthID
+
+	// demand[c][i][d] is the wavelength demand core i of cluster c
+	// reports toward destination cluster d.
+	demand [][][]int
+	// request[c][d] = max_i demand[c][i][d] (§3.2.1).
+	request [][]int
+	// current[c][d] is the allocation the router recorded for
+	// destination d after its last token visit.
+	current [][]int
+
+	// Token circulation state.
+	pos           int
+	transitLeft   int
+	transitCycles int
+	tokenBits     int
+	rotations     int64
+
+	// tokenDemand[c] is the demand value cluster c last wrote into the
+	// token's demand field (proportional policy only).
+	tokenDemand []int
+
+	// Fault-injection and recovery state.
+	tokenLost     bool
+	lostForCycles int
+	regenTimeout  int
+	losses        int64
+	regenerations int64
+}
+
+var _ xbar.Allocator = (*Allocator)(nil)
+
+// NewAllocator validates cfg and builds the allocator with every cluster
+// holding exactly its reserved wavelengths and the token at cluster 0.
+func NewAllocator(cfg Config) (*Allocator, error) {
+	clusters := cfg.Topology.Clusters()
+	if clusters == 0 {
+		return nil, fmt.Errorf("core: topology has no clusters")
+	}
+	if cfg.ReservedPerCluster < 1 {
+		return nil, fmt.Errorf("core: reserved wavelengths per cluster must be >= 1, got %d", cfg.ReservedPerCluster)
+	}
+	if cfg.TotalWavelengths < clusters*cfg.ReservedPerCluster {
+		return nil, fmt.Errorf("core: %d wavelengths cannot reserve %d for each of %d clusters",
+			cfg.TotalWavelengths, cfg.ReservedPerCluster, clusters)
+	}
+	if cfg.TotalWavelengths > cfg.Bundle.Capacity() {
+		return nil, fmt.Errorf("core: budget %d exceeds bundle capacity %d", cfg.TotalWavelengths, cfg.Bundle.Capacity())
+	}
+	if cfg.ClockHz <= 0 {
+		return nil, fmt.Errorf("core: clock frequency must be positive")
+	}
+	if cfg.MaxChannelWavelengths < 0 {
+		return nil, fmt.Errorf("core: negative channel cap")
+	}
+	if cfg.MaxAcquirePerVisit < 0 {
+		return nil, fmt.Errorf("core: negative per-visit acquisition bound")
+	}
+	if cfg.MaxAcquirePerVisit == 0 {
+		cfg.MaxAcquirePerVisit = cfg.MaxChannelWavelengths / 8
+		if cfg.MaxAcquirePerVisit < 1 {
+			cfg.MaxAcquirePerVisit = 1
+		}
+	}
+
+	if cfg.WaveguidesPerCluster < 0 {
+		return nil, fmt.Errorf("core: negative waveguide restriction")
+	}
+	if cfg.WaveguidesPerCluster > 0 {
+		if cfg.TotalWavelengths%cfg.Bundle.WavelengthsPerWaveguide != 0 {
+			return nil, fmt.Errorf("core: waveguide restriction needs a whole-waveguide budget, got %d wavelengths",
+				cfg.TotalWavelengths)
+		}
+		if cfg.WaveguidesPerCluster > cfg.Bundle.Waveguides {
+			return nil, fmt.Errorf("core: restriction to %d waveguides exceeds the %d available",
+				cfg.WaveguidesPerCluster, cfg.Bundle.Waveguides)
+		}
+		perWaveguideReserve := (clusters + cfg.Bundle.Waveguides - 1) / cfg.Bundle.Waveguides * cfg.ReservedPerCluster
+		if perWaveguideReserve > cfg.Bundle.WavelengthsPerWaveguide {
+			return nil, fmt.Errorf("core: reserved wavelengths do not fit the home waveguides")
+		}
+	}
+
+	a := &Allocator{
+		cfg:           cfg,
+		clusters:      clusters,
+		owner:         make([]int, cfg.Bundle.Capacity()),
+		reservedOwner: make([]int, cfg.Bundle.Capacity()),
+		acquired:      make([][]int, clusters),
+		ids:           make([][]photonic.WavelengthID, clusters),
+		demand:        make([][][]int, clusters),
+		request:       make([][]int, clusters),
+		current:       make([][]int, clusters),
+	}
+	for s := range a.owner {
+		a.owner[s] = -1
+		a.reservedOwner[s] = -1
+	}
+	for c := 0; c < clusters; c++ {
+		a.demand[c] = make([][]int, cfg.Topology.ClusterSize())
+		for i := range a.demand[c] {
+			a.demand[c][i] = make([]int, clusters)
+		}
+		a.request[c] = make([]int, clusters)
+		a.current[c] = make([]int, clusters)
+		for k := 0; k < cfg.ReservedPerCluster; k++ {
+			slot := a.reservedSlot(c, k)
+			if a.reservedOwner[slot] != -1 {
+				return nil, fmt.Errorf("core: reserved slot %d assigned twice", slot)
+			}
+			a.reservedOwner[slot] = c
+			a.owner[slot] = c
+			a.acquired[c] = append(a.acquired[c], slot)
+		}
+		a.rebuildIDs(c)
+	}
+
+	if cfg.Policy == 0 {
+		a.cfg.Policy = PolicyGreedy
+	}
+	if a.cfg.Policy != PolicyGreedy && a.cfg.Policy != PolicyProportional {
+		return nil, fmt.Errorf("core: unknown allocation policy %d", cfg.Policy)
+	}
+	a.tokenDemand = make([]int, clusters)
+
+	// Token sizing, Eq. (1): N_TW = N_W * lambda_W - N_lambdaR bits, one
+	// bit per dynamically allocatable wavelength. Transit time, Eq. (2):
+	// T_L = N_TW / (lambda_W * B) on the full-DWDM control waveguide.
+	// The proportional policy piggybacks a per-cluster demand field.
+	a.tokenBits = cfg.Bundle.Capacity() - clusters*cfg.ReservedPerCluster
+	if a.cfg.Policy == PolicyProportional {
+		a.tokenBits += clusters * demandFieldBits
+	}
+	perCycle := photonic.BitsPerCycle(cfg.ClockHz) * float64(cfg.Bundle.WavelengthsPerWaveguide)
+	a.transitCycles = int(float64(a.tokenBits)/perCycle) + 1
+	if float64(a.tokenBits) <= perCycle*float64(a.transitCycles-1) {
+		a.transitCycles--
+	}
+	if a.transitCycles < 1 {
+		a.transitCycles = 1
+	}
+	a.transitLeft = a.transitCycles
+	a.regenTimeout = cfg.RegenerationTimeoutCycles
+	if a.regenTimeout == 0 {
+		a.regenTimeout = 2 * clusters * a.transitCycles
+	}
+	if a.regenTimeout < 1 {
+		return nil, fmt.Errorf("core: regeneration timeout must be positive, got %d", a.regenTimeout)
+	}
+	return a, nil
+}
+
+// Name implements xbar.Allocator.
+func (a *Allocator) Name() string { return "token-dba" }
+
+// TokenBits returns N_TW, the token size in bits (Eq. 1).
+func (a *Allocator) TokenBits() int { return a.tokenBits }
+
+// TransitCycles returns T_L in cycles (Eq. 2).
+func (a *Allocator) TransitCycles() int { return a.transitCycles }
+
+// Rotations returns how many full token rotations have completed.
+func (a *Allocator) Rotations() int64 { return a.rotations }
+
+// TokenHolder returns the cluster the token is at or travelling toward.
+func (a *Allocator) TokenHolder() topology.ClusterID { return topology.ClusterID(a.pos) }
+
+// DropToken injects a control-waveguide fault: the circulating token is
+// lost. Allocation freezes (every cluster keeps what it holds, including
+// its reserved minimum) until the regeneration timeout elapses and
+// cluster 0 rebuilds the token. For fault-tolerance testing.
+func (a *Allocator) DropToken() {
+	if a.tokenLost {
+		return
+	}
+	a.tokenLost = true
+	a.lostForCycles = 0
+	a.losses++
+}
+
+// TokenLost reports whether the token is currently missing.
+func (a *Allocator) TokenLost() bool { return a.tokenLost }
+
+// TokenLosses and TokenRegenerations count injected faults and recoveries.
+func (a *Allocator) TokenLosses() int64 { return a.losses }
+
+// TokenRegenerations counts completed token recoveries.
+func (a *Allocator) TokenRegenerations() int64 { return a.regenerations }
+
+// SetDemand implements xbar.Allocator: core reports its per-destination
+// wavelength demand. The request table updates immediately — the thesis
+// notes this works even when the token is elsewhere — and takes effect on
+// the cluster's next token visit.
+func (a *Allocator) SetDemand(core topology.CoreID, demand []int) {
+	c := int(a.cfg.Topology.ClusterOf(core))
+	i := a.cfg.Topology.LocalIndex(core)
+	if len(demand) != a.clusters {
+		panic(fmt.Sprintf("core: demand table has %d entries for %d clusters", len(demand), a.clusters))
+	}
+	copy(a.demand[c][i], demand)
+	for d := 0; d < a.clusters; d++ {
+		maxDemand := 0
+		for _, row := range a.demand[c] {
+			if row[d] > maxDemand {
+				maxDemand = row[d]
+			}
+		}
+		a.request[c][d] = maxDemand
+	}
+}
+
+// Tick implements xbar.Allocator: one cycle of token circulation. When the
+// token arrives at a router, the router reconciles its allocation with its
+// request table, stamps its current table, and releases the token to the
+// next cluster.
+func (a *Allocator) Tick(now sim.Cycle) {
+	if a.tokenLost {
+		a.lostForCycles++
+		if a.lostForCycles < a.regenTimeout {
+			return
+		}
+		// Cluster 0 regenerates the token from the routers' recorded
+		// allocations and circulation resumes.
+		a.tokenLost = false
+		a.lostForCycles = 0
+		a.pos = 0
+		a.transitLeft = a.transitCycles
+		a.regenerations++
+		a.cfg.Events.Appendf(now, event.AllocationChanged, 0, 0, "token regenerated")
+		return
+	}
+	a.transitLeft--
+	if a.transitLeft > 0 {
+		return
+	}
+	a.process(a.pos, now)
+	a.pos = (a.pos + 1) % a.clusters
+	if a.pos == 0 {
+		a.rotations++
+	}
+	a.transitLeft = a.transitCycles
+	if a.cfg.Ledger != nil {
+		// The token's bits are modulated onto the control waveguide,
+		// propagate, and are detected by the next router.
+		bits := float64(a.tokenBits)
+		a.cfg.Ledger.AddControlTransmit(bits)
+		a.cfg.Ledger.AddDemodulation(bits)
+	}
+}
+
+// want returns the §3.2.1 greedy aim of cluster c: the highest request
+// toward any destination, floored at the reserved minimum and capped at
+// the per-channel ceiling and the total budget.
+func (a *Allocator) want(c int) int {
+	t := 0
+	for _, w := range a.request[c] {
+		if w > t {
+			t = w
+		}
+	}
+	if t < a.cfg.ReservedPerCluster {
+		t = a.cfg.ReservedPerCluster
+	}
+	if a.cfg.MaxChannelWavelengths > 0 && t > a.cfg.MaxChannelWavelengths {
+		t = a.cfg.MaxChannelWavelengths
+	}
+	if t > a.cfg.TotalWavelengths {
+		t = a.cfg.TotalWavelengths
+	}
+	return t
+}
+
+// target returns the allocation cluster c aims for under the configured
+// policy. Under PolicyProportional the router first records its own
+// demand in the token's demand field, then caps its aim at its
+// demand-proportional share of the dynamic pool (based on every router's
+// last-written demand).
+func (a *Allocator) target(c int) int {
+	want := a.want(c)
+	if a.cfg.Policy != PolicyProportional {
+		return want
+	}
+
+	reserved := a.cfg.ReservedPerCluster
+	maxField := 1<<demandFieldBits - 1
+	dyn := want - reserved
+	if dyn > maxField {
+		dyn = maxField
+	}
+	a.tokenDemand[c] = dyn
+
+	totalDyn := 0
+	for _, d := range a.tokenDemand {
+		totalDyn += d
+	}
+	dynamicPool := a.cfg.TotalWavelengths - a.clusters*reserved
+	if totalDyn <= dynamicPool {
+		return want // everyone is satisfiable; no need to scale back
+	}
+	share := reserved + dyn*dynamicPool/totalDyn
+	if share < reserved {
+		share = reserved
+	}
+	if share < want {
+		return share
+	}
+	return want
+}
+
+// process reconciles cluster c's allocation against its request table
+// while it holds the token.
+func (a *Allocator) process(c int, now sim.Cycle) {
+	target := a.target(c)
+	have := len(a.acquired[c])
+	before := have
+
+	switch {
+	case have < target:
+		// Acquire free dynamic wavelengths in ascending slot order, at
+		// most MaxAcquirePerVisit per visit. Only slots within the
+		// provisioned budget (and, under waveguide restriction, this
+		// cluster's allowed waveguides) are allocatable.
+		if limit := have + a.cfg.MaxAcquirePerVisit; target > limit {
+			target = limit
+		}
+		for slot := 0; slot < a.cfg.TotalWavelengths && have < target; slot++ {
+			if a.owner[slot] != -1 || a.reservedOwner[slot] != -1 || !a.slotAllowed(slot, c) {
+				continue
+			}
+			a.owner[slot] = c
+			a.acquired[c] = append(a.acquired[c], slot)
+			have++
+		}
+	case have > target:
+		// Relinquish surplus dynamic wavelengths, most recently acquired
+		// first; reserved slots are never released.
+		for have > target {
+			last := a.acquired[c][have-1]
+			if a.reservedOwner[last] == c {
+				break
+			}
+			a.owner[last] = -1
+			a.acquired[c] = a.acquired[c][:have-1]
+			have--
+		}
+	}
+
+	for d := 0; d < a.clusters; d++ {
+		cur := a.request[c][d]
+		if cur > have {
+			cur = have
+		}
+		a.current[c][d] = cur
+	}
+	a.rebuildIDs(c)
+	if have != before {
+		a.cfg.Events.Appendf(now, event.AllocationChanged, c, 0,
+			"%d -> %d wavelengths (target %d)", before, have, target)
+	}
+}
+
+// reservedSlot returns the k-th permanently reserved slot of cluster c.
+// Unrestricted allocators pack the reserves at the start of the bundle;
+// waveguide-restricted ones place each cluster's reserves inside its home
+// waveguide (c mod N_W), where it is guaranteed modulators exist.
+func (a *Allocator) reservedSlot(c, k int) int {
+	if a.cfg.WaveguidesPerCluster == 0 {
+		return c*a.cfg.ReservedPerCluster + k
+	}
+	nw := a.cfg.Bundle.Waveguides
+	home := c % nw
+	offset := (c/nw)*a.cfg.ReservedPerCluster + k
+	return home*a.cfg.Bundle.WavelengthsPerWaveguide + offset
+}
+
+// slotAllowed reports whether cluster c's modulators can drive slot. With
+// no restriction every cluster reaches every waveguide; restricted
+// clusters reach WaveguidesPerCluster waveguides starting at their home.
+func (a *Allocator) slotAllowed(slot, c int) bool {
+	w := a.cfg.WaveguidesPerCluster
+	if w == 0 {
+		return true
+	}
+	nw := a.cfg.Bundle.Waveguides
+	wg := slot / a.cfg.Bundle.WavelengthsPerWaveguide
+	home := c % nw
+	for i := 0; i < w; i++ {
+		if wg == (home+i)%nw {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Allocator) rebuildIDs(c int) {
+	ids := make([]photonic.WavelengthID, len(a.acquired[c]))
+	for i, slot := range a.acquired[c] {
+		ids[i] = a.cfg.Bundle.IDForSlot(slot)
+	}
+	a.ids[c] = ids
+}
+
+// Allocated implements xbar.Allocator.
+func (a *Allocator) Allocated(c topology.ClusterID) []photonic.WavelengthID {
+	return a.ids[c]
+}
+
+// AllocatedCount returns the size of cluster c's current allocation.
+func (a *Allocator) AllocatedCount(c topology.ClusterID) int {
+	return len(a.acquired[c])
+}
+
+// SelectForPacket implements xbar.Allocator: the wavelengths for a packet
+// are chosen among the allocated ones according to the current table entry
+// for the destination (§3.3.1). A packet toward a destination with no
+// recorded demand still gets the reserved minimum.
+func (a *Allocator) SelectForPacket(src, dst topology.ClusterID) []photonic.WavelengthID {
+	want := a.current[src][dst]
+	if want < a.cfg.ReservedPerCluster {
+		want = a.cfg.ReservedPerCluster
+	}
+	if have := len(a.ids[src]); want > have {
+		want = have
+	}
+	return a.ids[src][:want]
+}
+
+// CurrentTable returns a copy of cluster c's current table, for
+// diagnostics and the dbatrace example.
+func (a *Allocator) CurrentTable(c topology.ClusterID) []int {
+	out := make([]int, a.clusters)
+	copy(out, a.current[c])
+	return out
+}
+
+// RequestTable returns a copy of cluster c's request table.
+func (a *Allocator) RequestTable(c topology.ClusterID) []int {
+	out := make([]int, a.clusters)
+	copy(out, a.request[c])
+	return out
+}
+
+// CheckInvariants verifies the allocation's structural invariants; tests
+// call it after arbitrary protocol activity. It returns a descriptive
+// error on the first violation.
+func (a *Allocator) CheckInvariants() error {
+	seen := make(map[int]int)
+	total := 0
+	for c := 0; c < a.clusters; c++ {
+		if len(a.acquired[c]) < a.cfg.ReservedPerCluster {
+			return fmt.Errorf("core: cluster %d holds %d < reserved %d wavelengths",
+				c, len(a.acquired[c]), a.cfg.ReservedPerCluster)
+		}
+		if limit := a.cfg.MaxChannelWavelengths; limit > 0 && len(a.acquired[c]) > limit {
+			return fmt.Errorf("core: cluster %d holds %d > cap %d wavelengths", c, len(a.acquired[c]), limit)
+		}
+		for _, slot := range a.acquired[c] {
+			if prev, dup := seen[slot]; dup {
+				return fmt.Errorf("core: slot %d owned by both cluster %d and %d", slot, prev, c)
+			}
+			seen[slot] = c
+			if a.owner[slot] != c {
+				return fmt.Errorf("core: slot %d in cluster %d's list but owned by %d", slot, c, a.owner[slot])
+			}
+			if slot >= a.cfg.TotalWavelengths {
+				return fmt.Errorf("core: slot %d outside provisioned budget %d", slot, a.cfg.TotalWavelengths)
+			}
+			if ro := a.reservedOwner[slot]; ro != -1 && ro != c {
+				return fmt.Errorf("core: cluster %d holds slot %d reserved for %d", c, slot, ro)
+			}
+			if !a.slotAllowed(slot, c) {
+				return fmt.Errorf("core: cluster %d holds slot %d outside its allowed waveguides", c, slot)
+			}
+		}
+		if len(a.ids[c]) != len(a.acquired[c]) {
+			return fmt.Errorf("core: cluster %d ID cache out of sync", c)
+		}
+		total += len(a.acquired[c])
+	}
+	if total > a.cfg.TotalWavelengths {
+		return fmt.Errorf("core: %d wavelengths allocated, budget is %d", total, a.cfg.TotalWavelengths)
+	}
+	for slot, owner := range a.owner {
+		if owner == -1 {
+			continue
+		}
+		if c, ok := seen[slot]; !ok || c != owner {
+			return fmt.Errorf("core: owner map says slot %d belongs to %d, lists disagree", slot, owner)
+		}
+	}
+	for slot, ro := range a.reservedOwner {
+		if ro == -1 {
+			continue
+		}
+		if a.owner[slot] != ro {
+			return fmt.Errorf("core: reserved slot %d of cluster %d owned by %d", slot, ro, a.owner[slot])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+// TestInvariantsUnderRandomProtocolActivity is the allocator's main
+// property test: any sequence of demand updates interleaved with token
+// circulation preserves the structural invariants — no wavelength is
+// double-owned, every cluster keeps its reserved minimum, caps and budget
+// hold, and the ID caches stay consistent.
+func TestInvariantsUnderRandomProtocolActivity(t *testing.T) {
+	topo := topology.Default()
+
+	run := func(seed uint64, totalSel uint8, steps uint8) bool {
+		totals := []int{64, 256, 512}
+		total := totals[int(totalSel)%len(totals)]
+		bundle, err := photonic.NewBundle(total)
+		if err != nil {
+			return false
+		}
+		a, err := NewAllocator(Config{
+			Topology:              topo,
+			Bundle:                bundle,
+			TotalWavelengths:      total,
+			ReservedPerCluster:    1,
+			MaxChannelWavelengths: total / 8,
+			ClockHz:               2.5e9,
+		})
+		if err != nil {
+			return false
+		}
+
+		rng := sim.NewRNG(seed)
+		now := sim.Cycle(0)
+		for step := 0; step < int(steps)+50; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				// Random demand update from a random core.
+				core := topology.CoreID(rng.Intn(topo.Cores()))
+				table := make([]int, topo.Clusters())
+				self := topo.ClusterOf(core)
+				for d := range table {
+					if topology.ClusterID(d) != self {
+						table[d] = rng.Intn(total/4 + 1)
+					}
+				}
+				a.SetDemand(core, table)
+			case 1:
+				// A burst of token circulation.
+				for i := 0; i < rng.Intn(40)+1; i++ {
+					a.Tick(now)
+					now++
+				}
+			case 2:
+				// Packet selections must always be non-empty and within
+				// the source's allocation.
+				src := topology.ClusterID(rng.Intn(topo.Clusters()))
+				dst := topology.ClusterID(rng.Intn(topo.Clusters()))
+				if src == dst {
+					continue
+				}
+				use := a.SelectForPacket(src, dst)
+				if len(use) == 0 || len(use) > a.AllocatedCount(src) {
+					return false
+				}
+			}
+			if err := a.CheckInvariants(); err != nil {
+				t.Logf("invariant violated: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+
+	if err := quick.Check(run, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocationConservesWavelengths: after any demand pattern and full
+// convergence, the sum of allocations plus free wavelengths equals the
+// budget.
+func TestAllocationConservesWavelengths(t *testing.T) {
+	topo := topology.Default()
+	f := func(seed uint64) bool {
+		bundle, err := photonic.NewBundle(64)
+		if err != nil {
+			return false
+		}
+		a, err := NewAllocator(Config{
+			Topology:              topo,
+			Bundle:                bundle,
+			TotalWavelengths:      64,
+			ReservedPerCluster:    1,
+			MaxChannelWavelengths: 8,
+			ClockHz:               2.5e9,
+		})
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed)
+		for cl := 0; cl < topo.Clusters(); cl++ {
+			table := make([]int, topo.Clusters())
+			for d := range table {
+				if d != cl {
+					table[d] = rng.Intn(9)
+				}
+			}
+			for _, core := range topo.CoresOf(topology.ClusterID(cl)) {
+				a.SetDemand(core, table)
+			}
+		}
+		for i := 0; i < 16*8*a.TransitCycles(); i++ {
+			a.Tick(sim.Cycle(i))
+		}
+		total := 0
+		for cl := 0; cl < topo.Clusters(); cl++ {
+			n := a.AllocatedCount(topology.ClusterID(cl))
+			if n < 1 || n > 8 {
+				return false
+			}
+			total += n
+		}
+		return total <= 64 && a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+// TestTokenLossFreezesAllocation: while the token is missing, demand
+// changes do not propagate and every cluster keeps what it holds.
+func TestTokenLossFreezesAllocation(t *testing.T) {
+	topo := topology.Default()
+	a := newAllocator(t, 64, 1, 8, 0)
+	demandAll(a, topo, 0, 8)
+	rotate(a, 8)
+	if got := a.AllocatedCount(0); got != 8 {
+		t.Fatalf("cluster 0 holds %d, want 8", got)
+	}
+
+	a.DropToken()
+	if !a.TokenLost() {
+		t.Fatal("token not marked lost")
+	}
+	// New demand appears while the token is gone.
+	demandAll(a, topo, 5, 8)
+	before := a.AllocatedCount(5)
+	for i := 0; i < a.regenTimeout-1; i++ {
+		a.Tick(sim.Cycle(i))
+	}
+	if got := a.AllocatedCount(5); got != before {
+		t.Fatalf("allocation moved (%d -> %d) while the token was lost", before, got)
+	}
+	if got := a.AllocatedCount(0); got != 8 {
+		t.Fatal("holdings changed while the token was lost")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTokenRegenerationRestoresProtocol: after the timeout the token is
+// rebuilt and the frozen demand converges normally.
+func TestTokenRegenerationRestoresProtocol(t *testing.T) {
+	topo := topology.Default()
+	a := newAllocator(t, 64, 1, 8, 0)
+	a.DropToken()
+	demandAll(a, topo, 5, 8)
+
+	// Tick through the outage, the regeneration and several rotations.
+	cycles := a.regenTimeout + a.TransitCycles()*16*8 + 1
+	for i := 0; i < cycles; i++ {
+		a.Tick(sim.Cycle(i))
+	}
+	if a.TokenLost() {
+		t.Fatal("token still lost after the regeneration timeout")
+	}
+	if a.TokenRegenerations() != 1 || a.TokenLosses() != 1 {
+		t.Fatalf("losses=%d regenerations=%d, want 1/1", a.TokenLosses(), a.TokenRegenerations())
+	}
+	if got := a.AllocatedCount(5); got != 8 {
+		t.Fatalf("cluster 5 holds %d after recovery, want 8", got)
+	}
+	if a.Rotations() == 0 {
+		t.Fatal("no rotations after recovery")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoubleDropIsIdempotent: dropping an already-lost token is one fault.
+func TestDoubleDropIsIdempotent(t *testing.T) {
+	a := newAllocator(t, 64, 1, 8, 0)
+	a.DropToken()
+	a.DropToken()
+	if a.TokenLosses() != 1 {
+		t.Fatalf("losses = %d, want 1", a.TokenLosses())
+	}
+}
+
+// TestRepeatedOutages: the protocol survives a storm of token losses.
+func TestRepeatedOutages(t *testing.T) {
+	topo := topology.Default()
+	a := newAllocator(t, 64, 1, 8, 0)
+	for cl := 0; cl < 16; cl++ {
+		demandAll(a, topo, topology.ClusterID(cl), 4)
+	}
+	now := sim.Cycle(0)
+	for outage := 0; outage < 5; outage++ {
+		for i := 0; i < 100; i++ {
+			a.Tick(now)
+			now++
+		}
+		a.DropToken()
+		for i := 0; i < a.regenTimeout+50; i++ {
+			a.Tick(now)
+			now++
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("outage %d: %v", outage, err)
+		}
+	}
+	if a.TokenRegenerations() != 5 {
+		t.Fatalf("regenerations = %d, want 5", a.TokenRegenerations())
+	}
+	// Steady state still converges to the uniform 4-per-cluster split.
+	for i := 0; i < 16*8*a.TransitCycles(); i++ {
+		a.Tick(now)
+		now++
+	}
+	for cl := 0; cl < 16; cl++ {
+		if got := a.AllocatedCount(topology.ClusterID(cl)); got != 4 {
+			t.Fatalf("cluster %d holds %d after outages, want 4", cl, got)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/topology"
+)
+
+func newProportionalAllocator(t *testing.T, total, maxChannel int) *Allocator {
+	t.Helper()
+	bundle, err := photonic.NewBundle(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAllocator(Config{
+		Topology:              topology.Default(),
+		Bundle:                bundle,
+		TotalWavelengths:      total,
+		ReservedPerCluster:    1,
+		MaxChannelWavelengths: maxChannel,
+		Policy:                PolicyProportional,
+		ClockHz:               2.5e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestProportionalTokenCarriesDemandField: the proportional token is
+// larger by clusters x 10 bits (Eq. 1 plus the demand field).
+func TestProportionalTokenCarriesDemandField(t *testing.T) {
+	greedy := newAllocator(t, 64, 1, 8, 0)
+	prop := newProportionalAllocator(t, 64, 8)
+	if got, want := prop.TokenBits(), greedy.TokenBits()+16*10; got != want {
+		t.Fatalf("proportional token = %d bits, want %d", got, want)
+	}
+}
+
+// TestProportionalUncontendedMatchesGreedy: when total demand fits the
+// pool, the proportional policy allocates exactly what the greedy one
+// would.
+func TestProportionalUncontendedMatchesGreedy(t *testing.T) {
+	topo := topology.Default()
+	a := newProportionalAllocator(t, 64, 8)
+	for cl := 0; cl < 16; cl++ {
+		demandAll(a, topo, topology.ClusterID(cl), 4)
+	}
+	rotate(a, 8)
+	for cl := 0; cl < 16; cl++ {
+		if got := a.AllocatedCount(topology.ClusterID(cl)); got != 4 {
+			t.Fatalf("cluster %d holds %d, want 4", cl, got)
+		}
+	}
+}
+
+// TestProportionalWeightsContendedPool: with clusters demanding 8 and 2
+// wavelengths against an insufficient pool, the proportional division
+// reflects the 4:1 demand ratio instead of first-come order.
+func TestProportionalWeightsContendedPool(t *testing.T) {
+	topo := topology.Default()
+	a := newProportionalAllocator(t, 64, 64)
+	// 8 clusters want 17 wavelengths, 8 want 3: dynamic demand
+	// 8*16 + 8*2 = 144 >> 48 dynamic slots.
+	for cl := 0; cl < 8; cl++ {
+		demandAll(a, topo, topology.ClusterID(cl), 17)
+	}
+	for cl := 8; cl < 16; cl++ {
+		demandAll(a, topo, topology.ClusterID(cl), 3)
+	}
+	rotate(a, 20)
+
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Proportional floors: heavy clusters 1 + 16*48/144 = 6, light
+	// clusters 1 + 2*48/144 = 1 (floor of 0.67 dynamic). Allow the
+	// rounding remainder to land anywhere, but the shape must hold.
+	for cl := 0; cl < 8; cl++ {
+		got := a.AllocatedCount(topology.ClusterID(cl))
+		if got < 5 || got > 7 {
+			t.Fatalf("heavy cluster %d holds %d, want ~6 (proportional share)", cl, got)
+		}
+	}
+	for cl := 8; cl < 16; cl++ {
+		got := a.AllocatedCount(topology.ClusterID(cl))
+		if got < 1 || got > 2 {
+			t.Fatalf("light cluster %d holds %d, want ~1", cl, got)
+		}
+	}
+}
+
+// TestProportionalNoStarvationWithoutChunking: even with unbounded
+// per-visit acquisition, the proportional policy cannot drain the pool
+// into the first visitors — its target is bounded by the share.
+func TestProportionalNoStarvationWithoutChunking(t *testing.T) {
+	bundle, err := photonic.NewBundle(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.Default()
+	a, err := NewAllocator(Config{
+		Topology:              topo,
+		Bundle:                bundle,
+		TotalWavelengths:      512,
+		ReservedPerCluster:    1,
+		MaxChannelWavelengths: 64,
+		MaxAcquirePerVisit:    512, // effectively unbounded
+		Policy:                PolicyProportional,
+		ClockHz:               2.5e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cl := 0; cl < 16; cl++ {
+		demandAll(a, topo, topology.ClusterID(cl), 64)
+	}
+	rotate(a, 20)
+
+	low, high := 512, 0
+	for cl := 0; cl < 16; cl++ {
+		n := a.AllocatedCount(topology.ClusterID(cl))
+		if n < low {
+			low = n
+		}
+		if n > high {
+			high = n
+		}
+	}
+	// 496 dynamic slots over 16 equal demands = 31 each; equal demand
+	// must yield an equal division (32 with the reserve).
+	if high-low > 1 {
+		t.Fatalf("proportional division uneven under equal demand: min %d, max %d", low, high)
+	}
+	if low < 31 {
+		t.Fatalf("clusters starved: min allocation %d", low)
+	}
+}
+
+func TestPolicyValidationAndNames(t *testing.T) {
+	bundle, err := photonic.NewBundle(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAllocator(Config{
+		Topology:           topology.Default(),
+		Bundle:             bundle,
+		TotalWavelengths:   64,
+		ReservedPerCluster: 1,
+		Policy:             Policy(99),
+		ClockHz:            2.5e9,
+	}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if PolicyGreedy.String() != "greedy" || PolicyProportional.String() != "proportional" {
+		t.Error("policy names wrong")
+	}
+	if Policy(0).String() != "unknown" {
+		t.Error("zero policy should be unknown")
+	}
+}

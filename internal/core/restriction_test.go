@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+func newRestrictedAllocator(t *testing.T, total, waveguides int) *Allocator {
+	t.Helper()
+	bundle, err := photonic.NewBundle(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAllocator(Config{
+		Topology:              topology.Default(),
+		Bundle:                bundle,
+		TotalWavelengths:      total,
+		ReservedPerCluster:    1,
+		MaxChannelWavelengths: 64,
+		WaveguidesPerCluster:  waveguides,
+		ClockHz:               2.5e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestRestrictedReservedSlotsInHomeWaveguide: under the Chapter 4
+// restriction, each cluster's reserved wavelength must live in a
+// waveguide its modulators can actually drive.
+func TestRestrictedReservedSlotsInHomeWaveguide(t *testing.T) {
+	a := newRestrictedAllocator(t, 512, 2)
+	for cl := 0; cl < 16; cl++ {
+		ids := a.Allocated(topology.ClusterID(cl))
+		if len(ids) != 1 {
+			t.Fatalf("cluster %d starts with %d wavelengths", cl, len(ids))
+		}
+		home := cl % 8
+		if ids[0].Waveguide != home {
+			t.Fatalf("cluster %d reserved wavelength in waveguide %d, home is %d",
+				cl, ids[0].Waveguide, home)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestrictedAcquisitionStaysInAllowedWaveguides: demand-driven
+// acquisition never crosses outside Waveguide(x)..Waveguide(x+W-1).
+func TestRestrictedAcquisitionStaysInAllowedWaveguides(t *testing.T) {
+	topo := topology.Default()
+	a := newRestrictedAllocator(t, 512, 2)
+	for cl := 0; cl < 16; cl++ {
+		demandAll(a, topo, topology.ClusterID(cl), 40)
+	}
+	rotate(a, 20)
+
+	for cl := 0; cl < 16; cl++ {
+		home := cl % 8
+		next := (cl + 1) % 8
+		for _, id := range a.Allocated(topology.ClusterID(cl)) {
+			if id.Waveguide != home && id.Waveguide != next {
+				t.Fatalf("cluster %d acquired %v outside waveguides {%d,%d}", cl, id, home, next)
+			}
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestrictionCapsAllocation: a cluster restricted to 2 waveguides can
+// never hold more than 2 x 64 wavelengths regardless of demand and cap.
+func TestRestrictionCapsAllocation(t *testing.T) {
+	topo := topology.Default()
+	a := newRestrictedAllocator(t, 512, 1)
+	// Only cluster 0 demands; it shares waveguide 0 with cluster 8's
+	// home, but with no contention it can take the rest of the
+	// waveguide.
+	demandAll(a, topo, 0, 64)
+	rotate(a, 30)
+
+	got := a.AllocatedCount(0)
+	// Waveguide 0 holds 64 slots; two reserved slots live there
+	// (clusters 0 and 8), so cluster 0 can hold at most 63.
+	if got > 63 {
+		t.Fatalf("cluster 0 holds %d wavelengths from a single waveguide", got)
+	}
+	if got < 60 {
+		t.Fatalf("cluster 0 only acquired %d of its waveguide", got)
+	}
+	for _, id := range a.Allocated(0) {
+		if id.Waveguide != 0 {
+			t.Fatalf("restricted-to-1 cluster acquired %v", id)
+		}
+	}
+}
+
+// TestRestrictionSharing: two clusters with the same home waveguide
+// contend for it without violating ownership.
+func TestRestrictionSharing(t *testing.T) {
+	topo := topology.Default()
+	a := newRestrictedAllocator(t, 512, 1)
+	demandAll(a, topo, 0, 64) // home waveguide 0
+	demandAll(a, topo, 8, 64) // also home waveguide 0
+	rotate(a, 30)
+
+	total := a.AllocatedCount(0) + a.AllocatedCount(8)
+	if total > 64 {
+		t.Fatalf("clusters 0 and 8 hold %d wavelengths from one 64-slot waveguide", total)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestrictionValidation(t *testing.T) {
+	bundle, err := photonic.NewBundle(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Topology:           topology.Default(),
+		Bundle:             bundle,
+		TotalWavelengths:   512,
+		ReservedPerCluster: 1,
+		ClockHz:            2.5e9,
+	}
+
+	cfg := base
+	cfg.WaveguidesPerCluster = -1
+	if _, err := NewAllocator(cfg); err == nil {
+		t.Error("negative restriction accepted")
+	}
+	cfg = base
+	cfg.WaveguidesPerCluster = 9 // only 8 waveguides exist
+	if _, err := NewAllocator(cfg); err == nil {
+		t.Error("restriction beyond waveguide count accepted")
+	}
+	// A partial-waveguide budget cannot be restricted.
+	smallBundle, err := photonic.NewBundle(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = base
+	cfg.Bundle = smallBundle
+	cfg.TotalWavelengths = 100
+	cfg.WaveguidesPerCluster = 1
+	if _, err := NewAllocator(cfg); err == nil {
+		t.Error("partial-waveguide restricted budget accepted")
+	}
+}
+
+// TestRestrictedInvariantsUnderChurn: random demand churn with token
+// circulation preserves all invariants under restriction.
+func TestRestrictedInvariantsUnderChurn(t *testing.T) {
+	topo := topology.Default()
+	a := newRestrictedAllocator(t, 512, 2)
+	rng := sim.NewRNG(31)
+	now := sim.Cycle(0)
+	for step := 0; step < 300; step++ {
+		cl := topology.ClusterID(rng.Intn(16))
+		demandAll(a, topo, cl, rng.Intn(65))
+		for i := 0; i < rng.Intn(20)+1; i++ {
+			a.Tick(now)
+			now++
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}

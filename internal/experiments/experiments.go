@@ -1,0 +1,169 @@
+// Package experiments reproduces every table and figure of the thesis's
+// evaluation (§3.4). Each experiment is a typed runner that returns the
+// same rows or series the paper plots; cmd/sweep prints them and
+// bench_test.go wraps each in a benchmark.
+//
+// Experiment index (see DESIGN.md §3 for the full mapping):
+//
+//	Figure 1-1   — GPU flit-size speedups            (Figure1_1)
+//	Figure 3-3   — peak bandwidth matrix             (PeakBandwidth)
+//	Figure 3-4   — packet energy matrix              (PeakBandwidth, EPM column)
+//	Figure 3-5   — hotspot + real-application cases  (CaseStudies)
+//	Figure 3-6   — area vs aggregate bandwidth       (AreaSweep)
+//	Figure 3-7   — d-HetPNoC scaling across BW sets  (ScalingSeries)
+//	Figure 3-8/9 — wavelengths vs BW / EPM / area    (WavelengthScaling)
+//	Figure 3-10  — Firefly scaling across BW sets    (ScalingSeries)
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hetpnoc/internal/fabric"
+	"hetpnoc/internal/topology"
+	"hetpnoc/internal/traffic"
+)
+
+// Options are shared run parameters. The zero value uses the thesis's
+// Table 3-3 settings.
+type Options struct {
+	// Cycles and WarmupCycles default to 10,000 and 1,000 (Table 3-3).
+	Cycles       int
+	WarmupCycles int
+
+	// Seed seeds every run; runs differing in configuration get distinct
+	// derived streams inside the fabric.
+	Seed uint64
+
+	// LoadScales are the offered-load multipliers swept to locate the
+	// peak; the default {1.0} saturates the network at the pattern's
+	// nominal rates.
+	LoadScales []float64
+
+	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	Parallelism int
+
+	// Topology defaults to the 64-core, 16-cluster chip.
+	Topology topology.Topology
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cycles == 0 {
+		o.Cycles = 10000
+	}
+	if o.WarmupCycles == 0 {
+		o.WarmupCycles = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.LoadScales) == 0 {
+		o.LoadScales = []float64{1.0}
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Topology.Cores() == 0 {
+		o.Topology = topology.Default()
+	}
+	return o
+}
+
+// Point identifies one simulation in a matrix.
+type Point struct {
+	Set     traffic.BandwidthSet
+	Pattern traffic.Pattern
+	Arch    fabric.Arch
+}
+
+// Row is the outcome of one matrix point after the load sweep: the peak
+// delivered bandwidth and the energy per message at the peak.
+type Row struct {
+	Set     string  `json:"set"`
+	Pattern string  `json:"pattern"`
+	Arch    string  `json:"arch"`
+	AtLoad  float64 `json:"atLoad"`
+
+	PeakBandwidthGbps  float64 `json:"peakBandwidthGbps"`
+	PerCoreGbps        float64 `json:"perCoreGbps"`
+	EnergyPerMessagePJ float64 `json:"energyPerMessagePJ"`
+	OfferedGbps        float64 `json:"offeredGbps"`
+
+	PacketsDelivered int64   `json:"packetsDelivered"`
+	PacketsDropped   int64   `json:"packetsDropped"`
+	Retransmissions  int64   `json:"retransmissions"`
+	AvgLatencyCycles float64 `json:"avgLatencyCycles"`
+
+	AllocatedWavelengths []int `json:"allocatedWavelengths"`
+}
+
+// runPoint sweeps the load scales for one point and keeps the best.
+func runPoint(opts Options, p Point) (Row, error) {
+	best := Row{
+		Set:     p.Set.Name,
+		Pattern: p.Pattern.Name(),
+		Arch:    p.Arch.String(),
+	}
+	found := false
+	for _, scale := range opts.LoadScales {
+		f, err := fabric.New(fabric.Config{
+			Topology:     opts.Topology,
+			Set:          p.Set,
+			Arch:         p.Arch,
+			Pattern:      p.Pattern,
+			LoadScale:    scale,
+			Cycles:       opts.Cycles,
+			WarmupCycles: opts.WarmupCycles,
+			Seed:         opts.Seed,
+		})
+		if err != nil {
+			return Row{}, fmt.Errorf("experiments: %s/%s/%s: %w", p.Set.Name, p.Pattern.Name(), p.Arch, err)
+		}
+		res, err := f.Run()
+		if err != nil {
+			return Row{}, fmt.Errorf("experiments: %s/%s/%s: %w", p.Set.Name, p.Pattern.Name(), p.Arch, err)
+		}
+		if !found || res.Stats.DeliveredGbps > best.PeakBandwidthGbps {
+			found = true
+			best.AtLoad = scale
+			best.PeakBandwidthGbps = res.Stats.DeliveredGbps
+			best.PerCoreGbps = res.PerCoreGbps
+			best.EnergyPerMessagePJ = res.EnergyPerMessagePJ
+			best.OfferedGbps = res.OfferedGbps
+			best.PacketsDelivered = res.Stats.PacketsDelivered
+			best.PacketsDropped = res.Stats.PacketsDroppedRX
+			best.Retransmissions = res.Stats.Retransmissions
+			best.AvgLatencyCycles = res.Stats.AvgLatencyCycles
+			best.AllocatedWavelengths = res.AllocatedWavelengths
+		}
+	}
+	return best, nil
+}
+
+// RunMatrix executes every point, in parallel up to opts.Parallelism, and
+// returns rows in point order.
+func RunMatrix(opts Options, points []Point) ([]Row, error) {
+	opts = opts.withDefaults()
+	rows := make([]Row, len(points))
+	errs := make([]error, len(points))
+
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p Point) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = runPoint(opts, p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

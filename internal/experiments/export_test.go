@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleRows() []Row {
+	return []Row{
+		{
+			Set: "BW1", Pattern: "skewed2", Arch: "firefly", AtLoad: 1,
+			PeakBandwidthGbps: 558.5, PerCoreGbps: 8.73, EnergyPerMessagePJ: 21009.6,
+			OfferedGbps: 912.5, PacketsDelivered: 2726, PacketsDropped: 0,
+			Retransmissions: 0, AvgLatencyCycles: 2215.4,
+		},
+		{
+			Set: "BW1", Pattern: "skewed2", Arch: "d-hetpnoc", AtLoad: 1,
+			PeakBandwidthGbps: 789.5, PerCoreGbps: 12.34, EnergyPerMessagePJ: 12200.7,
+			OfferedGbps: 912.5, PacketsDelivered: 3854, PacketsDropped: 3,
+			Retransmissions: 3, AvgLatencyCycles: 891.7,
+		},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rows := sampleRows()
+	var buf bytes.Buffer
+	if err := WriteRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRowsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("round trip lost rows: %d != %d", len(got), len(rows))
+	}
+	for i := range rows {
+		want := rows[i]
+		want.AllocatedWavelengths = nil // not serialized in CSV
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("row %d round trip:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRowsJSON(&buf, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Row
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[1].Arch != "d-hetpnoc" {
+		t.Fatalf("JSON round trip broken: %+v", decoded)
+	}
+}
+
+func TestAblationsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []AblationRow{
+		{Study: "s", Variant: "v", PeakBandwidthGbps: 1, EnergyPerMessagePJ: 2, AvgLatencyCycles: 3, AreaMM2: 4},
+	}
+	if err := WriteAblationsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "s,v,1,2,3,4") {
+		t.Fatalf("unexpected record %q", lines[1])
+	}
+}
+
+func TestLatencyCSV(t *testing.T) {
+	var buf bytes.Buffer
+	points := []LatencyPoint{{LoadScale: 0.5, OfferedGbps: 400, DeliveredGbps: 399, AvgLatencyCycles: 120, MaxLatencyCycles: 300}}
+	if err := WriteLatencyCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.5,400,399,120,300") {
+		t.Fatalf("unexpected CSV %q", buf.String())
+	}
+}
+
+func TestParseRowsCSVErrors(t *testing.T) {
+	if _, err := ParseRowsCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	bad := "set,pattern,arch,atLoad,peakBandwidthGbps,perCoreGbps,energyPerMessagePJ,offeredGbps,packetsDelivered,packetsDropped,retransmissions,avgLatencyCycles\nBW1,u,f,notanumber,1,1,1,1,1,1,1,1\n"
+	if _, err := ParseRowsCSV(strings.NewReader(bad)); err == nil {
+		t.Error("malformed float accepted")
+	}
+}

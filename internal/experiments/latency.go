@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/fabric"
+	"hetpnoc/internal/traffic"
+)
+
+// LatencyPoint is one point of a load-latency curve.
+type LatencyPoint struct {
+	LoadScale        float64 `json:"loadScale"`
+	OfferedGbps      float64 `json:"offeredGbps"`
+	DeliveredGbps    float64 `json:"deliveredGbps"`
+	AvgLatencyCycles float64 `json:"avgLatencyCycles"`
+	MaxLatencyCycles int64   `json:"maxLatencyCycles"`
+}
+
+// LoadLatencyCurve sweeps the offered load for one architecture/pattern
+// pair and returns the classic NoC latency-throughput curve: latency
+// rises gently until the network saturates, then climbs steeply while
+// delivered bandwidth flattens. The thesis reports only the saturation
+// point ("peak bandwidth"); the full curve is an extension used by the
+// ablation analysis and the examples.
+func LoadLatencyCurve(opts Options, arch fabric.Arch, pattern traffic.Pattern,
+	set traffic.BandwidthSet, loads []float64) ([]LatencyPoint, error) {
+	opts = opts.withDefaults()
+	if len(loads) == 0 {
+		loads = []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2}
+	}
+	points := make([]LatencyPoint, 0, len(loads))
+	for _, load := range loads {
+		f, err := fabric.New(fabric.Config{
+			Topology:     opts.Topology,
+			Set:          set,
+			Arch:         arch,
+			Pattern:      pattern,
+			LoadScale:    load,
+			Cycles:       opts.Cycles,
+			WarmupCycles: opts.WarmupCycles,
+			Seed:         opts.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: latency curve at load %g: %w", load, err)
+		}
+		res, err := f.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: latency curve at load %g: %w", load, err)
+		}
+		points = append(points, LatencyPoint{
+			LoadScale:        load,
+			OfferedGbps:      res.OfferedGbps,
+			DeliveredGbps:    res.Stats.DeliveredGbps,
+			AvgLatencyCycles: res.Stats.AvgLatencyCycles,
+			MaxLatencyCycles: int64(res.Stats.MaxLatencyCycles),
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Replicated aggregates one matrix point over several seeds: mean, sample
+// standard deviation and a normal-approximation 95% confidence half-width
+// for the two headline metrics. The thesis reports single runs; replicated
+// runs let EXPERIMENTS.md distinguish real effects from seed noise.
+type Replicated struct {
+	Set     string `json:"set"`
+	Pattern string `json:"pattern"`
+	Arch    string `json:"arch"`
+	Seeds   int    `json:"seeds"`
+
+	BandwidthMeanGbps float64 `json:"bandwidthMeanGbps"`
+	BandwidthStdGbps  float64 `json:"bandwidthStdGbps"`
+	BandwidthCI95Gbps float64 `json:"bandwidthCi95Gbps"`
+
+	EPMMeanPJ float64 `json:"epmMeanPJ"`
+	EPMStdPJ  float64 `json:"epmStdPJ"`
+	EPMCI95PJ float64 `json:"epmCi95PJ"`
+}
+
+// RunReplicated executes the point once per seed (opts.Seed, opts.Seed+1,
+// ...) and aggregates the results.
+func RunReplicated(opts Options, p Point, seeds int) (Replicated, error) {
+	if seeds < 2 {
+		return Replicated{}, fmt.Errorf("experiments: replication needs >= 2 seeds, got %d", seeds)
+	}
+	opts = opts.withDefaults()
+
+	points := make([]Point, seeds)
+	for i := range points {
+		points[i] = p
+	}
+	// Run each replicate with its own seed by staggering opts per run.
+	bandwidths := make([]float64, seeds)
+	epms := make([]float64, seeds)
+	rows := make([]Row, seeds)
+	errs := make([]error, seeds)
+
+	sem := make(chan struct{}, opts.Parallelism)
+	done := make(chan int)
+	for i := 0; i < seeds; i++ {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			o.Seed = opts.Seed + uint64(i)
+			rows[i], errs[i] = runPoint(o, p)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < seeds; i++ {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			return Replicated{}, err
+		}
+		bandwidths[i] = rows[i].PeakBandwidthGbps
+		epms[i] = rows[i].EnergyPerMessagePJ
+	}
+
+	bwMean, bwStd := meanStd(bandwidths)
+	epmMean, epmStd := meanStd(epms)
+	z := 1.96 / math.Sqrt(float64(seeds))
+	return Replicated{
+		Set:               p.Set.Name,
+		Pattern:           p.Pattern.Name(),
+		Arch:              p.Arch.String(),
+		Seeds:             seeds,
+		BandwidthMeanGbps: bwMean,
+		BandwidthStdGbps:  bwStd,
+		BandwidthCI95Gbps: z * bwStd,
+		EPMMeanPJ:         epmMean,
+		EPMStdPJ:          epmStd,
+		EPMCI95PJ:         z * epmStd,
+	}, nil
+}
+
+// meanStd returns the sample mean and (n-1) standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// SignificantGain reports whether architecture b's bandwidth mean exceeds
+// a's beyond the sum of their confidence half-widths — a conservative
+// "the gain is not seed noise" check used by the statistical tests.
+func SignificantGain(a, b Replicated) bool {
+	return b.BandwidthMeanGbps-a.BandwidthMeanGbps > a.BandwidthCI95Gbps+b.BandwidthCI95Gbps
+}

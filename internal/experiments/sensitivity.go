@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/fabric"
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/traffic"
+)
+
+// SensitivityRow records the architectures' energy-per-message comparison
+// under one scaling of a calibrated energy constant.
+type SensitivityRow struct {
+	Parameter string  `json:"parameter"`
+	Scale     float64 `json:"scale"`
+
+	FireflyEPMPJ  float64 `json:"fireflyEpmPJ"`
+	DHetPNoCEPMPJ float64 `json:"dhetpnocEpmPJ"`
+	// DHetSavingPct is positive when d-HetPNoC dissipates less per
+	// message.
+	DHetSavingPct float64 `json:"dhetSavingPct"`
+}
+
+// EnergySensitivity sweeps the two calibrated (non-Table-3-4) energy
+// constants — the congestion-sensitive buffer-retention term and the
+// idle-detector term — and re-measures the Figure 3-4 comparison at each
+// scaling. The paper's qualitative claim (d-HetPNoC dissipates less per
+// message under skewed traffic) should not depend on our calibration;
+// this experiment demonstrates that, quantifying EXPERIMENTS.md's
+// deviation discussion.
+func EnergySensitivity(opts Options, scales []float64) ([]SensitivityRow, error) {
+	opts = opts.withDefaults()
+	if len(scales) == 0 {
+		scales = []float64{0.25, 0.5, 1.0, 2.0, 4.0}
+	}
+
+	run := func(arch fabric.Arch, energy photonic.EnergyParams) (float64, error) {
+		f, err := fabric.New(fabric.Config{
+			Topology:     opts.Topology,
+			Set:          traffic.BWSet1,
+			Arch:         arch,
+			Pattern:      traffic.Skewed{Level: 2},
+			Cycles:       opts.Cycles,
+			WarmupCycles: opts.WarmupCycles,
+			Seed:         opts.Seed,
+			Energy:       energy,
+		})
+		if err != nil {
+			return 0, err
+		}
+		res, err := f.Run()
+		if err != nil {
+			return 0, err
+		}
+		return res.EnergyPerMessagePJ, nil
+	}
+
+	var rows []SensitivityRow
+	for _, param := range []string{"buffer-residency", "idle-detector"} {
+		for _, scale := range scales {
+			if scale <= 0 {
+				return nil, fmt.Errorf("experiments: sensitivity scale must be positive, got %g", scale)
+			}
+			energy := photonic.DefaultEnergyParams()
+			switch param {
+			case "buffer-residency":
+				energy.BufferResidencyPJPerBitCycle *= scale
+			case "idle-detector":
+				energy.IdleDetectorPJPerWavelengthCycle *= scale
+			}
+			ff, err := run(fabric.Firefly, energy)
+			if err != nil {
+				return nil, err
+			}
+			dh, err := run(fabric.DHetPNoC, energy)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SensitivityRow{
+				Parameter:     param,
+				Scale:         scale,
+				FireflyEPMPJ:  ff,
+				DHetPNoCEPMPJ: dh,
+				DHetSavingPct: (1 - dh/ff) * 100,
+			})
+		}
+	}
+	return rows, nil
+}

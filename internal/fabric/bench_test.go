@@ -1,0 +1,52 @@
+package fabric
+
+import (
+	"testing"
+
+	"hetpnoc/internal/traffic"
+)
+
+// BenchmarkFabricStep measures one cycle of the full 64-core chip under
+// saturated skewed traffic — the simulator's end-to-end hot path.
+func BenchmarkFabricStep(b *testing.B) {
+	f, err := New(Config{
+		Arch:    DHetPNoC,
+		Set:     traffic.BWSet1,
+		Pattern: traffic.Skewed{Level: 2},
+		Cycles:  1 << 30, // stepped manually
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pipelines so the benchmark measures steady state.
+	for i := 0; i < 2000; i++ {
+		if err := f.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricBuild measures constructing the whole chip (80 routers,
+// 16 crossbar engine pairs, 64 sources).
+func BenchmarkFabricBuild(b *testing.B) {
+	cfg := Config{
+		Arch:    DHetPNoC,
+		Set:     traffic.BWSet1,
+		Pattern: traffic.Uniform{},
+		Seed:    1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package fabric
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/router"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+	"hetpnoc/internal/traffic"
+)
+
+// Datapath widths (flits per cycle). The switch-to-photonic-router paths
+// are double width so a single packet can stream fast enough to feed the
+// widest dynamic channel allocation (DESIGN.md §4); peer links between
+// core switches are single width.
+const (
+	injectWidth = 2
+	peerWidth   = 1
+	toPRWidth   = 2
+	rxDrainMult = 4
+)
+
+// coreState is the per-core runtime: the traffic source, the bounded
+// injection queue, the packet currently being fed into the switch, and the
+// ejection port the core consumes from.
+type coreState struct {
+	id      topology.CoreID
+	source  *traffic.Source
+	queue   []*packet.Packet
+	rejects int64
+
+	injectPort *router.Port
+	inFlight   *packet.Packet
+	inVC       int
+	inNext     int
+
+	ejectPort *router.Port
+	ejectRR   int
+}
+
+// cluster groups the hardware of one cluster: the electrical switches, the
+// photonic router and the crossbar engines.
+type cluster struct {
+	id       topology.ClusterID
+	switches []*router.Router
+	photonic *router.Router
+	txPort   *router.Port
+}
+
+// buildAllToAll wires a cluster in the §3.1 configuration: each core has
+// its own switch, switches are connected pairwise and to the photonic
+// router.
+//
+// Switch S_i port map (K = cluster size):
+//
+//	inputs:  0 = inject, 1..K-1 = peers (ascending, skipping self), K = from P
+//	outputs: 0 = eject, 1..K-1 = peers, K = to P
+//
+// Photonic router P port map:
+//
+//	inputs:  0..K-1 = from switches, K = photonic receive
+//	outputs: 0..K-1 = to switches, K = transmit port
+func (f *Fabric) buildAllToAll(cl topology.ClusterID) (*cluster, error) {
+	topo := f.cfg.Topology
+	k := topo.ClusterSize()
+	c := &cluster{id: cl}
+
+	newPort := func() (*router.Port, error) {
+		return router.NewPort(f.cfg.VCsPerPort, f.cfg.BufferDepthFlits, f.ledger, &f.occupancy)
+	}
+
+	// Pre-create every input port so routers can cross-reference them.
+	switchInputs := make([][]*router.Port, k) // [core][port]
+	for i := 0; i < k; i++ {
+		switchInputs[i] = make([]*router.Port, k+1)
+		for p := 0; p <= k; p++ {
+			port, err := newPort()
+			if err != nil {
+				return nil, err
+			}
+			switchInputs[i][p] = port
+		}
+	}
+	prInputs := make([]*router.Port, k+1)
+	for p := 0; p <= k; p++ {
+		port, err := newPort()
+		if err != nil {
+			return nil, err
+		}
+		prInputs[p] = port
+	}
+	txPort, err := newPort()
+	if err != nil {
+		return nil, err
+	}
+	c.txPort = txPort
+
+	// peerSlot(i, j) is the port index on switch i used for peer j.
+	peerSlot := func(i, j int) int {
+		slot := 1
+		for p := 0; p < k; p++ {
+			if p == i {
+				continue
+			}
+			if p == j {
+				return slot
+			}
+			slot++
+		}
+		panic("fabric: peerSlot called with i == j")
+	}
+
+	for i := 0; i < k; i++ {
+		core := topo.CoreAt(cl, i)
+		localIdx := i
+		route := func(fl packet.Flit) int {
+			if fl.Packet.Dst == core {
+				return 0
+			}
+			if fl.Packet.DstCluster == cl {
+				return peerSlot(localIdx, topo.LocalIndex(fl.Packet.Dst))
+			}
+			return k
+		}
+		widths := make([]int, k+1)
+		widths[0] = injectWidth
+		for p := 1; p < k; p++ {
+			widths[p] = peerWidth
+		}
+		widths[k] = toPRWidth
+
+		sw, err := router.New(fmt.Sprintf("c%d.s%d", cl, i), switchInputs[i], widths, route, f.ledger)
+		if err != nil {
+			return nil, err
+		}
+
+		ejectPort, err := newPort()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sw.AddOutput(ejectPort, f.cfg.EjectWidth, false); err != nil {
+			return nil, err
+		}
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			if _, err := sw.AddOutput(switchInputs[j][peerSlot(j, i)], peerWidth, true); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := sw.AddOutput(prInputs[i], toPRWidth, true); err != nil {
+			return nil, err
+		}
+
+		c.switches = append(c.switches, sw)
+		cs := f.cores[core]
+		cs.injectPort = switchInputs[i][0]
+		cs.ejectPort = ejectPort
+	}
+
+	prRoute := func(fl packet.Flit) int {
+		if fl.Packet.DstCluster != cl {
+			return k
+		}
+		return topo.LocalIndex(fl.Packet.Dst)
+	}
+	prWidths := make([]int, k+1)
+	for p := 0; p < k; p++ {
+		prWidths[p] = toPRWidth
+	}
+	prWidths[k] = rxDrainMult
+	pr, err := router.New(fmt.Sprintf("c%d.pr", cl), prInputs, prWidths, prRoute, f.ledger)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		if _, err := pr.AddOutput(switchInputs[i][k], toPRWidth, true); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := pr.AddOutput(txPort, 2*k, false); err != nil {
+		return nil, err
+	}
+	c.photonic = pr
+	return c, nil
+}
+
+// buildConcentrated wires a cluster in the Firefly style [20]: the
+// cluster's cores share one electrical switch connected to the photonic
+// router.
+//
+// Switch port map: inputs 0..K-1 = inject per core, K = from P;
+// outputs 0..K-1 = eject per core, K = to P.
+// Photonic router: input 0 = from switch, 1 = receive;
+// outputs 0 = to switch, 1 = transmit port.
+func (f *Fabric) buildConcentrated(cl topology.ClusterID) (*cluster, error) {
+	topo := f.cfg.Topology
+	k := topo.ClusterSize()
+	c := &cluster{id: cl}
+
+	newPort := func() (*router.Port, error) {
+		return router.NewPort(f.cfg.VCsPerPort, f.cfg.BufferDepthFlits, f.ledger, &f.occupancy)
+	}
+
+	swInputs := make([]*router.Port, k+1)
+	for p := 0; p <= k; p++ {
+		port, err := newPort()
+		if err != nil {
+			return nil, err
+		}
+		swInputs[p] = port
+	}
+	prFromSwitch, err := newPort()
+	if err != nil {
+		return nil, err
+	}
+	prRX, err := newPort()
+	if err != nil {
+		return nil, err
+	}
+	txPort, err := newPort()
+	if err != nil {
+		return nil, err
+	}
+	c.txPort = txPort
+
+	route := func(fl packet.Flit) int {
+		if fl.Packet.DstCluster == cl {
+			return topo.LocalIndex(fl.Packet.Dst)
+		}
+		return k
+	}
+	widths := make([]int, k+1)
+	for p := 0; p < k; p++ {
+		widths[p] = injectWidth
+	}
+	widths[k] = 2 * toPRWidth
+	sw, err := router.New(fmt.Sprintf("c%d.s", cl), swInputs, widths, route, f.ledger)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		ejectPort, err := newPort()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sw.AddOutput(ejectPort, f.cfg.EjectWidth, false); err != nil {
+			return nil, err
+		}
+		core := topo.CoreAt(cl, i)
+		cs := f.cores[core]
+		cs.injectPort = swInputs[i]
+		cs.ejectPort = ejectPort
+	}
+	if _, err := sw.AddOutput(prFromSwitch, 2*toPRWidth, true); err != nil {
+		return nil, err
+	}
+	c.switches = []*router.Router{sw}
+
+	prRoute := func(fl packet.Flit) int {
+		if fl.Packet.DstCluster != cl {
+			return 1
+		}
+		return 0
+	}
+	pr, err := router.New(fmt.Sprintf("c%d.pr", cl),
+		[]*router.Port{prFromSwitch, prRX}, []int{2 * toPRWidth, rxDrainMult}, prRoute, f.ledger)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pr.AddOutput(swInputs[k], 2*toPRWidth, true); err != nil {
+		return nil, err
+	}
+	if _, err := pr.AddOutput(txPort, 2*k, false); err != nil {
+		return nil, err
+	}
+	c.photonic = pr
+	return c, nil
+}
+
+// rxInputPort returns the photonic router input the receive engine
+// delivers into.
+func (c *cluster) rxInputPort(clusterSize int, mode IntraCluster) *router.Port {
+	if mode == Concentrated {
+		return c.photonic.Input(1)
+	}
+	return c.photonic.Input(clusterSize)
+}
+
+// pumpInject feeds the core's pending packets into its switch, allocating
+// a VC per packet and moving up to injectWidth flits per cycle.
+func (cs *coreState) pumpInject(now sim.Cycle) error {
+	for moved := 0; moved < injectWidth; moved++ {
+		if cs.inFlight == nil {
+			if len(cs.queue) == 0 {
+				return nil
+			}
+			vc, ok := cs.injectPort.AllocVC(cs.queue[0].ID)
+			if !ok {
+				return nil // every VC busy; the packet waits at the source
+			}
+			cs.inFlight = cs.queue[0]
+			cs.queue = cs.queue[1:]
+			cs.inVC = vc
+			cs.inNext = 0
+		}
+		if cs.injectPort.Space(cs.inVC) == 0 {
+			return nil
+		}
+		fl := packet.FlitAt(cs.inFlight, cs.inNext)
+		if err := cs.injectPort.Enqueue(cs.inVC, fl, now); err != nil {
+			return err
+		}
+		cs.inNext++
+		if cs.inNext == cs.inFlight.Flits {
+			cs.inFlight = nil
+		}
+	}
+	return nil
+}
+
+// drainEject consumes up to ejectWidth ready flits from the core's eject
+// port, completing packets as tails arrive.
+func (cs *coreState) drainEject(now sim.Cycle, ejectWidth int, onFlit func(packet.Flit), onPacket func(*packet.Packet)) error {
+	n := cs.ejectPort.VCCount()
+	drained := 0
+	for scan := 0; scan < n && drained < ejectWidth; {
+		vcIdx := (cs.ejectRR + scan) % n
+		_, enq, ok := cs.ejectPort.Head(vcIdx)
+		if !ok || now-enq < router.PipelineDelay {
+			scan++
+			continue
+		}
+		popped, err := cs.ejectPort.Pop(vcIdx)
+		if err != nil {
+			return err
+		}
+		drained++
+		onFlit(popped)
+		if popped.Type.IsTail() {
+			onPacket(popped.Packet)
+			cs.ejectRR = (vcIdx + 1) % n
+			scan++
+			continue
+		}
+		// keep draining the same VC to preserve round-robin fairness at
+		// packet granularity
+	}
+	return nil
+}

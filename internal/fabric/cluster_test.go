@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"testing"
+
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/traffic"
+)
+
+// buildTestFabric constructs (but does not run) a fabric.
+func buildTestFabric(t *testing.T, intra IntraCluster) *Fabric {
+	t.Helper()
+	f, err := New(Config{
+		Arch:         DHetPNoC,
+		Pattern:      traffic.Uniform{},
+		IntraCluster: intra,
+		Cycles:       100, WarmupCycles: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAllToAllClusterShape(t *testing.T) {
+	f := buildTestFabric(t, AllToAll)
+	if len(f.clusters) != 16 {
+		t.Fatalf("%d clusters, want 16", len(f.clusters))
+	}
+	for cl, c := range f.clusters {
+		// One switch per core plus the photonic router.
+		if len(c.switches) != 4 {
+			t.Fatalf("cluster %d has %d switches, want 4", cl, len(c.switches))
+		}
+		// Each core switch: eject + 3 peers + photonic router = 5 outputs.
+		for i, sw := range c.switches {
+			if got := sw.Outputs(); got != 5 {
+				t.Fatalf("cluster %d switch %d has %d outputs, want 5", cl, i, got)
+			}
+		}
+		// Photonic router: 4 local + transmit = 5 outputs.
+		if got := c.photonic.Outputs(); got != 5 {
+			t.Fatalf("cluster %d photonic router has %d outputs, want 5", cl, got)
+		}
+		if c.txPort == nil {
+			t.Fatalf("cluster %d has no transmit port", cl)
+		}
+	}
+	// 64 core switches + 16 photonic routers tick each cycle.
+	if got := len(f.routers); got != 80 {
+		t.Fatalf("%d routers, want 80", got)
+	}
+}
+
+func TestConcentratedClusterShape(t *testing.T) {
+	f := buildTestFabric(t, Concentrated)
+	for cl, c := range f.clusters {
+		if len(c.switches) != 1 {
+			t.Fatalf("cluster %d has %d switches, want 1 concentrated", cl, len(c.switches))
+		}
+		// 4 ejects + photonic router = 5 outputs.
+		if got := c.switches[0].Outputs(); got != 5 {
+			t.Fatalf("cluster %d switch has %d outputs, want 5", cl, got)
+		}
+		// Photonic router: to switch + transmit = 2 outputs.
+		if got := c.photonic.Outputs(); got != 2 {
+			t.Fatalf("cluster %d photonic router has %d outputs, want 2", cl, got)
+		}
+	}
+	if got := len(f.routers); got != 32 {
+		t.Fatalf("%d routers, want 32 (16 switches + 16 photonic)", got)
+	}
+}
+
+func TestEveryCoreHasPorts(t *testing.T) {
+	for _, intra := range []IntraCluster{AllToAll, Concentrated} {
+		f := buildTestFabric(t, intra)
+		for c, cs := range f.cores {
+			if cs.injectPort == nil || cs.ejectPort == nil {
+				t.Fatalf("%v: core %d missing ports", intra, c)
+			}
+			if cs.source == nil {
+				t.Fatalf("%v: core %d has no traffic source", intra, c)
+			}
+		}
+	}
+}
+
+// TestPeerLinksCarryTraffic drives one packet core 0 -> core 3 (same
+// cluster) through the all-to-all peer wiring and watches it arrive
+// without touching the photonic channels.
+func TestPeerLinksCarryTraffic(t *testing.T) {
+	topo := Config{}.WithDefaults().Topology
+	silent := traffic.Assignment{Name: "silent", Cores: make([]traffic.CoreProfile, topo.Cores())}
+	f, err := New(Config{
+		Arch:    DHetPNoC,
+		Pattern: traffic.Fixed{Assignment: silent},
+		Cycles:  300, WarmupCycles: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Craft a same-cluster packet and place it in core 0's queue.
+	f.pktIDs++
+	f.msgIDs++
+	pkt := &packet.Packet{
+		ID: f.pktIDs, Message: f.msgIDs,
+		Src: 0, Dst: 3, SrcCluster: 0, DstCluster: 0,
+		Flits: 8, FlitBits: 32, Attempt: 1,
+	}
+	f.cores[0].queue = append(f.cores[0].queue, pkt)
+
+	for i := 0; i < 200; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.DeliveredPackets(); got != 1 {
+		t.Fatalf("delivered %d packets, want the peer packet", got)
+	}
+	// Nothing photonic was involved.
+	for cl, tx := range f.txs {
+		if tx.BusyCycles() != 0 {
+			t.Fatalf("cluster %d photonic channel busy for an intra-cluster packet", cl)
+		}
+	}
+}

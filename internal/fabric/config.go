@@ -1,0 +1,250 @@
+// Package fabric assembles the complete chip: traffic sources, the
+// intra-cluster electrical network, the photonic routers, the R-SWMR
+// crossbar engines and the wavelength allocation policy, and runs the
+// cycle-accurate simulation loop. One fabric type realizes both evaluated
+// architectures — the crossbar-based Firefly baseline and d-HetPNoC — via
+// the allocation policy and demodulator gating mode, matching the thesis's
+// observation that under uniform traffic "they are practically the same
+// architecture" (§3.4.1.2).
+package fabric
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+	"hetpnoc/internal/traffic"
+)
+
+// Arch selects the evaluated architecture.
+type Arch int
+
+// Architectures.
+const (
+	// Firefly is the baseline: uniform static wavelength allocation,
+	// full-channel demodulator gating (§2.2.1).
+	Firefly Arch = iota + 1
+	// DHetPNoC is the proposed architecture: token-passing dynamic
+	// bandwidth allocation with selective demodulator gating (Ch. 3).
+	DHetPNoC
+	// TorusPNoC is the related-work baseline of §2.1.3 [15]: a
+	// circuit-switched photonic 2D folded torus with PSE-based blocking
+	// routers and an electronic path-setup network.
+	TorusPNoC
+)
+
+// String returns the architecture name.
+func (a Arch) String() string {
+	switch a {
+	case Firefly:
+		return "firefly"
+	case DHetPNoC:
+		return "d-hetpnoc"
+	case TorusPNoC:
+		return "torus-pnoc"
+	default:
+		return "unknown"
+	}
+}
+
+// IntraCluster selects the electrical network inside each cluster.
+type IntraCluster int
+
+// Intra-cluster topologies.
+const (
+	// AllToAll wires the cluster's cores pairwise and each to the
+	// photonic router — the d-HetPNoC configuration of §3.1.
+	AllToAll IntraCluster = iota + 1
+	// Concentrated shares a single electrical switch among the
+	// cluster's cores, as in Firefly's concentrated nodes [20].
+	Concentrated
+)
+
+// String returns the topology name.
+func (t IntraCluster) String() string {
+	switch t {
+	case AllToAll:
+		return "all-to-all"
+	case Concentrated:
+		return "concentrated"
+	default:
+		return "unknown"
+	}
+}
+
+// Remap schedules a mid-run change of the task mapping: at cycle At the
+// workload is re-assigned from Pattern and every core re-reports its
+// demand table, exercising the DBA reconfiguration path (§3.2).
+type Remap struct {
+	At      sim.Cycle
+	Pattern traffic.Pattern
+}
+
+// Config parameterizes one simulation run. Zero fields are filled with the
+// Table 3-3 defaults by WithDefaults.
+type Config struct {
+	Topology topology.Topology
+	Set      traffic.BandwidthSet
+	Arch     Arch
+	Pattern  traffic.Pattern
+
+	// LoadScale multiplies every source's offered rate; the peak
+	// bandwidth experiments sweep it to find network saturation.
+	LoadScale float64
+
+	// Cycles is the total simulated length; WarmupCycles at the start
+	// are excluded from measurements (Table 3-3: 10,000 and 1,000).
+	Cycles       int
+	WarmupCycles int
+
+	Seed uint64
+
+	// Router provisioning (Table 3-3: 16 VCs/port, 64-flit buffers).
+	VCsPerPort       int
+	BufferDepthFlits int
+
+	// SourceQueueLimit bounds each core's injection queue; packets
+	// offered beyond it are rejected (standard saturation-measurement
+	// practice).
+	SourceQueueLimit int
+
+	// MaxRetries and RetryBackoffCycles govern retransmission of packets
+	// dropped at a receiver with no free VC (§1.4).
+	MaxRetries         int
+	RetryBackoffCycles int
+
+	// EjectWidth is the flits per cycle a core consumes.
+	EjectWidth int
+
+	IntraCluster IntraCluster
+
+	Energy photonic.EnergyParams
+
+	// ReservedPerCluster is the DBA minimum guarantee (d-HetPNoC only).
+	ReservedPerCluster int
+
+	// MaxAcquirePerVisit bounds the DBA's per-token-visit acquisition
+	// (d-HetPNoC only; 0 = the allocator default).
+	MaxAcquirePerVisit int
+
+	// ProportionalDBA selects the demand-proportional allocation policy
+	// instead of the thesis's greedy §3.2.1 rule (d-HetPNoC only) — the
+	// repository's take on the thesis's stated future work.
+	ProportionalDBA bool
+
+	// WaveguidesPerCluster enables the thesis's Chapter 4 area
+	// mitigation: restrict each photonic router's modulators to this
+	// many waveguides starting at its home waveguide (d-HetPNoC only;
+	// 0 = unrestricted).
+	WaveguidesPerCluster int
+
+	// DisableReservationPipelining serializes reservations behind data
+	// transfers, for the ablation study.
+	DisableReservationPipelining bool
+
+	// EventCapacity, when positive, enables the protocol event log with
+	// that retention bound (most recent events kept).
+	EventCapacity int
+
+	Remaps []Remap
+}
+
+// WithDefaults returns the config with unset fields filled from Table 3-3
+// and the implementation defaults documented in DESIGN.md.
+func (c Config) WithDefaults() Config {
+	if c.Topology.Cores() == 0 {
+		c.Topology = topology.Default()
+	}
+	if c.Set.Name == "" {
+		c.Set = traffic.BWSet1
+	}
+	if c.Arch == 0 {
+		c.Arch = DHetPNoC
+	}
+	if c.Pattern == nil {
+		c.Pattern = traffic.Uniform{}
+	}
+	if c.LoadScale == 0 {
+		c.LoadScale = 1.0
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 10000
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.VCsPerPort == 0 {
+		c.VCsPerPort = 16
+	}
+	if c.BufferDepthFlits == 0 {
+		c.BufferDepthFlits = 64
+	}
+	if c.SourceQueueLimit == 0 {
+		c.SourceQueueLimit = 16
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.RetryBackoffCycles == 0 {
+		c.RetryBackoffCycles = 64
+	}
+	if c.EjectWidth == 0 {
+		c.EjectWidth = 2
+	}
+	if c.IntraCluster == 0 {
+		c.IntraCluster = AllToAll
+	}
+	if c.Energy == (photonic.EnergyParams{}) {
+		c.Energy = photonic.DefaultEnergyParams()
+	}
+	if c.ReservedPerCluster == 0 {
+		c.ReservedPerCluster = 1
+	}
+	return c
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if err := c.Set.Validate(); err != nil {
+		return err
+	}
+	if c.Arch != Firefly && c.Arch != DHetPNoC && c.Arch != TorusPNoC {
+		return fmt.Errorf("fabric: unknown architecture %d", c.Arch)
+	}
+	if c.Pattern == nil {
+		return fmt.Errorf("fabric: no traffic pattern")
+	}
+	if c.LoadScale < 0 {
+		return fmt.Errorf("fabric: negative load scale %g", c.LoadScale)
+	}
+	if c.Cycles <= 0 || c.WarmupCycles < 0 || c.WarmupCycles >= c.Cycles {
+		return fmt.Errorf("fabric: cycles %d / warm-up %d invalid", c.Cycles, c.WarmupCycles)
+	}
+	if c.VCsPerPort <= 0 || c.BufferDepthFlits <= 0 {
+		return fmt.Errorf("fabric: VC count and buffer depth must be positive")
+	}
+	if c.BufferDepthFlits < c.Set.Format.Flits {
+		return fmt.Errorf("fabric: buffer depth %d flits cannot hold one %d-flit packet",
+			c.BufferDepthFlits, c.Set.Format.Flits)
+	}
+	if c.SourceQueueLimit <= 0 || c.MaxRetries < 0 || c.RetryBackoffCycles <= 0 || c.EjectWidth <= 0 {
+		return fmt.Errorf("fabric: queue/retry/eject parameters must be positive")
+	}
+	if c.IntraCluster != AllToAll && c.IntraCluster != Concentrated {
+		return fmt.Errorf("fabric: unknown intra-cluster topology %d", c.IntraCluster)
+	}
+	if c.Set.TotalWavelengths%c.Topology.Clusters() != 0 && c.Arch == Firefly {
+		return fmt.Errorf("fabric: %d wavelengths do not divide over %d Firefly channels",
+			c.Set.TotalWavelengths, c.Topology.Clusters())
+	}
+	for _, r := range c.Remaps {
+		if r.Pattern == nil {
+			return fmt.Errorf("fabric: remap at cycle %d has no pattern", r.At)
+		}
+	}
+	return nil
+}

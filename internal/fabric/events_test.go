@@ -1,0 +1,106 @@
+package fabric
+
+import (
+	"testing"
+
+	"hetpnoc/internal/event"
+	"hetpnoc/internal/traffic"
+)
+
+// TestEventLogCapturesFullProtocol runs with the event log enabled and
+// checks every event class the crossbar protocol can produce appears.
+func TestEventLogCapturesFullProtocol(t *testing.T) {
+	f, err := New(Config{
+		Arch:          DHetPNoC,
+		Pattern:       traffic.Skewed{Level: 3},
+		Remaps:        []Remap{{At: 1500, Pattern: traffic.Uniform{}}},
+		EventCapacity: 1 << 16,
+		Cycles:        3000, WarmupCycles: 500, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	log := f.Events()
+	if log == nil {
+		t.Fatal("event log not enabled")
+	}
+	for _, kind := range []event.Kind{
+		event.ReservationSent, event.StreamStarted, event.PacketArrived,
+		event.PacketDelivered, event.AllocationChanged, event.TaskRemap,
+	} {
+		if len(log.OfKind(kind)) == 0 {
+			t.Errorf("no %v events captured", kind)
+		}
+	}
+	// Causality: the first stream start cannot precede the first
+	// reservation.
+	res := log.OfKind(event.ReservationSent)
+	streams := log.OfKind(event.StreamStarted)
+	if streams[0].Cycle < res[0].Cycle {
+		t.Fatalf("stream at cycle %d before first reservation at %d",
+			streams[0].Cycle, res[0].Cycle)
+	}
+}
+
+// TestTorusEventLog: the torus transport emits its own protocol events.
+func TestTorusEventLog(t *testing.T) {
+	f, err := New(Config{
+		Arch:          TorusPNoC,
+		Pattern:       traffic.Skewed{Level: 2},
+		EventCapacity: 1 << 14,
+		Cycles:        2500, WarmupCycles: 500, Seed: 45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	log := f.Events()
+	setups := log.OfKind(event.ReservationSent)
+	if len(setups) == 0 {
+		t.Fatal("no torus setup events")
+	}
+	if len(log.OfKind(event.StreamStarted)) == 0 {
+		t.Fatal("no torus stream events")
+	}
+}
+
+// TestEventLogDisabledByDefault: without EventCapacity the log is nil and
+// everything still runs (the nil-log fast path).
+func TestEventLogDisabledByDefault(t *testing.T) {
+	f, err := New(Config{
+		Arch: DHetPNoC, Pattern: traffic.Uniform{},
+		Cycles: 1200, WarmupCycles: 200, Seed: 47,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Events() != nil {
+		t.Fatal("event log enabled without capacity")
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventLogDoesNotPerturbResults: enabling the log must not change the
+// simulation's physics.
+func TestEventLogDoesNotPerturbResults(t *testing.T) {
+	base := runConfig(t, Config{
+		Arch: DHetPNoC, Pattern: traffic.Skewed{Level: 2},
+		Cycles: 2000, WarmupCycles: 400, Seed: 49,
+	})
+	logged := runConfig(t, Config{
+		Arch: DHetPNoC, Pattern: traffic.Skewed{Level: 2},
+		EventCapacity: 1 << 14,
+		Cycles:        2000, WarmupCycles: 400, Seed: 49,
+	})
+	if base.Stats.BitsDelivered != logged.Stats.BitsDelivered ||
+		base.EnergyTotalPJ != logged.EnergyTotalPJ {
+		t.Fatal("event logging changed the simulation results")
+	}
+}

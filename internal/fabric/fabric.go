@@ -1,0 +1,358 @@
+package fabric
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/core"
+	"hetpnoc/internal/event"
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/router"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/stats"
+	"hetpnoc/internal/topology"
+	"hetpnoc/internal/torus"
+	"hetpnoc/internal/traffic"
+	"hetpnoc/internal/xbar"
+)
+
+// Fabric is one fully-assembled chip ready to simulate.
+type Fabric struct {
+	cfg    Config
+	clock  sim.Clock
+	bundle photonic.WaveguideBundle
+
+	ledger    *photonic.Ledger
+	occupancy int64
+	timers    *sim.TimerWheel
+	rng       *sim.RNG
+	collector *stats.Collector
+	events    *event.Log
+
+	alloc xbar.Allocator
+	dba   *core.Allocator // nil for the Firefly baseline
+
+	clusters []*cluster
+	cores    []*coreState
+	routers  []*router.Router
+	txs      []*xbar.TX
+	torus    *torus.Network
+	rxs      []*xbar.RX
+
+	assignment traffic.Assignment
+	msgIDs     packet.MessageID
+	pktIDs     packet.ID
+	now        sim.Cycle
+}
+
+// New builds a fabric from cfg (after applying defaults and validation).
+func New(cfg Config) (*Fabric, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	bundle, err := photonic.NewBundle(cfg.Set.TotalWavelengths)
+	if err != nil {
+		return nil, err
+	}
+	clock := sim.DefaultClock()
+
+	f := &Fabric{
+		cfg:       cfg,
+		clock:     clock,
+		bundle:    bundle,
+		ledger:    photonic.NewLedger(cfg.Energy),
+		timers:    sim.NewTimerWheel(),
+		rng:       sim.NewRNG(cfg.Seed),
+		collector: stats.NewCollector(clock),
+	}
+	f.collector.SetClusterCount(cfg.Topology.Clusters())
+	if cfg.EventCapacity > 0 {
+		log, err := event.NewLog(cfg.EventCapacity)
+		if err != nil {
+			return nil, err
+		}
+		f.events = log
+	}
+
+	switch cfg.Arch {
+	case Firefly, TorusPNoC:
+		alloc, err := xbar.NewStatic(cfg.Topology, bundle, cfg.Set.TotalWavelengths)
+		if err != nil {
+			return nil, err
+		}
+		f.alloc = alloc
+	case DHetPNoC:
+		policy := core.PolicyGreedy
+		if cfg.ProportionalDBA {
+			policy = core.PolicyProportional
+		}
+		dba, err := core.NewAllocator(core.Config{
+			Policy:                policy,
+			Topology:              cfg.Topology,
+			Bundle:                bundle,
+			TotalWavelengths:      cfg.Set.TotalWavelengths,
+			ReservedPerCluster:    cfg.ReservedPerCluster,
+			MaxChannelWavelengths: cfg.Set.MaxChannelWavelengths(),
+			MaxAcquirePerVisit:    cfg.MaxAcquirePerVisit,
+			WaveguidesPerCluster:  cfg.WaveguidesPerCluster,
+			ClockHz:               clock.FrequencyHz,
+			Ledger:                f.ledger,
+			Events:                f.events,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.alloc = dba
+		f.dba = dba
+	}
+
+	// Core states first so cluster builders can fill their ports.
+	f.cores = make([]*coreState, cfg.Topology.Cores())
+	for c := range f.cores {
+		f.cores[c] = &coreState{id: topology.CoreID(c)}
+	}
+
+	// Clusters, electrical routers and crossbar engines.
+	f.rxs = make([]*xbar.RX, cfg.Topology.Clusters())
+	for cl := 0; cl < cfg.Topology.Clusters(); cl++ {
+		var (
+			built *cluster
+			err   error
+		)
+		if cfg.IntraCluster == Concentrated {
+			built, err = f.buildConcentrated(topology.ClusterID(cl))
+		} else {
+			built, err = f.buildAllToAll(topology.ClusterID(cl))
+		}
+		if err != nil {
+			return nil, err
+		}
+		f.clusters = append(f.clusters, built)
+		rxPort := built.rxInputPort(cfg.Topology.ClusterSize(), cfg.IntraCluster)
+		f.rxs[cl] = xbar.NewRX(topology.ClusterID(cl), rxPort, bundle, f.ledger)
+	}
+	for _, c := range f.clusters {
+		f.routers = append(f.routers, c.switches...)
+	}
+	for _, c := range f.clusters {
+		f.routers = append(f.routers, c.photonic)
+	}
+
+	if cfg.Arch == TorusPNoC {
+		txPorts := make([]*router.Port, len(f.clusters))
+		for cl, c := range f.clusters {
+			txPorts[cl] = c.txPort
+		}
+		net, err := torus.New(torus.Config{
+			Nodes:              cfg.Topology.Clusters(),
+			Bundle:             bundle,
+			ClockHz:            clock.FrequencyHz,
+			SetupHopCycles:     int(router.PipelineDelay) + 2,
+			RetryBackoffCycles: cfg.RetryBackoffCycles,
+			MaxFlits:           cfg.Set.Format.Flits,
+			Events:             f.events,
+		}, txPorts, f.rxs, f.ledger, f.handleDrop)
+		if err != nil {
+			return nil, err
+		}
+		f.torus = net
+	} else {
+		gating := xbar.GateChannel
+		if cfg.Arch == DHetPNoC {
+			gating = xbar.GateSelected
+		}
+		for cl, c := range f.clusters {
+			tx, err := xbar.NewTX(xbar.TXConfig{
+				Cluster:           topology.ClusterID(cl),
+				Clusters:          cfg.Topology.Clusters(),
+				MaxFlits:          cfg.Set.Format.Flits,
+				Bundle:            bundle,
+				Gating:            gating,
+				ClockHz:           clock.FrequencyHz,
+				PropagationCycles: 1,
+				DisablePipelining: cfg.DisableReservationPipelining,
+				Events:            f.events,
+			}, c.txPort, f.alloc, f.rxs, f.ledger, f.handleDrop)
+			if err != nil {
+				return nil, err
+			}
+			f.txs = append(f.txs, tx)
+		}
+	}
+
+	// Initial workload mapping.
+	assignment, err := cfg.Pattern.Assign(cfg.Topology, cfg.Set, f.rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	if err := f.applyAssignment(assignment); err != nil {
+		return nil, err
+	}
+
+	// Scheduled task remaps.
+	for _, remap := range cfg.Remaps {
+		pattern := remap.Pattern
+		f.timers.Schedule(remap.At, func(at sim.Cycle) {
+			a, err := pattern.Assign(cfg.Topology, cfg.Set, f.rng.Split())
+			if err != nil {
+				return // validated in Config.Validate; patterns are static
+			}
+			_ = f.applyAssignment(a)
+			f.events.Appendf(at, event.TaskRemap, -1, 0, "workload -> %s", pattern.Name())
+		})
+	}
+	return f, nil
+}
+
+// Events returns the protocol event log, or nil when not enabled.
+func (f *Fabric) Events() *event.Log { return f.events }
+
+// applyAssignment installs a workload mapping: new sources and fresh
+// demand tables for every core.
+func (f *Fabric) applyAssignment(a traffic.Assignment) error {
+	f.assignment = a
+	for c, cs := range f.cores {
+		coreID := topology.CoreID(c)
+		profile := a.Cores[c]
+		src, err := traffic.NewSource(coreID, profile, f.cfg.Set.Format, f.clock,
+			f.cfg.LoadScale, f.rng.Split(), &f.msgIDs, &f.pktIDs)
+		if err != nil {
+			return err
+		}
+		cs.source = src
+		f.alloc.SetDemand(coreID, profile.DemandTable(f.cfg.Topology, f.cfg.Topology.ClusterOf(coreID)))
+	}
+	return nil
+}
+
+// handleDrop is the TX engines' drop callback: the receiver had no free
+// VC, the packet's flits were discarded, and the source must retransmit
+// after a back-off (§1.4), up to the retry budget.
+func (f *Fabric) handleDrop(p *packet.Packet, now sim.Cycle) {
+	f.collector.OnDropRX()
+	if p.Attempt > f.cfg.MaxRetries {
+		f.collector.OnLost()
+		return
+	}
+	f.collector.OnRetransmit()
+	f.events.Appendf(now, event.Retransmit, int(p.SrcCluster), int64(p.ID),
+		"attempt %d, back-off %d cycles", p.Attempt, f.cfg.RetryBackoffCycles)
+	f.timers.Schedule(now+sim.Cycle(f.cfg.RetryBackoffCycles), func(at sim.Cycle) {
+		retry := traffic.Retransmit(p, at, &f.pktIDs)
+		// Retransmissions bypass the source-queue limit: the message is
+		// already committed and must not be silently shed.
+		f.cores[p.Src].queue = append(f.cores[p.Src].queue, retry)
+	})
+}
+
+// Now returns the current cycle.
+func (f *Fabric) Now() sim.Cycle { return f.now }
+
+// DBA returns the dynamic allocator, or nil for the Firefly baseline.
+func (f *Fabric) DBA() *core.Allocator { return f.dba }
+
+// Assignment returns the workload mapping currently in force.
+func (f *Fabric) Assignment() traffic.Assignment { return f.assignment }
+
+// Step simulates one cycle.
+func (f *Fabric) Step() error {
+	now := f.now
+	if int(now) == f.cfg.WarmupCycles {
+		f.ledger.StartMeasurement()
+		f.collector.StartMeasurement(now)
+	}
+
+	f.timers.Fire(now)
+	f.alloc.Tick(now)
+
+	// Traffic generation into the bounded source queues.
+	for _, cs := range f.cores {
+		p := cs.source.Tick(now, f.cfg.Topology)
+		if p == nil {
+			continue
+		}
+		if len(cs.queue) >= f.cfg.SourceQueueLimit {
+			cs.rejects++
+			f.collector.OnReject()
+			continue
+		}
+		cs.queue = append(cs.queue, p)
+		f.collector.OnInject()
+	}
+
+	// Injection into the electrical network.
+	for _, cs := range f.cores {
+		if err := cs.pumpInject(now); err != nil {
+			return fmt.Errorf("cycle %d: %w", now, err)
+		}
+	}
+
+	// Inter-cluster photonic transport (crossbar engines or the torus).
+	for _, tx := range f.txs {
+		if err := tx.Tick(now); err != nil {
+			return fmt.Errorf("cycle %d: %w", now, err)
+		}
+	}
+	if f.torus != nil {
+		if err := f.torus.Tick(now); err != nil {
+			return fmt.Errorf("cycle %d: %w", now, err)
+		}
+	}
+
+	// Electrical routers (core switches, then photonic routers).
+	for _, r := range f.routers {
+		if err := r.Tick(now); err != nil {
+			return fmt.Errorf("cycle %d: %w", now, err)
+		}
+	}
+
+	// Core ejection.
+	for _, cs := range f.cores {
+		err := cs.drainEject(now, f.cfg.EjectWidth,
+			func(fl packet.Flit) { f.collector.OnDeliverFlit(fl.Bits(), int(fl.Packet.SrcCluster)) },
+			func(p *packet.Packet) {
+				f.collector.OnDeliverPacket(p.Born, now)
+				f.events.Appendf(now, event.PacketDelivered, int(p.DstCluster), int64(p.ID),
+					"core %d, latency %d cycles", p.Dst, now-p.Born)
+			})
+		if err != nil {
+			return fmt.Errorf("cycle %d: %w", now, err)
+		}
+	}
+
+	// Congestion-sensitive buffer retention energy, proportional to the
+	// bits held in SRAM this cycle.
+	f.ledger.AddBufferResidency(float64(f.occupancy) * float64(f.cfg.Set.Format.FlitBits))
+
+	f.now++
+	return nil
+}
+
+// Run simulates the configured number of cycles and returns the result.
+func (f *Fabric) Run() (Result, error) {
+	for i := 0; i < f.cfg.Cycles; i++ {
+		if err := f.Step(); err != nil {
+			return Result{}, err
+		}
+	}
+	return f.Finish()
+}
+
+// Finish closes the measurement window and assembles the result. Use it
+// after driving the simulation manually with Step.
+func (f *Fabric) Finish() (Result, error) {
+	f.collector.Finish(f.now)
+	return f.result(), nil
+}
+
+// DeliveredPackets returns the packets delivered since warm-up ended.
+func (f *Fabric) DeliveredPackets() int64 {
+	return f.collector.Delivered()
+}
+
+// AllocatedOf returns the wavelengths currently owned by cluster c.
+func (f *Fabric) AllocatedOf(c topology.ClusterID) []photonic.WavelengthID {
+	return f.alloc.Allocated(c)
+}

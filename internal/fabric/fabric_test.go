@@ -1,0 +1,411 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+	"hetpnoc/internal/traffic"
+)
+
+func runConfig(t *testing.T, cfg Config) Result {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.Cycles != 10000 || cfg.WarmupCycles != 1000 {
+		t.Errorf("default run length %d/%d, Table 3-3 says 10000/1000", cfg.Cycles, cfg.WarmupCycles)
+	}
+	if cfg.VCsPerPort != 16 || cfg.BufferDepthFlits != 64 {
+		t.Errorf("default router memory %d VCs x %d flits, Table 3-3 says 16x64", cfg.VCsPerPort, cfg.BufferDepthFlits)
+	}
+	if cfg.Topology.Cores() != 64 {
+		t.Errorf("default topology has %d cores", cfg.Topology.Cores())
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{}.WithDefaults()
+
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad arch", func(c *Config) { c.Arch = 99 }},
+		{"nil pattern", func(c *Config) { c.Pattern = nil }},
+		{"negative load", func(c *Config) { c.LoadScale = -1 }},
+		{"warmup >= cycles", func(c *Config) { c.WarmupCycles = c.Cycles }},
+		{"buffer below packet", func(c *Config) { c.BufferDepthFlits = 8 }}, // BW1 packets are 64 flits
+		{"zero eject", func(c *Config) { c.EjectWidth = -1 }},
+		{"bad intra", func(c *Config) { c.IntraCluster = 99 }},
+		{"remap without pattern", func(c *Config) { c.Remaps = []Remap{{At: 100}} }},
+	}
+	for _, tt := range tests {
+		cfg := base
+		tt.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s passed validation", tt.name)
+		}
+	}
+}
+
+// TestDeterminism: identical seeds give bit-identical results; different
+// seeds differ.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Arch:    DHetPNoC,
+		Pattern: traffic.Skewed{Level: 2},
+		Cycles:  3000, WarmupCycles: 500, Seed: 77,
+	}
+	a := runConfig(t, cfg)
+	b := runConfig(t, cfg)
+	if a.Stats.BitsDelivered != b.Stats.BitsDelivered ||
+		a.Stats.PacketsDelivered != b.Stats.PacketsDelivered ||
+		a.EnergyTotalPJ != b.EnergyTotalPJ ||
+		a.Stats.AvgLatencyCycles != b.Stats.AvgLatencyCycles {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+
+	cfg.Seed = 78
+	c := runConfig(t, cfg)
+	if a.Stats.BitsDelivered == c.Stats.BitsDelivered && a.EnergyTotalPJ == c.EnergyTotalPJ {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+// TestUniformEquivalence: under uniform-random traffic the two
+// architectures configure identically and deliver identical bandwidth —
+// the thesis's §3.4.1.1 equality.
+func TestUniformEquivalence(t *testing.T) {
+	mk := func(arch Arch) Result {
+		return runConfig(t, Config{
+			Arch: arch, Pattern: traffic.Uniform{},
+			Cycles: 3000, WarmupCycles: 500, Seed: 5,
+		})
+	}
+	ff := mk(Firefly)
+	dh := mk(DHetPNoC)
+	if ff.Stats.BitsDelivered != dh.Stats.BitsDelivered {
+		t.Fatalf("uniform traffic: Firefly delivered %d bits, d-HetPNoC %d",
+			ff.Stats.BitsDelivered, dh.Stats.BitsDelivered)
+	}
+	// Both allocate 4 wavelengths per cluster (Table 3-3, BW set 1).
+	for cl, n := range dh.AllocatedWavelengths {
+		if n != 4 {
+			t.Fatalf("d-HetPNoC cluster %d holds %d wavelengths under uniform traffic, want 4", cl, n)
+		}
+		if ff.AllocatedWavelengths[cl] != 4 {
+			t.Fatalf("Firefly cluster %d holds %d wavelengths, want 4", cl, ff.AllocatedWavelengths[cl])
+		}
+	}
+}
+
+// TestSkewedAdvantage is the headline result (Figures 3-3/3-4): under
+// skewed traffic d-HetPNoC delivers more bandwidth at lower energy per
+// message than Firefly, and its allocation is demand-shaped.
+func TestSkewedAdvantage(t *testing.T) {
+	for _, level := range []int{1, 2, 3} {
+		mk := func(arch Arch) Result {
+			return runConfig(t, Config{
+				Arch: arch, Pattern: traffic.Skewed{Level: level},
+				Cycles: 4000, WarmupCycles: 800, Seed: 5,
+			})
+		}
+		ff := mk(Firefly)
+		dh := mk(DHetPNoC)
+		if dh.Stats.DeliveredGbps <= ff.Stats.DeliveredGbps {
+			t.Errorf("skewed%d: d-HetPNoC %.1f Gb/s not above Firefly %.1f",
+				level, dh.Stats.DeliveredGbps, ff.Stats.DeliveredGbps)
+		}
+		if dh.EnergyPerMessagePJ >= ff.EnergyPerMessagePJ {
+			t.Errorf("skewed%d: d-HetPNoC EPM %.1f not below Firefly %.1f",
+				level, dh.EnergyPerMessagePJ, ff.EnergyPerMessagePJ)
+		}
+		// The allocation must be heterogeneous: some cluster above the
+		// uniform share, some at the reserved minimum.
+		minA, maxA := 64, 0
+		for _, n := range dh.AllocatedWavelengths {
+			if n < minA {
+				minA = n
+			}
+			if n > maxA {
+				maxA = n
+			}
+		}
+		if maxA <= 4 || minA >= 4 {
+			t.Errorf("skewed%d: allocation %v not demand-shaped", level, dh.AllocatedWavelengths)
+		}
+	}
+}
+
+// TestLowLoadDeliversEverything: with light offered load nothing is
+// rejected or dropped, and almost everything in flight drains.
+func TestLowLoadDeliversEverything(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch: DHetPNoC, Pattern: traffic.Uniform{}, LoadScale: 0.3,
+		Cycles: 12000, WarmupCycles: 1000, Seed: 3,
+	})
+	if res.Stats.PacketsRejected != 0 {
+		t.Fatalf("%d rejections at 30%% load", res.Stats.PacketsRejected)
+	}
+	if res.Stats.PacketsDroppedRX != 0 {
+		t.Fatalf("%d drops at 30%% load", res.Stats.PacketsDroppedRX)
+	}
+	if res.Stats.PacketsDelivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	ratio := float64(res.Stats.PacketsDelivered) / float64(res.Stats.PacketsInjected)
+	if ratio < 0.95 {
+		t.Fatalf("delivered/injected = %.3f at light load", ratio)
+	}
+	// Delivered rate tracks offered rate (a few packets remain in flight
+	// at the cut-off, so allow per-packet granularity slack).
+	if math.Abs(res.Stats.DeliveredGbps-res.OfferedGbps)/res.OfferedGbps > 0.07 {
+		t.Fatalf("delivered %.1f vs offered %.1f at light load",
+			res.Stats.DeliveredGbps, res.OfferedGbps)
+	}
+}
+
+// TestIntraClusterTraffic: destinations inside the source cluster travel
+// the electrical network only — the photonic channels stay idle.
+func TestIntraClusterTraffic(t *testing.T) {
+	topo := topology.Default()
+	cores := make([]traffic.CoreProfile, topo.Cores())
+	for c := range cores {
+		c := c
+		src := topology.CoreID(c)
+		cores[c] = traffic.CoreProfile{
+			RateGbps:   10,
+			DemandGbps: 40,
+			PickDest: func(rng *sim.RNG) topology.CoreID {
+				cl := topo.ClusterOf(src)
+				for {
+					dst := topo.CoreAt(cl, rng.Intn(topo.ClusterSize()))
+					if dst != src {
+						return dst
+					}
+				}
+			},
+		}
+	}
+	res := runConfig(t, Config{
+		Arch:    DHetPNoC,
+		Pattern: traffic.Fixed{Assignment: traffic.Assignment{Name: "intra", Cores: cores}},
+		Cycles:  3000, WarmupCycles: 500, Seed: 9,
+	})
+	if res.Stats.PacketsDelivered == 0 {
+		t.Fatal("no intra-cluster packets delivered")
+	}
+	for cl, busy := range res.ChannelBusyFraction {
+		if busy != 0 {
+			t.Fatalf("photonic channel %d busy %.3f under intra-cluster-only traffic", cl, busy)
+		}
+	}
+}
+
+// TestDropAndRetransmitUnderReceiverPressure: with very few receive VCs
+// and a strong hotspot, receiver-side drops occur and retransmissions
+// recover messages (§1.4).
+func TestDropAndRetransmitUnderReceiverPressure(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch:       DHetPNoC,
+		Pattern:    traffic.SkewedHotspot{Index: 4, HotFraction: 0.5, BaseLevel: 3},
+		VCsPerPort: 2, // 2 VCs: at most 2 concurrent inbound packets per cluster
+		LoadScale:  1.5,
+		Cycles:     6000, WarmupCycles: 1000, Seed: 11,
+	})
+	if res.Stats.PacketsDroppedRX == 0 {
+		t.Fatal("no receiver drops under extreme hotspot pressure with 2 VCs")
+	}
+	if res.Stats.Retransmissions == 0 {
+		t.Fatal("drops occurred but nothing was retransmitted")
+	}
+	if res.Stats.PacketsDelivered == 0 {
+		t.Fatal("network collapsed entirely")
+	}
+}
+
+// TestRemapReshapesAllocation: a mid-run task change makes the DBA move
+// wavelengths (§3.2: "whenever there is a change in the task mapping").
+func TestRemapReshapesAllocation(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch:    DHetPNoC,
+		Pattern: traffic.Uniform{},
+		Remaps:  []Remap{{At: 2000, Pattern: traffic.Skewed{Level: 3}}},
+		Cycles:  6000, WarmupCycles: 500, Seed: 13,
+	})
+	uniform := true
+	for _, n := range res.AllocatedWavelengths {
+		if n != res.AllocatedWavelengths[0] {
+			uniform = false
+		}
+	}
+	if uniform {
+		t.Fatalf("allocation %v still uniform after remap to skewed 3", res.AllocatedWavelengths)
+	}
+}
+
+// TestTorusArchitecture: the related-work circuit-switched torus delivers
+// traffic end to end, experiences setup blocking under load, and releases
+// every circuit.
+func TestTorusArchitecture(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch: TorusPNoC, Pattern: traffic.Skewed{Level: 2},
+		Cycles: 5000, WarmupCycles: 1000, Seed: 23,
+	})
+	if res.Stats.PacketsDelivered == 0 {
+		t.Fatal("torus delivered nothing")
+	}
+	if res.TorusPathsSetUp == 0 {
+		t.Fatal("no circuits established")
+	}
+	if res.TorusSetupsBlocked == 0 {
+		t.Fatal("no setup blocking under saturated skewed traffic — the blocking routers should contend")
+	}
+	if res.Arch != "torus-pnoc" {
+		t.Fatalf("result says arch %q", res.Arch)
+	}
+	// Crossbar channel stats do not apply.
+	for _, busy := range res.ChannelBusyFraction {
+		if busy != 0 {
+			t.Fatal("crossbar busy stats populated for the torus")
+		}
+	}
+}
+
+// TestTorusNeighborHasNoBlocking: the neighbor permutation gives every
+// source a disjoint single-hop circuit, so the blocking torus sets up
+// every path without contention — spatial reuse the crossbars lack.
+func TestTorusNeighborHasNoBlocking(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch:    TorusPNoC,
+		Pattern: traffic.Permutation{Kind: traffic.Neighbor},
+		Cycles:  4000, WarmupCycles: 800, Seed: 37,
+	})
+	if res.Stats.PacketsDelivered == 0 {
+		t.Fatal("neighbor traffic delivered nothing on the torus")
+	}
+	if res.TorusSetupsBlocked != 0 {
+		t.Fatalf("%d setups blocked under disjoint neighbor circuits", res.TorusSetupsBlocked)
+	}
+}
+
+// TestConcentratedIntraCluster: the Firefly-style concentrated switch
+// works end to end.
+func TestConcentratedIntraCluster(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch: Firefly, Pattern: traffic.Uniform{}, IntraCluster: Concentrated,
+		Cycles: 3000, WarmupCycles: 500, Seed: 15,
+	})
+	if res.Stats.PacketsDelivered == 0 {
+		t.Fatal("concentrated topology delivered nothing")
+	}
+	if res.IntraCluster != "concentrated" {
+		t.Fatalf("result says intra-cluster %q", res.IntraCluster)
+	}
+}
+
+// TestAlternativeTopologies: the fabric is parameterized by topology, not
+// hardwired to the thesis's 64-core chip.
+func TestAlternativeTopologies(t *testing.T) {
+	tests := []struct {
+		cores, clusterSize int
+	}{
+		{16, 4},  // 4 clusters
+		{32, 4},  // 8 clusters
+		{128, 4}, // 32 clusters (2 wavelengths per Firefly channel)
+		{64, 8},  // 8 clusters of 8 cores
+	}
+	for _, tt := range tests {
+		topo, err := topology.New(tt.cores, tt.clusterSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, arch := range []Arch{Firefly, DHetPNoC} {
+			res := runConfig(t, Config{
+				Topology: topo,
+				Arch:     arch,
+				Pattern:  traffic.Uniform{},
+				Cycles:   2500, WarmupCycles: 500, Seed: 41,
+			})
+			if res.Stats.PacketsDelivered == 0 {
+				t.Fatalf("%d cores / %d per cluster / %s: nothing delivered",
+					tt.cores, tt.clusterSize, arch)
+			}
+		}
+	}
+}
+
+func TestMeasurementWindow(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch: Firefly, Pattern: traffic.Uniform{},
+		Cycles: 3000, WarmupCycles: 700, Seed: 1,
+	})
+	if got := res.Stats.MeasuredCycles; int(got) != 2300 {
+		t.Fatalf("measured %d cycles, want 2300", got)
+	}
+}
+
+// TestLatencyIsPhysical: end-to-end latency can never be below the
+// minimum pipeline path (inject + 2 electrical hops + reservation +
+// serialization).
+func TestLatencyIsPhysical(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch: DHetPNoC, Pattern: traffic.Uniform{}, LoadScale: 0.3,
+		Cycles: 9000, WarmupCycles: 1000, Seed: 17,
+	})
+	if res.Stats.PacketsDelivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// BW1 at uniform: 4 wavelengths = 20 bits/cycle; 2048-bit packets
+	// need ~103 cycles of serialization alone.
+	if res.Stats.AvgLatencyCycles < 103 {
+		t.Fatalf("avg latency %.1f cycles below the serialization bound", res.Stats.AvgLatencyCycles)
+	}
+}
+
+func TestEnergyBreakdownConsistent(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch: DHetPNoC, Pattern: traffic.Skewed{Level: 2},
+		Cycles: 3000, WarmupCycles: 500, Seed: 19,
+	})
+	var sum float64
+	for _, v := range res.EnergyBreakdownPJ {
+		sum += v
+	}
+	if math.Abs(sum-res.EnergyTotalPJ)/res.EnergyTotalPJ > 1e-9 {
+		t.Fatalf("breakdown sums to %.1f, total is %.1f", sum, res.EnergyTotalPJ)
+	}
+	if math.Abs(res.EnergyPhotonicPJ+res.EnergyElectricalPJ-res.EnergyTotalPJ)/res.EnergyTotalPJ > 1e-9 {
+		t.Fatal("photonic + electrical != total")
+	}
+	if res.EnergyPerMessagePJ <= 0 {
+		t.Fatal("EPM not positive")
+	}
+}
+
+// TestTokenRotatesContinuously: the token keeps circulating for the whole
+// run (one rotation per 16 transit hops).
+func TestTokenRotatesContinuously(t *testing.T) {
+	res := runConfig(t, Config{
+		Arch: DHetPNoC, Pattern: traffic.Uniform{},
+		Cycles: 3200, WarmupCycles: 500, Seed: 21,
+	})
+	if res.TokenRotations < 190 || res.TokenRotations > 200 {
+		t.Fatalf("token rotated %d times in 3200 cycles, want ~200", res.TokenRotations)
+	}
+}

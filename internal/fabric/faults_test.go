@@ -1,0 +1,106 @@
+package fabric
+
+import (
+	"testing"
+
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+	"hetpnoc/internal/traffic"
+)
+
+// TestTokenOutageDuringRun injects a token loss into a running d-HetPNoC
+// fabric: traffic keeps flowing on the frozen allocation (the reserved
+// minimum guarantees progress), the token regenerates, and a later task
+// remap still reshapes the allocation.
+func TestTokenOutageDuringRun(t *testing.T) {
+	f, err := New(Config{
+		Arch:    DHetPNoC,
+		Set:     traffic.BWSet1,
+		Pattern: traffic.Skewed{Level: 2},
+		Cycles:  6000, WarmupCycles: 500, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 1500; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deliveredBefore := f.DeliveredPackets()
+	f.DBA().DropToken()
+
+	// Inside the outage window (the default regeneration timeout is two
+	// rotation times, 32 cycles at bandwidth set 1) the token is still
+	// missing but traffic keeps flowing.
+	for i := 0; i < 20; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f.DBA().TokenLost() {
+		t.Fatal("token recovered before the regeneration timeout")
+	}
+	for i := 0; i < 200; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.DeliveredPackets() <= deliveredBefore {
+		t.Fatal("traffic stopped during the token outage")
+	}
+
+	// Run to completion: the outage must have healed.
+	for int(f.Now()) < 6000 {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.DBA().TokenLost() {
+		t.Fatal("token never regenerated")
+	}
+	if f.DBA().TokenRegenerations() != 1 {
+		t.Fatalf("regenerations = %d, want 1", f.DBA().TokenRegenerations())
+	}
+	res, err := f.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PacketsDelivered == 0 {
+		t.Fatal("nothing delivered across the outage")
+	}
+	if err := f.DBA().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntraClusterLatencyIsOneHop: a same-cluster packet crosses exactly
+// one electrical switch hop, so at light load its latency is far below the
+// photonic serialization bound.
+func TestIntraClusterLatencyIsOneHop(t *testing.T) {
+	topo := Config{}.WithDefaults().Topology
+	cores := make([]traffic.CoreProfile, topo.Cores())
+	// Only core 0 sends, to its cluster peer core 1.
+	cores[0] = traffic.CoreProfile{
+		RateGbps:   10,
+		DemandGbps: 40,
+		PickDest:   func(*sim.RNG) topology.CoreID { return 1 },
+	}
+	res := runConfig(t, Config{
+		Arch:    DHetPNoC,
+		Pattern: traffic.Fixed{Assignment: traffic.Assignment{Name: "peer", Cores: cores}},
+		Cycles:  4000, WarmupCycles: 500, Seed: 31,
+	})
+	if res.Stats.PacketsDelivered == 0 {
+		t.Fatal("no peer packets delivered")
+	}
+	// 64 flits entering at 2/cycle (32 cycles) plus two router
+	// traversals and the 2-flit/cycle ejection: ~70 cycles end to end.
+	// The photonic path would additionally pay >102 cycles of 20 b/cycle
+	// serialization, so anything below that proves the electrical
+	// shortcut was taken.
+	if res.Stats.AvgLatencyCycles > 100 {
+		t.Fatalf("intra-cluster latency %.1f cycles, want a single electrical hop", res.Stats.AvgLatencyCycles)
+	}
+}

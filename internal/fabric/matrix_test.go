@@ -1,0 +1,51 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"hetpnoc/internal/traffic"
+)
+
+// TestEveryArchPatternCombination is the broad integration net: every
+// architecture runs every evaluation workload (plus the synthetic
+// permutations) and delivers traffic with sane metrics.
+func TestEveryArchPatternCombination(t *testing.T) {
+	patterns := []traffic.Pattern{
+		traffic.Uniform{},
+		traffic.Skewed{Level: 1},
+		traffic.Skewed{Level: 3},
+		traffic.SkewedHotspot{Index: 2, HotFraction: 0.10, BaseLevel: 3},
+		traffic.RealApp{},
+		traffic.Permutation{Kind: traffic.Transpose},
+		traffic.Permutation{Kind: traffic.BitComplement},
+		traffic.Permutation{Kind: traffic.Neighbor},
+		traffic.Bursty{Base: traffic.Skewed{Level: 2}, Factor: 4},
+	}
+	for _, arch := range []Arch{Firefly, DHetPNoC, TorusPNoC} {
+		for _, p := range patterns {
+			t.Run(fmt.Sprintf("%s/%s", arch, p.Name()), func(t *testing.T) {
+				t.Parallel()
+				res := runConfig(t, Config{
+					Arch: arch, Pattern: p,
+					Cycles: 2500, WarmupCycles: 500, Seed: 61,
+				})
+				if res.Stats.PacketsDelivered == 0 {
+					t.Fatal("nothing delivered")
+				}
+				if res.Stats.DeliveredGbps <= 0 || res.Stats.DeliveredGbps > 16*64*12.5 {
+					t.Fatalf("implausible bandwidth %.1f Gb/s", res.Stats.DeliveredGbps)
+				}
+				if res.EnergyPerMessagePJ <= 0 {
+					t.Fatal("non-positive energy per message")
+				}
+				if res.Stats.FairnessJain <= 0 || res.Stats.FairnessJain > 1 {
+					t.Fatalf("fairness %g outside (0,1]", res.Stats.FairnessJain)
+				}
+				if res.Stats.AvgLatencyCycles <= 0 {
+					t.Fatal("non-positive latency")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"hetpnoc/internal/stats"
+	"hetpnoc/internal/topology"
+)
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Arch         string
+	Pattern      string
+	Set          string
+	IntraCluster string
+	LoadScale    float64
+	Seed         uint64
+
+	Stats stats.Summary
+
+	// OfferedGbps is the aggregate scaled injection rate.
+	OfferedGbps float64
+
+	// PerCoreGbps is the delivered bandwidth averaged over cores (the
+	// "peak core bandwidth" axis of Figures 3-5, 3-7 and 3-10 once
+	// maximized over the load sweep).
+	PerCoreGbps float64
+
+	// EnergyPerMessagePJ is the total dissipated energy divided by
+	// delivered packets — "the energy dissipated in transferring one
+	// packet completely from source to destination at network
+	// saturation" (§3.4.1.2).
+	EnergyPerMessagePJ float64
+
+	EnergyTotalPJ      float64
+	EnergyPhotonicPJ   float64
+	EnergyElectricalPJ float64
+	EnergyBreakdownPJ  map[string]float64
+
+	// AllocatedWavelengths is the final per-cluster allocation.
+	AllocatedWavelengths []int
+
+	// TokenRotations counts completed DBA token rotations (0 for
+	// Firefly).
+	TokenRotations int64
+
+	// ChannelBusyFraction is each write channel's busy share of the full
+	// run (crossbar architectures only).
+	ChannelBusyFraction []float64
+
+	// TorusPathsSetUp and TorusSetupsBlocked count circuit
+	// establishments and blocked setups (torus baseline only).
+	TorusPathsSetUp    int64
+	TorusSetupsBlocked int64
+}
+
+// result assembles the Result after Run completes.
+func (f *Fabric) result() Result {
+	summary := f.collector.Summary()
+
+	var offered float64
+	for _, cs := range f.cores {
+		offered += f.clock.BitsPerCycleToGbps(cs.source.OfferedBitsPerCycle())
+	}
+
+	res := Result{
+		Arch:               f.cfg.Arch.String(),
+		Pattern:            f.cfg.Pattern.Name(),
+		Set:                f.cfg.Set.Name,
+		IntraCluster:       f.cfg.IntraCluster.String(),
+		LoadScale:          f.cfg.LoadScale,
+		Seed:               f.cfg.Seed,
+		Stats:              summary,
+		OfferedGbps:        offered,
+		EnergyTotalPJ:      f.ledger.TotalPJ(),
+		EnergyPhotonicPJ:   f.ledger.PhotonicPJ(),
+		EnergyElectricalPJ: f.ledger.ElectricalPJ(),
+		EnergyBreakdownPJ:  make(map[string]float64),
+	}
+	for comp, pj := range f.ledger.Breakdown() {
+		res.EnergyBreakdownPJ[comp.String()] = pj
+	}
+	if summary.PacketsDelivered > 0 {
+		res.EnergyPerMessagePJ = res.EnergyTotalPJ / float64(summary.PacketsDelivered)
+	}
+	res.PerCoreGbps = summary.DeliveredGbps / float64(f.cfg.Topology.Cores())
+
+	res.AllocatedWavelengths = make([]int, f.cfg.Topology.Clusters())
+	for cl := range res.AllocatedWavelengths {
+		res.AllocatedWavelengths[cl] = len(f.alloc.Allocated(topology.ClusterID(cl)))
+	}
+	if f.dba != nil {
+		res.TokenRotations = f.dba.Rotations()
+	}
+	res.ChannelBusyFraction = make([]float64, len(f.txs))
+	for i, tx := range f.txs {
+		res.ChannelBusyFraction[i] = float64(tx.BusyCycles()) / float64(f.cfg.Cycles)
+	}
+	if f.torus != nil {
+		res.TorusPathsSetUp = f.torus.PathsSetUp()
+		res.TorusSetupsBlocked = f.torus.SetupsBlocked()
+	}
+	return res
+}

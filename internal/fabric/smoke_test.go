@@ -1,0 +1,41 @@
+package fabric
+
+import (
+	"testing"
+
+	"hetpnoc/internal/traffic"
+)
+
+// TestSmokeUniformDelivery runs a short uniform-traffic simulation for
+// both architectures and checks that traffic actually flows.
+func TestSmokeUniformDelivery(t *testing.T) {
+	for _, arch := range []Arch{Firefly, DHetPNoC} {
+		t.Run(arch.String(), func(t *testing.T) {
+			f, err := New(Config{
+				Arch:         arch,
+				Set:          traffic.BWSet1,
+				Pattern:      traffic.Uniform{},
+				Cycles:       3000,
+				WarmupCycles: 500,
+				Seed:         42,
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res, err := f.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			t.Logf("%s: delivered %d pkts, %.1f Gb/s (offered %.1f), EPM %.1f pJ, drops %d, lat %.1f cyc, alloc %v",
+				arch, res.Stats.PacketsDelivered, res.Stats.DeliveredGbps, res.OfferedGbps,
+				res.EnergyPerMessagePJ, res.Stats.PacketsDroppedRX, res.Stats.AvgLatencyCycles,
+				res.AllocatedWavelengths)
+			if res.Stats.PacketsDelivered == 0 {
+				t.Fatalf("no packets delivered")
+			}
+			if res.Stats.DeliveredGbps <= 0 {
+				t.Fatalf("no bandwidth delivered")
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package packet
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/topology"
+)
+
+// Reservation is the control message a source photonic router broadcasts
+// on its dedicated reservation waveguide before streaming a packet
+// (§3.3.1). In the baseline Firefly it carries the destination ID and the
+// packet size; d-HetPNoC piggybacks the identifiers of the wavelengths the
+// packet will use, so the destination can gate exactly those demodulators.
+type Reservation struct {
+	Src topology.ClusterID
+	Dst topology.ClusterID
+
+	// PacketFlits is the duration field: how many flits will follow.
+	PacketFlits int
+
+	// Wavelengths are the data wavelengths the transfer will use. Empty
+	// for the Firefly baseline (the channel assignment is static, so the
+	// destination already knows which demodulators to gate).
+	Wavelengths []photonic.WavelengthID
+}
+
+// bitsFor returns the minimum field width that can represent values in
+// [0, n). bitsFor(1) is 0: a field with a single possible value needs no
+// bits on the wire.
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// DestinationIDBits returns the width of the reservation flit's
+// destination-ID field — the only part every listening cluster must
+// demodulate before deciding whether the rest of the flit is for it.
+func DestinationIDBits(clusters int) int {
+	return bitsFor(clusters)
+}
+
+// ReservationBits returns the encoded size of the reservation flit in
+// bits, following the sizing argument of §3.4.1.1:
+//
+//   - destination ID: log2(clusters) bits
+//   - packet size: log2(maxFlits+1) bits
+//   - per wavelength identifier: 6 bits for the wavelength number (64 per
+//     waveguide) plus log2(waveguides) bits for the waveguide number
+//     (0 bits when a single waveguide holds all data wavelengths, the
+//     "best case" of bandwidth set 1).
+func ReservationBits(clusters, maxFlits int, bundle photonic.WaveguideBundle, nWavelengthIDs int) int {
+	idBits := bitsFor(clusters)
+	sizeBits := bitsFor(maxFlits + 1)
+	perID := bitsFor(bundle.WavelengthsPerWaveguide) + bitsFor(bundle.Waveguides)
+	return idBits + sizeBits + nWavelengthIDs*perID
+}
+
+// ReservationCycles returns how many clock cycles the reservation flit
+// occupies on the reservation waveguide. The reservation waveguide uses
+// maximum DWDM (64 wavelengths at 12.5 Gb/s = 800 Gb/s, i.e. 320 bits per
+// 400 ps cycle at 2.5 GHz), so per §3.4.1.1 bandwidth set 1 needs a single
+// cycle (<= 8 identifiers, 48 bits + header fields) while bandwidth set 3
+// needs two cycles (64 identifiers x 9 bits = 576 bits).
+func ReservationCycles(clusters, maxFlits int, bundle photonic.WaveguideBundle, nWavelengthIDs int, clockHz float64) int {
+	total := ReservationBits(clusters, maxFlits, bundle, nWavelengthIDs)
+	perCycle := photonic.BitsPerCycle(clockHz) * photonic.MaxWavelengthsPerWaveguide
+	cycles := int(float64(total)/perCycle) + 1
+	if float64(total) == perCycle*float64(cycles-1) && total > 0 {
+		cycles--
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	return cycles
+}
+
+// EncodeWavelengths packs wavelength identifiers into the on-wire integer
+// form used by the reservation flit: waveguide number concatenated with
+// wavelength number. DecodeWavelengths inverts it. The codec exists so the
+// protocol's field widths are exercised by tests, exactly as a hardware
+// implementation would serialize them.
+func EncodeWavelengths(bundle photonic.WaveguideBundle, ids []photonic.WavelengthID) ([]uint32, error) {
+	lambdaBits := bitsFor(bundle.WavelengthsPerWaveguide)
+	out := make([]uint32, len(ids))
+	for i, id := range ids {
+		if id.Waveguide < 0 || id.Waveguide >= bundle.Waveguides {
+			return nil, fmt.Errorf("packet: waveguide %d out of range [0,%d)", id.Waveguide, bundle.Waveguides)
+		}
+		if id.Wavelength < 0 || id.Wavelength >= bundle.WavelengthsPerWaveguide {
+			return nil, fmt.Errorf("packet: wavelength %d out of range [0,%d)", id.Wavelength, bundle.WavelengthsPerWaveguide)
+		}
+		out[i] = uint32(id.Waveguide)<<lambdaBits | uint32(id.Wavelength)
+	}
+	return out, nil
+}
+
+// DecodeWavelengths unpacks identifiers encoded by EncodeWavelengths.
+func DecodeWavelengths(bundle photonic.WaveguideBundle, words []uint32) []photonic.WavelengthID {
+	lambdaBits := bitsFor(bundle.WavelengthsPerWaveguide)
+	mask := uint32(1)<<lambdaBits - 1
+	if lambdaBits == 0 {
+		mask = 0
+	}
+	ids := make([]photonic.WavelengthID, len(words))
+	for i, w := range words {
+		ids[i] = photonic.WavelengthID{
+			Waveguide:  int(w >> lambdaBits),
+			Wavelength: int(w & mask),
+		}
+	}
+	return ids
+}

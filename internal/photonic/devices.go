@@ -1,0 +1,73 @@
+package photonic
+
+import "fmt"
+
+// DetectorBank models the demodulator rows of one photonic router's read
+// side: one MRR filter + Ge p-i-n photodetector per (waveguide,
+// wavelength) the router can receive on. The reservation-assisted SWMR
+// protocol gates rows on only for the duration of a packet (§3.3.1); the
+// bank tracks which rows are powered so the energy ledger can charge
+// powered-but-idle rows (the Firefly baseline powers its whole channel).
+type DetectorBank struct {
+	bundle  WaveguideBundle
+	powered []bool
+	onCount int
+}
+
+// NewDetectorBank returns a bank covering every wavelength slot of the
+// bundle, all rows gated off.
+func NewDetectorBank(bundle WaveguideBundle) *DetectorBank {
+	return &DetectorBank{
+		bundle:  bundle,
+		powered: make([]bool, bundle.Capacity()),
+	}
+}
+
+// Power gates the rows for ids on or off. Powering an already-powered row
+// is a no-op, so overlapping receive windows compose safely.
+func (b *DetectorBank) Power(ids []WavelengthID, on bool) {
+	for _, id := range ids {
+		slot := b.bundle.SlotForID(id)
+		if b.powered[slot] == on {
+			continue
+		}
+		b.powered[slot] = on
+		if on {
+			b.onCount++
+		} else {
+			b.onCount--
+		}
+	}
+}
+
+// PoweredCount returns the number of rows currently powered.
+func (b *DetectorBank) PoweredCount() int { return b.onCount }
+
+// IsPowered reports whether the row for id is powered.
+func (b *DetectorBank) IsPowered(id WavelengthID) bool {
+	return b.powered[b.bundle.SlotForID(id)]
+}
+
+// Laser models the multi-wavelength source feeding the crossbar. The
+// thesis assumes heterogeneously-integrated on-chip sources [16] with
+// 1.5 mW per wavelength [30]; the simulator needs only the per-bit launch
+// energy (already in EnergyParams) and the wavelength inventory.
+type Laser struct {
+	// Wavelengths is the number of carrier wavelengths generated.
+	Wavelengths int
+	// PowerPerWavelengthMW is the optical output per carrier.
+	PowerPerWavelengthMW float64
+}
+
+// NewLaser returns a laser driving n carriers at the thesis's 1.5 mW.
+func NewLaser(n int) (Laser, error) {
+	if n <= 0 {
+		return Laser{}, fmt.Errorf("photonic: laser must drive at least one wavelength, got %d", n)
+	}
+	return Laser{Wavelengths: n, PowerPerWavelengthMW: 1.5}, nil
+}
+
+// TotalPowerMW returns the aggregate optical power.
+func (l Laser) TotalPowerMW() float64 {
+	return float64(l.Wavelengths) * l.PowerPerWavelengthMW
+}

@@ -1,0 +1,134 @@
+package photonic
+
+import (
+	"fmt"
+	"math"
+)
+
+// LossParams are the per-element insertion losses of the photonic path, in
+// dB. The defaults are representative published figures for silicon
+// photonics of the thesis's era (its references [13]-[19]); the crosstalk
+// discussion of [23], which motivates the crossbar choice in §3 of the
+// thesis, turns on exactly these terms.
+type LossParams struct {
+	// CouplerDB is the laser-to-chip (or fiber-to-chip) coupling loss.
+	CouplerDB float64
+	// PropagationDBPerCm is the waveguide propagation loss.
+	PropagationDBPerCm float64
+	// CrossingDB is the loss of one waveguide crossing.
+	CrossingDB float64
+	// RingThroughDB is the loss of passing one off-resonance ring.
+	RingThroughDB float64
+	// RingDropDB is the loss of being dropped (turned) by one resonant
+	// ring — a PSE turn or a demodulator filter.
+	RingDropDB float64
+	// CrosstalkPerCrossingDB is the signal-to-crosstalk penalty each
+	// waveguide crossing contributes — the quantity [23] analyzes to
+	// argue that multi-hop switched photonic fabrics accumulate
+	// crosstalk while "crossbar-based photonic NoC architectures can
+	// scale better in terms of reliability" (§3 of the thesis).
+	CrosstalkPerCrossingDB float64
+	// CrosstalkPerPSEDB is the crosstalk penalty of one PSE traversal.
+	CrosstalkPerPSEDB float64
+	// DetectorSensitivityDBm is the minimum optical power the receiver
+	// needs for the target bit-error rate.
+	DetectorSensitivityDBm float64
+}
+
+// DefaultLossParams returns representative silicon-photonic losses.
+func DefaultLossParams() LossParams {
+	return LossParams{
+		CouplerDB:              1.0,
+		PropagationDBPerCm:     1.5,
+		CrossingDB:             0.05,
+		RingThroughDB:          0.01,
+		RingDropDB:             0.5,
+		CrosstalkPerCrossingDB: 0.15,
+		CrosstalkPerPSEDB:      0.4,
+		DetectorSensitivityDBm: -20,
+	}
+}
+
+// Validate reports the first non-physical parameter.
+func (p LossParams) Validate() error {
+	if p.CouplerDB < 0 || p.PropagationDBPerCm < 0 || p.CrossingDB < 0 ||
+		p.RingThroughDB < 0 || p.RingDropDB < 0 {
+		return fmt.Errorf("photonic: losses must be non-negative: %+v", p)
+	}
+	return nil
+}
+
+// PathLoss describes one optical path's budget.
+type PathLoss struct {
+	// TotalDB is the end-to-end insertion loss.
+	TotalDB float64
+	// CrosstalkDB is the accumulated signal-to-crosstalk penalty.
+	CrosstalkDB float64
+	// LaserPowerMW is the per-wavelength laser power needed to arrive at
+	// the detector sensitivity after the loss, with the crosstalk
+	// penalty compensated by extra launch power.
+	LaserPowerMW float64
+}
+
+// budget assembles a PathLoss from a total loss and crosstalk in dB.
+func (p LossParams) budget(lossDB, crosstalkDB float64) PathLoss {
+	// Required launch power: sensitivity + loss + crosstalk margin,
+	// converted from dBm.
+	launchDBm := p.DetectorSensitivityDBm + lossDB + crosstalkDB
+	return PathLoss{
+		TotalDB:      lossDB,
+		CrosstalkDB:  crosstalkDB,
+		LaserPowerMW: math.Pow(10, launchDBm/10),
+	}
+}
+
+// CrossbarWorstCase returns the worst-case budget of the crossbar
+// architectures (Firefly and d-HetPNoC): the light traverses the
+// serpentine data waveguide past every cluster, through each foreign
+// cluster's off-resonance demodulator rings, and is dropped once at the
+// destination.
+//
+// dieCm is the waveguide length in cm (the thesis's 20 mm die gives a
+// serpentine of roughly 2x the die edge per waveguide row);
+// ringsPerCluster is the demodulator rows the light passes per foreign
+// cluster (the per-channel wavelength count).
+func (p LossParams) CrossbarWorstCase(clusters int, dieCm float64, ringsPerCluster int) (PathLoss, error) {
+	if err := p.Validate(); err != nil {
+		return PathLoss{}, err
+	}
+	if clusters < 2 || dieCm <= 0 || ringsPerCluster < 1 {
+		return PathLoss{}, fmt.Errorf("photonic: crossbar budget needs >=2 clusters, positive length and rings")
+	}
+	loss := p.CouplerDB +
+		p.PropagationDBPerCm*dieCm +
+		float64(clusters-1)*float64(ringsPerCluster)*p.RingThroughDB +
+		p.RingDropDB
+	// The crossbar's only crosstalk sources are the off-resonance rings,
+	// an order of magnitude below crossings and PSEs; [23] treats it as
+	// the clean topology.
+	crosstalk := float64(clusters-1) * float64(ringsPerCluster) * p.RingThroughDB
+	return p.budget(loss, crosstalk), nil
+}
+
+// TorusWorstCase returns the worst-case budget of the circuit-switched
+// torus (§2.1.3): the light crosses `hops` inter-node waveguide segments,
+// passes `crossingsPerHop` waveguide crossings inside each blocking
+// router, and makes `turns` PSE drops. Each PSE hop "introduces additional
+// loss and crosstalk" — the §2.1.3 argument for compact blocking switches
+// and, in [23], for crossbars.
+func (p LossParams) TorusWorstCase(hops, turns, crossingsPerHop int, hopCm float64) (PathLoss, error) {
+	if err := p.Validate(); err != nil {
+		return PathLoss{}, err
+	}
+	if hops < 1 || turns < 0 || crossingsPerHop < 0 || hopCm <= 0 {
+		return PathLoss{}, fmt.Errorf("photonic: torus budget needs >=1 hop and positive geometry")
+	}
+	loss := p.CouplerDB +
+		p.PropagationDBPerCm*hopCm*float64(hops) +
+		float64(hops*crossingsPerHop)*p.CrossingDB +
+		float64(turns)*p.RingDropDB +
+		p.RingDropDB // final drop into the receiver
+	crosstalk := float64(hops*crossingsPerHop)*p.CrosstalkPerCrossingDB +
+		float64(hops+turns)*p.CrosstalkPerPSEDB
+	return p.budget(loss, crosstalk), nil
+}

@@ -1,0 +1,118 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossbarWorstCaseComposition(t *testing.T) {
+	p := DefaultLossParams()
+	// 16 clusters, 4 cm serpentine, 4 rings per foreign cluster:
+	// 1.0 + 1.5*4 + 15*4*0.01 + 0.5 = 8.1 dB.
+	got, err := p.CrossbarWorstCase(16, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.TotalDB-8.1) > 1e-9 {
+		t.Fatalf("crossbar loss = %g dB, want 8.1", got.TotalDB)
+	}
+	// Crosstalk: 15 foreign clusters x 4 rings x 0.01 dB = 0.6 dB.
+	if math.Abs(got.CrosstalkDB-0.6) > 1e-9 {
+		t.Fatalf("crossbar crosstalk = %g dB, want 0.6", got.CrosstalkDB)
+	}
+	// Launch power: -20 dBm + 8.1 dB loss + 0.6 dB crosstalk margin =
+	// -11.3 dBm.
+	want := math.Pow(10, -11.3/10)
+	if math.Abs(got.LaserPowerMW-want) > 1e-9 {
+		t.Fatalf("laser power = %g mW, want %g", got.LaserPowerMW, want)
+	}
+}
+
+// TestCrosstalkDominatesForTorus is the [23] argument in one assertion:
+// for equal-era device parameters, the multi-hop PSE fabric accumulates an
+// order of magnitude more crosstalk than the crossbar and therefore needs
+// substantially more laser power despite comparable insertion loss.
+func TestCrosstalkDominatesForTorus(t *testing.T) {
+	p := DefaultLossParams()
+	xbar, err := p.CrossbarWorstCase(16, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := p.TorusWorstCase(4, 1, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torus.CrosstalkDB < 5*xbar.CrosstalkDB {
+		t.Fatalf("torus crosstalk %g dB not well above crossbar %g dB",
+			torus.CrosstalkDB, xbar.CrosstalkDB)
+	}
+	if torus.LaserPowerMW <= xbar.LaserPowerMW {
+		t.Fatalf("torus laser power %g mW not above crossbar %g mW",
+			torus.LaserPowerMW, xbar.LaserPowerMW)
+	}
+}
+
+func TestTorusWorstCaseComposition(t *testing.T) {
+	p := DefaultLossParams()
+	// 4 hops of 0.5 cm, 1 turn, 8 crossings per hop:
+	// 1.0 + 1.5*0.5*4 + 32*0.05 + 1*0.5 + 0.5 = 6.6 dB.
+	got, err := p.TorusWorstCase(4, 1, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.TotalDB-6.6) > 1e-9 {
+		t.Fatalf("torus loss = %g dB, want 6.6", got.TotalDB)
+	}
+}
+
+// TestMoreHopsCostMore: the §2.1.3 observation that each PSE hop adds loss.
+func TestMoreHopsCostMore(t *testing.T) {
+	p := DefaultLossParams()
+	f := func(rawHops uint8) bool {
+		hops := int(rawHops)%8 + 1
+		a, err := p.TorusWorstCase(hops, 1, 8, 0.5)
+		if err != nil {
+			return false
+		}
+		b, err := p.TorusWorstCase(hops+1, 1, 8, 0.5)
+		if err != nil {
+			return false
+		}
+		return b.TotalDB > a.TotalDB && b.LaserPowerMW > a.LaserPowerMW
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkBudgetValidation(t *testing.T) {
+	p := DefaultLossParams()
+	if _, err := p.CrossbarWorstCase(1, 4, 4); err == nil {
+		t.Error("single-cluster crossbar accepted")
+	}
+	if _, err := p.CrossbarWorstCase(16, 0, 4); err == nil {
+		t.Error("zero-length waveguide accepted")
+	}
+	if _, err := p.TorusWorstCase(0, 0, 0, 1); err == nil {
+		t.Error("zero-hop torus accepted")
+	}
+	bad := p
+	bad.CrossingDB = -1
+	if _, err := bad.TorusWorstCase(2, 1, 8, 0.5); err == nil {
+		t.Error("negative loss accepted")
+	}
+}
+
+// TestLaserPowerConversionRoundTrip: the dBm/mW conversion is coherent.
+func TestLaserPowerConversionRoundTrip(t *testing.T) {
+	p := DefaultLossParams()
+	pl, err := p.CrossbarWorstCase(16, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backToDBm := 10 * math.Log10(pl.LaserPowerMW)
+	if math.Abs(backToDBm-(p.DetectorSensitivityDBm+pl.TotalDB+pl.CrosstalkDB)) > 1e-9 {
+		t.Fatalf("power conversion inconsistent: %g dBm", backToDBm)
+	}
+}

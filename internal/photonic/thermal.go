@@ -1,0 +1,86 @@
+package photonic
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThermalParams model the micro-ring thermal tuning of §2.1.1: "The
+// resonant frequency of each MRR can be changed by applying heat ... with
+// the help of local heaters. We assume a single heater element per MRR."
+// The 2.4 mW/nm figure of Table 3-4 [28] is the heater efficiency; how
+// much tuning each ring needs depends on fabrication variation and the
+// on-die temperature field.
+type ThermalParams struct {
+	// HeaterMWPerNm is the heater power per nanometre of resonance shift
+	// (2.4 mW/nm, Table 3-4).
+	HeaterMWPerNm float64
+
+	// ResonanceDriftNmPerK is the silicon ring's resonance drift per
+	// kelvin (~0.08 nm/K for SOI rings).
+	ResonanceDriftNmPerK float64
+
+	// FabricationSigmaNm is the standard deviation of the as-fabricated
+	// resonance error a ring must trim out (~0.5 nm for deep-UV
+	// lithography).
+	FabricationSigmaNm float64
+}
+
+// DefaultThermalParams returns the Table 3-4 heater efficiency with
+// representative silicon-photonic variation figures.
+func DefaultThermalParams() ThermalParams {
+	return ThermalParams{
+		HeaterMWPerNm:        2.4,
+		ResonanceDriftNmPerK: 0.08,
+		FabricationSigmaNm:   0.5,
+	}
+}
+
+// Validate reports the first non-physical parameter.
+func (p ThermalParams) Validate() error {
+	if p.HeaterMWPerNm <= 0 || p.ResonanceDriftNmPerK < 0 || p.FabricationSigmaNm < 0 {
+		return fmt.Errorf("photonic: thermal parameters must be physical: %+v", p)
+	}
+	return nil
+}
+
+// HeaterPowerMW returns the heater power one ring dissipates to trim a
+// total resonance error of shiftNm. Heaters only shift one way (heating
+// red-shifts), so the magnitude is what matters.
+func (p ThermalParams) HeaterPowerMW(shiftNm float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return math.Abs(shiftNm) * p.HeaterMWPerNm, nil
+}
+
+// ExpectedTrimPowerMW returns the expected per-ring heater power when
+// trimming a Gaussian fabrication error with the configured sigma plus a
+// deterministic thermal gradient of deltaK kelvin: E|X| of a folded
+// normal, sigma*sqrt(2/pi), plus the drift term.
+func (p ThermalParams) ExpectedTrimPowerMW(deltaK float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if deltaK < 0 {
+		return 0, fmt.Errorf("photonic: temperature delta must be non-negative, got %g", deltaK)
+	}
+	expectedShift := p.FabricationSigmaNm*math.Sqrt(2/math.Pi) + deltaK*p.ResonanceDriftNmPerK
+	return expectedShift * p.HeaterMWPerNm, nil
+}
+
+// ChipTuningPowerMW returns the expected aggregate heater power of a chip
+// with rings micro-ring devices under a deltaK on-die temperature spread.
+// Combined with the area model's device counts this quantifies the
+// *static* cost of the d-HetPNoC's extra modulators — the flip side of the
+// Figure 3-6 area overhead.
+func (p ThermalParams) ChipTuningPowerMW(rings int, deltaK float64) (float64, error) {
+	if rings <= 0 {
+		return 0, fmt.Errorf("photonic: ring count must be positive, got %d", rings)
+	}
+	perRing, err := p.ExpectedTrimPowerMW(deltaK)
+	if err != nil {
+		return 0, err
+	}
+	return float64(rings) * perRing, nil
+}

@@ -1,0 +1,108 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaterPowerMatchesTable3_4(t *testing.T) {
+	p := DefaultThermalParams()
+	// Table 3-4: 2.4 mW/nm. One nanometre of trim costs 2.4 mW.
+	got, err := p.HeaterPowerMW(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.4 {
+		t.Fatalf("1 nm trim = %g mW, Table 3-4 says 2.4", got)
+	}
+	// Magnitude only: blue-shift errors cost the same.
+	neg, err := p.HeaterPowerMW(-1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg != 2.4 {
+		t.Fatalf("-1 nm trim = %g mW, want 2.4", neg)
+	}
+}
+
+func TestExpectedTrimPower(t *testing.T) {
+	p := DefaultThermalParams()
+	// At deltaK = 0: E|N(0, 0.5nm)| = 0.5*sqrt(2/pi) nm = 0.3989 nm ->
+	// 0.9575 mW.
+	got, err := p.ExpectedTrimPowerMW(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * math.Sqrt(2/math.Pi) * 2.4
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("expected trim power = %g mW, want %g", got, want)
+	}
+	// A 10 K gradient adds 0.8 nm -> 1.92 mW on top.
+	hot, err := p.ExpectedTrimPowerMW(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hot-(want+1.92)) > 1e-12 {
+		t.Fatalf("10 K trim power = %g mW, want %g", hot, want+1.92)
+	}
+}
+
+// TestTuningPowerMonotoneInTemperature: hotter chips pay more.
+func TestTuningPowerMonotoneInTemperature(t *testing.T) {
+	p := DefaultThermalParams()
+	f := func(rawK uint8) bool {
+		k := float64(rawK) / 4
+		a, err := p.ExpectedTrimPowerMW(k)
+		if err != nil {
+			return false
+		}
+		b, err := p.ExpectedTrimPowerMW(k + 1)
+		if err != nil {
+			return false
+		}
+		return b > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChipTuningPowerScalesWithDeviceCount quantifies the static cost of
+// the Figure 3-6 area overhead: d-HetPNoC's extra rings need extra trim
+// power in exact proportion.
+func TestChipTuningPowerScalesWithDeviceCount(t *testing.T) {
+	p := DefaultThermalParams()
+	// Device counts at 64 wavelengths (the area-model test's numbers).
+	dhet, err := p.ChipTuningPowerMW(3072+17408, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firefly, err := p.ChipTuningPowerMW(1088+16320, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dhet <= firefly {
+		t.Fatalf("d-HetPNoC tuning power %g mW not above Firefly %g mW", dhet, firefly)
+	}
+	ratio := dhet / firefly
+	wantRatio := float64(3072+17408) / float64(1088+16320)
+	if math.Abs(ratio-wantRatio) > 1e-12 {
+		t.Fatalf("tuning power ratio %g, want device ratio %g", ratio, wantRatio)
+	}
+}
+
+func TestThermalValidation(t *testing.T) {
+	bad := DefaultThermalParams()
+	bad.HeaterMWPerNm = 0
+	if _, err := bad.HeaterPowerMW(1); err == nil {
+		t.Error("zero heater efficiency accepted")
+	}
+	p := DefaultThermalParams()
+	if _, err := p.ExpectedTrimPowerMW(-1); err == nil {
+		t.Error("negative temperature delta accepted")
+	}
+	if _, err := p.ChipTuningPowerMW(0, 1); err == nil {
+		t.Error("zero ring count accepted")
+	}
+}

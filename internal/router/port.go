@@ -1,0 +1,169 @@
+// Package router implements the electrical switches of the NoC: 3-stage
+// wormhole routers (input arbitration, routing/crossbar traversal, output
+// arbitration — the micro-architecture of [24] adopted in §3.3.2) with
+// virtual channels, credit-based flow control and round-robin arbitration.
+// Table 3-3 configures them with 16 VCs per port and a 64-flit buffer per
+// VC.
+package router
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/sim"
+)
+
+// entry is one buffered flit with its arrival cycle, used both for the
+// pipeline-stage delay and for residency energy accounting.
+type entry struct {
+	flit     packet.Flit
+	enqueued sim.Cycle
+}
+
+// VC is one virtual channel: a FIFO flit buffer plus the wormhole state
+// that binds it to a packet and, once the header has been routed, to a
+// downstream (output port, VC) pair.
+type VC struct {
+	fifo  []entry
+	depth int
+
+	// owner is the packet currently occupying the VC (0 when free). Set
+	// when the header is enqueued, cleared when the tail is dequeued.
+	owner packet.ID
+
+	// routed is true once the header has been forwarded; outPort/outVC
+	// then identify the locked downstream path for the body flits.
+	routed  bool
+	outPort int
+	outVC   int
+}
+
+// Len returns the number of buffered flits.
+func (v *VC) Len() int { return len(v.fifo) }
+
+// Free returns the remaining buffer slots.
+func (v *VC) Free() int { return v.depth - len(v.fifo) }
+
+// Port is an input port: a bank of VCs. It is the unit of connection in
+// the fabric — router outputs, the photonic transmit engine and the core
+// ejection path all receive flits through a Port.
+type Port struct {
+	vcs       []*VC
+	ledger    *photonic.Ledger
+	occupancy *int64 // shared fabric-wide buffered-flit counter
+	buffered  int    // flits buffered across this port's VCs
+}
+
+// NewPort builds a port with the given VC count and per-VC depth. ledger
+// and occupancy may be shared across the whole fabric; occupancy must be
+// non-nil.
+func NewPort(vcCount, depth int, ledger *photonic.Ledger, occupancy *int64) (*Port, error) {
+	if vcCount <= 0 || depth <= 0 {
+		return nil, fmt.Errorf("router: port needs positive VC count (%d) and depth (%d)", vcCount, depth)
+	}
+	if ledger == nil || occupancy == nil {
+		return nil, fmt.Errorf("router: port needs a ledger and occupancy counter")
+	}
+	vcs := make([]*VC, vcCount)
+	for i := range vcs {
+		vcs[i] = &VC{depth: depth}
+	}
+	return &Port{vcs: vcs, ledger: ledger, occupancy: occupancy}, nil
+}
+
+// VCCount returns the number of virtual channels.
+func (p *Port) VCCount() int { return len(p.vcs) }
+
+// VC returns channel i.
+func (p *Port) VC(i int) *VC { return p.vcs[i] }
+
+// AllocVC claims a free, empty VC for a new packet and returns its index.
+// It reports false when every VC is busy — the §1.4 condition under which
+// a header flit is dropped.
+func (p *Port) AllocVC(owner packet.ID) (int, bool) {
+	for i, vc := range p.vcs {
+		if vc.owner == 0 && len(vc.fifo) == 0 {
+			vc.owner = owner
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// FreeVCs returns how many VCs are currently unclaimed.
+func (p *Port) FreeVCs() int {
+	n := 0
+	for _, vc := range p.vcs {
+		if vc.owner == 0 && len(vc.fifo) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Space returns the free buffer slots of VC i.
+func (p *Port) Space(i int) int { return p.vcs[i].Free() }
+
+// Enqueue buffers a flit into VC i at cycle now, charging the buffer-write
+// energy. It reports an error when the VC is full or not owned by the
+// flit's packet — both are fabric bugs, not runtime conditions.
+func (p *Port) Enqueue(i int, f packet.Flit, now sim.Cycle) error {
+	vc := p.vcs[i]
+	if vc.Free() == 0 {
+		return fmt.Errorf("router: enqueue into full VC %d (%s)", i, f)
+	}
+	if vc.owner != f.Packet.ID {
+		return fmt.Errorf("router: VC %d owned by packet %d, got flit of packet %d", i, vc.owner, f.Packet.ID)
+	}
+	vc.fifo = append(vc.fifo, entry{flit: f, enqueued: now})
+	*p.occupancy++
+	p.buffered++
+	p.ledger.AddBufferAccess(float64(f.Bits()))
+	return nil
+}
+
+// Head returns the head flit of VC i and its enqueue cycle; ok is false
+// when the VC is empty.
+func (p *Port) Head(i int) (packet.Flit, sim.Cycle, bool) {
+	vc := p.vcs[i]
+	if len(vc.fifo) == 0 {
+		return packet.Flit{}, 0, false
+	}
+	return vc.fifo[0].flit, vc.fifo[0].enqueued, true
+}
+
+// Pop dequeues the head flit of VC i, charging the buffer-read energy and
+// releasing the VC when the tail departs.
+func (p *Port) Pop(i int) (packet.Flit, error) {
+	vc := p.vcs[i]
+	if len(vc.fifo) == 0 {
+		return packet.Flit{}, fmt.Errorf("router: pop from empty VC %d", i)
+	}
+	f := vc.fifo[0].flit
+	vc.fifo = vc.fifo[1:]
+	*p.occupancy--
+	p.buffered--
+	p.ledger.AddBufferAccess(float64(f.Bits()))
+	if f.Type.IsTail() {
+		vc.owner = 0
+		vc.routed = false
+	}
+	return f, nil
+}
+
+// BufferedFlits returns the total flits buffered across all VCs.
+func (p *Port) BufferedFlits() int {
+	return p.buffered
+}
+
+// ReleaseOwner force-frees VC i. The receive engine uses it when a packet
+// is dropped mid-window and its partial contents discarded.
+func (p *Port) ReleaseOwner(i int) {
+	vc := p.vcs[i]
+	*p.occupancy -= int64(len(vc.fifo))
+	p.buffered -= len(vc.fifo)
+	vc.fifo = nil
+	vc.owner = 0
+	vc.routed = false
+}

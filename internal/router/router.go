@@ -1,0 +1,205 @@
+package router
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/sim"
+)
+
+// PipelineDelay is the number of cycles a flit must be buffered before it
+// is eligible for output arbitration, modelling the input-arbitration and
+// routing/crossbar stages of the 3-stage router (§3.3.2). With the
+// single-cycle link transfer this gives the canonical 3-cycle hop.
+const PipelineDelay sim.Cycle = 2
+
+// RouteFunc maps a flit to the index of the output it must leave through.
+type RouteFunc func(f packet.Flit) int
+
+// Output is one router output: the downstream input port it feeds, the
+// number of flits it can transfer per cycle (its datapath width), and its
+// round-robin arbitration state.
+type Output struct {
+	dst   *Port
+	width int
+	rr    int
+}
+
+// Dst returns the downstream port this output feeds.
+func (o *Output) Dst() *Port { return o.dst }
+
+// Router is a wormhole virtual-channel router.
+type Router struct {
+	name    string
+	inputs  []*Port
+	inWidth []int
+	outputs []*Output
+	route   RouteFunc
+	ledger  *photonic.Ledger
+
+	// chargeLink controls whether forwarding charges wire-link energy;
+	// internal hops inside the photonic router (to the transmit engine)
+	// cross no chip wire.
+	chargeLink []bool
+
+	// candIn/candVC map a flat arbitration-scan index to its (input
+	// port, VC) pair, precomputed so the per-cycle scan is table lookups.
+	candIn []int
+	candVC []int
+}
+
+// New creates a router with the given name, input ports and routing
+// function. Outputs are attached with AddOutput in index order.
+func New(name string, inputs []*Port, inWidths []int, route RouteFunc, ledger *photonic.Ledger) (*Router, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("router %s: needs at least one input", name)
+	}
+	if len(inWidths) != len(inputs) {
+		return nil, fmt.Errorf("router %s: %d input widths for %d inputs", name, len(inWidths), len(inputs))
+	}
+	for i, w := range inWidths {
+		if w <= 0 {
+			return nil, fmt.Errorf("router %s: input %d width must be positive", name, i)
+		}
+	}
+	if route == nil || ledger == nil {
+		return nil, fmt.Errorf("router %s: needs a route function and ledger", name)
+	}
+	r := &Router{name: name, inputs: inputs, inWidth: inWidths, route: route, ledger: ledger}
+	for i, in := range inputs {
+		for vc := 0; vc < in.VCCount(); vc++ {
+			r.candIn = append(r.candIn, i)
+			r.candVC = append(r.candVC, vc)
+		}
+	}
+	return r, nil
+}
+
+// Name returns the router's diagnostic name.
+func (r *Router) Name() string { return r.name }
+
+// Input returns input port i.
+func (r *Router) Input(i int) *Port { return r.inputs[i] }
+
+// AddOutput attaches the next output, feeding dst with the given per-cycle
+// flit width, and returns its index. chargeLink selects whether forwarding
+// through this output dissipates wire-link energy.
+func (r *Router) AddOutput(dst *Port, width int, chargeLink bool) (int, error) {
+	if dst == nil {
+		return 0, fmt.Errorf("router %s: output needs a destination port", r.name)
+	}
+	if width <= 0 {
+		return 0, fmt.Errorf("router %s: output width must be positive, got %d", r.name, width)
+	}
+	r.outputs = append(r.outputs, &Output{dst: dst, width: width})
+	r.chargeLink = append(r.chargeLink, chargeLink)
+	return len(r.outputs) - 1, nil
+}
+
+// Output returns output o.
+func (r *Router) Output(o int) *Output { return r.outputs[o] }
+
+// Outputs returns the number of attached outputs.
+func (r *Router) Outputs() int { return len(r.outputs) }
+
+// Tick performs one cycle of output arbitration: for every output, up to
+// `width` eligible flits are moved from input VCs to the downstream port.
+// Headers perform routing and downstream VC allocation; body and tail
+// flits follow the path their header locked.
+func (r *Router) Tick(now sim.Cycle) error {
+	// Fast path: nothing buffered anywhere means nothing to arbitrate.
+	idle := true
+	for _, in := range r.inputs {
+		if in.buffered > 0 {
+			idle = false
+			break
+		}
+	}
+	if idle {
+		return nil
+	}
+
+	// Per-cycle dequeue budget per input port (switch constraint).
+	var movedArray [16]int
+	moved := movedArray[:]
+	if len(r.inputs) > len(moved) {
+		moved = make([]int, len(r.inputs))
+	} else {
+		moved = moved[:len(r.inputs)]
+		for i := range moved {
+			moved[i] = 0
+		}
+	}
+
+	candidates := len(r.candIn)
+	for o, out := range r.outputs {
+		granted := 0
+		for scan := 0; scan < candidates && granted < out.width; scan++ {
+			idx := out.rr + scan
+			if idx >= candidates {
+				idx -= candidates
+			}
+			inIdx, vcIdx := r.candIn[idx], r.candVC[idx]
+			if moved[inIdx] >= r.inWidth[inIdx] {
+				continue
+			}
+			in := r.inputs[inIdx]
+			if in.buffered == 0 {
+				continue
+			}
+			flit, enq, ok := in.Head(vcIdx)
+			if !ok || now-enq < PipelineDelay {
+				continue
+			}
+			vc := in.VC(vcIdx)
+
+			if flit.Type.IsHeader() && !vc.routed {
+				if r.route(flit) != o {
+					continue
+				}
+				dstVC, ok := out.dst.AllocVC(flit.Packet.ID)
+				if !ok {
+					continue // no free downstream VC; retry next cycle
+				}
+				vc.routed = true
+				vc.outPort = o
+				vc.outVC = dstVC
+			} else if !vc.routed || vc.outPort != o {
+				continue
+			}
+
+			if out.dst.Space(vc.outVC) == 0 {
+				continue
+			}
+
+			dstVC := vc.outVC
+			popped, err := in.Pop(vcIdx) // releases the VC on tail
+			if err != nil {
+				return fmt.Errorf("router %s: %w", r.name, err)
+			}
+			if err := out.dst.Enqueue(dstVC, popped, now); err != nil {
+				return fmt.Errorf("router %s: %w", r.name, err)
+			}
+			bits := float64(popped.Bits())
+			r.ledger.AddRouterTraversal(bits)
+			if r.chargeLink[o] {
+				r.ledger.AddWireLink(bits)
+			}
+			moved[inIdx]++
+			granted++
+			out.rr = (idx + 1) % candidates
+		}
+	}
+	return nil
+}
+
+// BufferedFlits returns the flits buffered across all input ports, for
+// tests and diagnostics.
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for _, in := range r.inputs {
+		n += in.BufferedFlits()
+	}
+	return n
+}

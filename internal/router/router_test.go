@@ -1,0 +1,320 @@
+package router
+
+import (
+	"testing"
+
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/sim"
+)
+
+// testFabric is a single router with one input and two outputs, routing by
+// destination cluster parity.
+type testFabric struct {
+	r      *Router
+	in     *Port
+	out    [2]*Port
+	ledger *photonic.Ledger
+	occ    int64
+}
+
+func newTestFabric(t *testing.T, vcs, depth int) *testFabric {
+	return newTestFabricDepths(t, vcs, depth, depth)
+}
+
+// newTestFabricDepths builds the fabric with different input and
+// downstream buffer depths (backpressure tests need a deep input feeding
+// shallow outputs).
+func newTestFabricDepths(t *testing.T, vcs, inDepth, outDepth int) *testFabric {
+	t.Helper()
+	f := &testFabric{ledger: photonic.NewLedger(photonic.DefaultEnergyParams())}
+	f.ledger.StartMeasurement()
+	mk := func(depth int) *Port {
+		p, err := NewPort(vcs, depth, f.ledger, &f.occ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	f.in = mk(inDepth)
+	f.out[0] = mk(outDepth)
+	f.out[1] = mk(outDepth)
+	route := func(fl packet.Flit) int {
+		return int(fl.Packet.DstCluster) % 2
+	}
+	r, err := New("test", []*Port{f.in}, []int{2}, route, f.ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddOutput(f.out[0], 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddOutput(f.out[1], 1, false); err != nil {
+		t.Fatal(err)
+	}
+	f.r = r
+	return f
+}
+
+func (f *testFabric) inject(t *testing.T, pkt *packet.Packet, now sim.Cycle) int {
+	t.Helper()
+	vc, ok := f.in.AllocVC(pkt.ID)
+	if !ok {
+		t.Fatal("no free input VC")
+	}
+	for i := 0; i < pkt.Flits; i++ {
+		if err := f.in.Enqueue(vc, packet.FlitAt(pkt, i), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return vc
+}
+
+func (f *testFabric) run(t *testing.T, from, to sim.Cycle) {
+	t.Helper()
+	for now := from; now < to; now++ {
+		if err := f.r.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRouterForwardsWholePacket(t *testing.T) {
+	f := newTestFabric(t, 4, 16)
+	pkt := &packet.Packet{ID: 1, Flits: 4, FlitBits: 32, DstCluster: 0}
+	f.inject(t, pkt, 0)
+
+	f.run(t, 0, 10)
+	if got := f.out[0].BufferedFlits(); got != 4 {
+		t.Fatalf("output 0 holds %d flits, want 4", got)
+	}
+	if got := f.out[1].BufferedFlits(); got != 0 {
+		t.Fatalf("output 1 holds %d flits, want 0", got)
+	}
+	// FIFO order preserved through the hop.
+	for i := 0; i < 4; i++ {
+		fl, err := f.out[0].Pop(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fl.Seq != i {
+			t.Fatalf("flit %d arrived out of order (seq %d)", i, fl.Seq)
+		}
+	}
+}
+
+// TestRouterPipelineDelay: a flit enqueued at cycle 0 cannot depart before
+// it has spent PipelineDelay cycles in the input buffer (the IA and
+// routing stages of the 3-stage router).
+func TestRouterPipelineDelay(t *testing.T) {
+	f := newTestFabric(t, 4, 16)
+	pkt := &packet.Packet{ID: 1, Flits: 1, FlitBits: 32, DstCluster: 0}
+	f.inject(t, pkt, 0)
+
+	f.run(t, 0, PipelineDelay) // cycles 0 and 1
+	if got := f.out[0].BufferedFlits(); got != 0 {
+		t.Fatalf("flit departed after %d cycles, pipeline delay is %d", got, PipelineDelay)
+	}
+	f.run(t, PipelineDelay, PipelineDelay+1)
+	if got := f.out[0].BufferedFlits(); got != 1 {
+		t.Fatal("flit did not depart once eligible")
+	}
+}
+
+// TestRouterOutputWidth: an output moves at most `width` flits per cycle.
+func TestRouterOutputWidth(t *testing.T) {
+	f := newTestFabric(t, 4, 16)
+	pkt := &packet.Packet{ID: 1, Flits: 8, FlitBits: 32, DstCluster: 0}
+	f.inject(t, pkt, 0)
+
+	f.run(t, 0, 3) // first eligible cycle is 2
+	if got := f.out[0].BufferedFlits(); got != 1 {
+		t.Fatalf("moved %d flits in one cycle through width-1 output", got)
+	}
+}
+
+// TestRouterInputWidthLimit: a width-2 input feeding two outputs still
+// moves at most 2 flits per cycle in total.
+func TestRouterInputWidthLimit(t *testing.T) {
+	f := newTestFabric(t, 4, 16)
+	even := &packet.Packet{ID: 1, Flits: 4, FlitBits: 32, DstCluster: 0}
+	odd := &packet.Packet{ID: 2, Flits: 4, FlitBits: 32, DstCluster: 1}
+	f.inject(t, even, 0)
+	f.inject(t, odd, 0)
+
+	f.run(t, 0, 3)
+	total := f.out[0].BufferedFlits() + f.out[1].BufferedFlits()
+	if total != 2 {
+		t.Fatalf("moved %d flits in one cycle through a width-2 input", total)
+	}
+}
+
+// TestWormholeNoInterleaving: two packets to the same output land in
+// different downstream VCs, each contiguous.
+func TestWormholeNoInterleaving(t *testing.T) {
+	f := newTestFabric(t, 4, 16)
+	a := &packet.Packet{ID: 1, Flits: 4, FlitBits: 32, DstCluster: 0}
+	b := &packet.Packet{ID: 2, Flits: 4, FlitBits: 32, DstCluster: 2} // also output 0
+	f.inject(t, a, 0)
+	f.inject(t, b, 0)
+
+	f.run(t, 0, 20)
+	if got := f.out[0].BufferedFlits(); got != 8 {
+		t.Fatalf("output holds %d flits, want 8", got)
+	}
+	// Each downstream VC must contain exactly one packet's flits in order.
+	for vc := 0; vc < f.out[0].VCCount(); vc++ {
+		var owner packet.ID
+		seq := 0
+		for f.out[0].VC(vc).Len() > 0 {
+			fl, err := f.out[0].Pop(vc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if owner == 0 {
+				owner = fl.Packet.ID
+			}
+			if fl.Packet.ID != owner {
+				t.Fatalf("VC %d interleaves packets %d and %d", vc, owner, fl.Packet.ID)
+			}
+			if fl.Seq != seq {
+				t.Fatalf("VC %d out of order", vc)
+			}
+			seq++
+		}
+	}
+}
+
+// TestRouterBackpressure: when the downstream VC fills, the router stops
+// forwarding and resumes as space frees.
+func TestRouterBackpressure(t *testing.T) {
+	f := newTestFabricDepths(t, 1, 16, 2) // tiny downstream buffers
+	pkt := &packet.Packet{ID: 1, Flits: 6, FlitBits: 32, DstCluster: 0}
+	f.inject(t, pkt, 0)
+
+	f.run(t, 0, 10)
+	if got := f.out[0].BufferedFlits(); got != 2 {
+		t.Fatalf("downstream holds %d flits, want 2 (buffer depth)", got)
+	}
+	// Drain one: exactly one more moves.
+	if _, err := f.out[0].Pop(0); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, 10, 11)
+	if got := f.out[0].BufferedFlits(); got != 2 {
+		t.Fatalf("downstream holds %d flits after drain+tick, want 2", got)
+	}
+}
+
+// TestRouterVCExhaustionBlocksHeader: with every downstream VC owned, a
+// new header waits rather than forwarding.
+func TestRouterVCExhaustionBlocksHeader(t *testing.T) {
+	f := newTestFabric(t, 2, 16)
+	// Two long packets claim both downstream VCs.
+	a := &packet.Packet{ID: 1, Flits: 2, FlitBits: 32, DstCluster: 0}
+	b := &packet.Packet{ID: 2, Flits: 2, FlitBits: 32, DstCluster: 2}
+	f.inject(t, a, 0)
+	f.inject(t, b, 0)
+	f.run(t, 0, 10)
+
+	// Both delivered but NOT drained: their downstream VCs stay owned
+	// until the tails are popped, so a third packet cannot allocate.
+	c := &packet.Packet{ID: 3, Flits: 2, FlitBits: 32, DstCluster: 4}
+	f.inject(t, c, 10)
+	f.run(t, 10, 20)
+	if got := f.out[0].BufferedFlits(); got != 4 {
+		t.Fatalf("downstream holds %d flits, want only the first two packets (4)", got)
+	}
+
+	// Drain packet a fully; its VC frees and packet c proceeds.
+	for i := 0; i < 2; i++ {
+		if _, err := f.out[0].Pop(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.run(t, 20, 30)
+	if got := f.out[0].BufferedFlits(); got != 4 {
+		t.Fatalf("third packet did not proceed after VC freed (%d flits)", got)
+	}
+}
+
+// TestRouterRoundRobinFairness: two input VCs contending for one output
+// share it roughly evenly.
+func TestRouterRoundRobinFairness(t *testing.T) {
+	f := newTestFabric(t, 4, 64)
+	a := &packet.Packet{ID: 1, Flits: 30, FlitBits: 32, DstCluster: 0}
+	b := &packet.Packet{ID: 2, Flits: 30, FlitBits: 32, DstCluster: 2}
+	f.inject(t, a, 0)
+	f.inject(t, b, 0)
+
+	// Run just long enough to move ~20 flits through the width-1 output
+	// (input width 2 allows both VCs to progress each cycle).
+	f.run(t, 0, 22)
+	got := f.out[0].BufferedFlits()
+	if got == 0 {
+		t.Fatal("nothing forwarded")
+	}
+	// Count per-packet arrivals.
+	counts := make(map[packet.ID]int)
+	for vc := 0; vc < f.out[0].VCCount(); vc++ {
+		for f.out[0].VC(vc).Len() > 0 {
+			fl, err := f.out[0].Pop(vc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[fl.Packet.ID]++
+		}
+	}
+	diff := counts[1] - counts[2]
+	if diff < -2 || diff > 2 {
+		t.Fatalf("unfair arbitration: packet 1 got %d grants, packet 2 got %d", counts[1], counts[2])
+	}
+}
+
+func TestRouterEnergyAccounting(t *testing.T) {
+	f := newTestFabric(t, 4, 16)
+	pkt := &packet.Packet{ID: 1, Flits: 1, FlitBits: 32, DstCluster: 0}
+	f.inject(t, pkt, 0)
+	f.run(t, 0, 5)
+
+	// One traversal of 32 bits at 0.625 pJ/bit.
+	if got, want := f.ledger.Total(photonic.EnergyRouter), 32*0.625; got != want {
+		t.Fatalf("router energy = %g, want %g", got, want)
+	}
+	// Output 0 charges the wire link (chargeLink=true).
+	if got, want := f.ledger.Total(photonic.EnergyWireLink), 32*0.1; got != want {
+		t.Fatalf("wire energy = %g, want %g", got, want)
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	ledger := photonic.NewLedger(photonic.DefaultEnergyParams())
+	var occ int64
+	p, err := NewPort(1, 1, ledger, &occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := func(packet.Flit) int { return 0 }
+	if _, err := New("x", nil, nil, route, ledger); err == nil {
+		t.Error("router with no inputs accepted")
+	}
+	if _, err := New("x", []*Port{p}, []int{1, 2}, route, ledger); err == nil {
+		t.Error("mismatched widths accepted")
+	}
+	if _, err := New("x", []*Port{p}, []int{0}, route, ledger); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New("x", []*Port{p}, []int{1}, nil, ledger); err == nil {
+		t.Error("nil route accepted")
+	}
+	r, err := New("x", []*Port{p}, []int{1}, route, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddOutput(nil, 1, false); err == nil {
+		t.Error("nil output accepted")
+	}
+	if _, err := r.AddOutput(p, 0, false); err == nil {
+		t.Error("zero-width output accepted")
+	}
+}

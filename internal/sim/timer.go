@@ -1,0 +1,76 @@
+package sim
+
+import "container/heap"
+
+// TimerWheel schedules callbacks to run at future cycles. The fabric uses
+// it for retransmission back-off and mid-run task remaps. Callbacks fire
+// in cycle order; callbacks scheduled for the same cycle fire in the
+// order they were registered, which keeps runs deterministic.
+type TimerWheel struct {
+	queue timerQueue
+	seq   uint64
+}
+
+// NewTimerWheel returns an empty wheel.
+func NewTimerWheel() *TimerWheel {
+	return &TimerWheel{}
+}
+
+type timerEntry struct {
+	at  Cycle
+	seq uint64
+	fn  func(Cycle)
+}
+
+type timerQueue []timerEntry
+
+func (q timerQueue) Len() int { return len(q) }
+
+func (q timerQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q timerQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *timerQueue) Push(x any) {
+	entry, ok := x.(timerEntry)
+	if !ok {
+		panic("sim: timerQueue.Push called with non-timerEntry")
+	}
+	*q = append(*q, entry)
+}
+
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	entry := old[n-1]
+	*q = old[:n-1]
+	return entry
+}
+
+// Schedule registers fn to run when the clock reaches cycle at. Scheduling
+// in the past (at <= the cycle passed to the next Fire) fires on that next
+// Fire call.
+func (w *TimerWheel) Schedule(at Cycle, fn func(Cycle)) {
+	heap.Push(&w.queue, timerEntry{at: at, seq: w.seq, fn: fn})
+	w.seq++
+}
+
+// Fire runs every callback scheduled at or before now, in order.
+func (w *TimerWheel) Fire(now Cycle) {
+	for w.queue.Len() > 0 && w.queue[0].at <= now {
+		entry, ok := heap.Pop(&w.queue).(timerEntry)
+		if !ok {
+			panic("sim: timerQueue.Pop returned non-timerEntry")
+		}
+		entry.fn(now)
+	}
+}
+
+// Pending returns the number of callbacks not yet fired.
+func (w *TimerWheel) Pending() int {
+	return w.queue.Len()
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTimerFiresInCycleOrder(t *testing.T) {
+	w := NewTimerWheel()
+	var fired []int
+	w.Schedule(30, func(Cycle) { fired = append(fired, 30) })
+	w.Schedule(10, func(Cycle) { fired = append(fired, 10) })
+	w.Schedule(20, func(Cycle) { fired = append(fired, 20) })
+
+	for now := Cycle(0); now <= 40; now++ {
+		w.Fire(now)
+	}
+	want := []int{10, 20, 30}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestTimerSameCycleFIFO(t *testing.T) {
+	w := NewTimerWheel()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		w.Schedule(5, func(Cycle) { fired = append(fired, i) })
+	}
+	w.Fire(5)
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-cycle callbacks fired out of registration order: %v", fired)
+		}
+	}
+}
+
+func TestTimerPastSchedulingFiresNext(t *testing.T) {
+	w := NewTimerWheel()
+	fired := false
+	w.Fire(100)
+	w.Schedule(50, func(Cycle) { fired = true })
+	w.Fire(101)
+	if !fired {
+		t.Fatal("past-scheduled callback never fired")
+	}
+}
+
+func TestTimerDoesNotFireEarly(t *testing.T) {
+	w := NewTimerWheel()
+	fired := false
+	w.Schedule(10, func(Cycle) { fired = true })
+	w.Fire(9)
+	if fired {
+		t.Fatal("callback fired a cycle early")
+	}
+	if w.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", w.Pending())
+	}
+	w.Fire(10)
+	if !fired {
+		t.Fatal("callback did not fire at its cycle")
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("Pending() = %d after firing, want 0", w.Pending())
+	}
+}
+
+func TestTimerReentrantScheduling(t *testing.T) {
+	w := NewTimerWheel()
+	var fired []Cycle
+	w.Schedule(1, func(now Cycle) {
+		fired = append(fired, now)
+		w.Schedule(now+2, func(now Cycle) { fired = append(fired, now) })
+	})
+	for now := Cycle(0); now < 5; now++ {
+		w.Fire(now)
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("reentrant scheduling fired %v, want [1 3]", fired)
+	}
+}
+
+func TestClockConversions(t *testing.T) {
+	c := DefaultClock()
+	if got := c.PeriodSeconds(); got != 400e-12 {
+		t.Fatalf("period = %g s, want 400 ps", got)
+	}
+	// One 12.5 Gb/s wavelength carries exactly 5 bits per 2.5 GHz cycle.
+	if got := c.GbpsToBitsPerCycle(12.5); got != 5 {
+		t.Fatalf("12.5 Gb/s = %g bits/cycle, want 5", got)
+	}
+	if got := c.BitsPerCycleToGbps(5); got != 12.5 {
+		t.Fatalf("5 bits/cycle = %g Gb/s, want 12.5", got)
+	}
+	if got := c.Seconds(2500); got != 1e-6 {
+		t.Fatalf("2500 cycles = %g s, want 1 us", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package stats collects the metrics the thesis reports: delivered
+// bandwidth (peak bandwidth is its maximum over an offered-load sweep),
+// packet counts including drops — "the progress of the data flits ...
+// accounting for those flits that reach the destination as well as those
+// that are dropped" (§3.4.1) — latency, and the inputs to the
+// energy-per-message calculation.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"hetpnoc/internal/sim"
+)
+
+// Collector accumulates run metrics. Events before StartMeasurement (the
+// thesis's 1,000 reset cycles) are counted separately and excluded from
+// reported rates.
+type Collector struct {
+	clock     sim.Clock
+	measuring bool
+	startAt   sim.Cycle
+	endAt     sim.Cycle
+
+	packetsInjected  int64
+	packetsDelivered int64
+	packetsDroppedRX int64
+	packetsRejected  int64
+	packetsLost      int64
+	retransmissions  int64
+
+	bitsDelivered  int64
+	flitsDelivered int64
+
+	latencySum   float64
+	latencyCount int64
+	latencyMax   sim.Cycle
+	latencies    []sim.Cycle
+
+	bitsPerCluster []int64
+
+	warmupDelivered int64
+}
+
+// NewCollector returns a collector for the given clock.
+func NewCollector(clock sim.Clock) *Collector {
+	return &Collector{clock: clock}
+}
+
+// SetClusterCount sizes the per-cluster delivery accounting.
+func (c *Collector) SetClusterCount(n int) {
+	c.bitsPerCluster = make([]int64, n)
+}
+
+// StartMeasurement begins the measured window at cycle now.
+func (c *Collector) StartMeasurement(now sim.Cycle) {
+	c.measuring = true
+	c.startAt = now
+}
+
+// Finish closes the measured window at cycle end (exclusive).
+func (c *Collector) Finish(end sim.Cycle) {
+	c.endAt = end
+}
+
+// OnInject records a packet entering its source queue.
+func (c *Collector) OnInject() {
+	if c.measuring {
+		c.packetsInjected++
+	}
+}
+
+// OnReject records a packet refused at a full source queue.
+func (c *Collector) OnReject() {
+	if c.measuring {
+		c.packetsRejected++
+	}
+}
+
+// OnDeliverFlit records bits of one flit ejected at its destination, on
+// behalf of the given source cluster (service fairness is about who got
+// to send, not who happened to receive).
+func (c *Collector) OnDeliverFlit(bits int, srcCluster int) {
+	if !c.measuring {
+		return
+	}
+	c.flitsDelivered++
+	c.bitsDelivered += int64(bits)
+	if srcCluster >= 0 && srcCluster < len(c.bitsPerCluster) {
+		c.bitsPerCluster[srcCluster] += int64(bits)
+	}
+}
+
+// OnDeliverPacket records a complete packet arriving; born is the cycle
+// its logical message was first generated.
+func (c *Collector) OnDeliverPacket(born, now sim.Cycle) {
+	if !c.measuring {
+		c.warmupDelivered++
+		return
+	}
+	c.packetsDelivered++
+	lat := now - born
+	c.latencySum += float64(lat)
+	c.latencyCount++
+	c.latencies = append(c.latencies, lat)
+	if lat > c.latencyMax {
+		c.latencyMax = lat
+	}
+}
+
+// OnDropRX records a packet refused at the photonic receive side.
+func (c *Collector) OnDropRX() {
+	if c.measuring {
+		c.packetsDroppedRX++
+	}
+}
+
+// OnLost records a packet abandoned after exhausting its retries.
+func (c *Collector) OnLost() {
+	if c.measuring {
+		c.packetsLost++
+	}
+}
+
+// OnRetransmit records a retransmission attempt being scheduled.
+func (c *Collector) OnRetransmit() {
+	if c.measuring {
+		c.retransmissions++
+	}
+}
+
+// Delivered returns the packets delivered so far in the measured window.
+func (c *Collector) Delivered() int64 { return c.packetsDelivered }
+
+// Summary is the collector's read-out.
+type Summary struct {
+	MeasuredCycles  sim.Cycle
+	MeasuredSeconds float64
+
+	PacketsInjected  int64
+	PacketsDelivered int64
+	PacketsDroppedRX int64
+	PacketsRejected  int64
+	PacketsLost      int64
+	Retransmissions  int64
+
+	BitsDelivered  int64
+	FlitsDelivered int64
+
+	// DeliveredGbps is the aggregate rate of bits successfully arriving
+	// at all cores (the thesis's bandwidth metric, §3.4.1.1).
+	DeliveredGbps float64
+
+	AvgLatencyCycles float64
+	MaxLatencyCycles sim.Cycle
+	P50LatencyCycles sim.Cycle
+	P99LatencyCycles sim.Cycle
+
+	// FairnessJain is Jain's fairness index over the source clusters'
+	// delivered bits: 1.0 means every cluster's traffic was served
+	// evenly, 1/n means one cluster's traffic took everything.
+	// Quantifies the starvation behaviour the DBA policies differ on.
+	FairnessJain float64
+
+	WarmupDelivered int64
+}
+
+// Summary computes the read-out; Finish must have been called.
+func (c *Collector) Summary() Summary {
+	cycles := c.endAt - c.startAt
+	seconds := c.clock.Seconds(cycles)
+	s := Summary{
+		MeasuredCycles:   cycles,
+		MeasuredSeconds:  seconds,
+		PacketsInjected:  c.packetsInjected,
+		PacketsDelivered: c.packetsDelivered,
+		PacketsDroppedRX: c.packetsDroppedRX,
+		PacketsRejected:  c.packetsRejected,
+		PacketsLost:      c.packetsLost,
+		Retransmissions:  c.retransmissions,
+		BitsDelivered:    c.bitsDelivered,
+		FlitsDelivered:   c.flitsDelivered,
+		MaxLatencyCycles: c.latencyMax,
+		WarmupDelivered:  c.warmupDelivered,
+	}
+	if seconds > 0 {
+		s.DeliveredGbps = float64(c.bitsDelivered) / seconds / 1e9
+	}
+	if c.latencyCount > 0 {
+		s.AvgLatencyCycles = c.latencySum / float64(c.latencyCount)
+		sorted := make([]sim.Cycle, len(c.latencies))
+		copy(sorted, c.latencies)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50LatencyCycles = percentile(sorted, 0.50)
+		s.P99LatencyCycles = percentile(sorted, 0.99)
+	}
+	s.FairnessJain = JainIndex(c.bitsPerCluster)
+	return s
+}
+
+// JainIndex returns Jain's fairness index (sum x)^2 / (n * sum x^2) over
+// the sample, or 0 for an empty or all-zero sample.
+func JainIndex(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		v := float64(x)
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// percentile returns the p-quantile of a sorted latency sample using the
+// nearest-rank method.
+func percentile(sorted []sim.Cycle, p float64) sim.Cycle {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

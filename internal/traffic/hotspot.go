@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+// SkewedHotspot is the synthetic case-study pattern of §3.4.2: one cluster
+// is the hotspot (a scheduler or controller), every core sends a fixed
+// fraction of its traffic there, and the remainder follows a skewed
+// pattern.
+//
+// The four case studies of the thesis are:
+//
+//	skewed-hotspot1: 10% hotspot + skewed 2 remainder
+//	skewed-hotspot2: 10% hotspot + skewed 3 remainder
+//	skewed-hotspot3: 20% hotspot + skewed 2 remainder
+//	skewed-hotspot4: 20% hotspot + skewed 3 remainder
+type SkewedHotspot struct {
+	// Index is the case-study number, 1-4, used only for naming.
+	Index int
+	// HotFraction is the share of each core's traffic sent to the
+	// hotspot cluster (0.10 or 0.20).
+	HotFraction float64
+	// BaseLevel is the skew level of the remaining traffic (2 or 3).
+	BaseLevel int
+	// Hotspot is the hotspot cluster (cluster 0 in our runs).
+	Hotspot topology.ClusterID
+}
+
+// CaseStudies returns the four skewed-hotspot configurations of §3.4.2
+// with cluster 0 as the hotspot.
+func CaseStudies() []SkewedHotspot {
+	return []SkewedHotspot{
+		{Index: 1, HotFraction: 0.10, BaseLevel: 2},
+		{Index: 2, HotFraction: 0.10, BaseLevel: 3},
+		{Index: 3, HotFraction: 0.20, BaseLevel: 2},
+		{Index: 4, HotFraction: 0.20, BaseLevel: 3},
+	}
+}
+
+// Name implements Pattern.
+func (h SkewedHotspot) Name() string { return fmt.Sprintf("skewed-hotspot%d", h.Index) }
+
+// Assign implements Pattern.
+func (h SkewedHotspot) Assign(topo topology.Topology, set BandwidthSet, rng *sim.RNG) (Assignment, error) {
+	if h.HotFraction < 0 || h.HotFraction >= 1 {
+		return Assignment{}, fmt.Errorf("traffic: hotspot fraction %g outside [0,1)", h.HotFraction)
+	}
+	if !topo.ValidCluster(h.Hotspot) {
+		return Assignment{}, fmt.Errorf("traffic: hotspot cluster %d outside topology", h.Hotspot)
+	}
+
+	base, err := Skewed{Level: h.BaseLevel}.Assign(topo, set, rng)
+	if err != nil {
+		return Assignment{}, err
+	}
+
+	cores := make([]CoreProfile, len(base.Cores))
+	copy(cores, base.Cores)
+	for c := range cores {
+		src := topo.ClusterOf(topology.CoreID(c))
+		baseDest := cores[c].PickDest
+		hotspot := h.Hotspot
+		hotFraction := h.HotFraction
+		if src == hotspot {
+			// The hotspot cluster itself only generates base traffic.
+			continue
+		}
+		clusterSize := topo.ClusterSize()
+		cores[c].PickDest = func(rng *sim.RNG) topology.CoreID {
+			if rng.Bernoulli(hotFraction) {
+				return topo.CoreAt(hotspot, rng.Intn(clusterSize))
+			}
+			return baseDest(rng)
+		}
+	}
+	return Assignment{Name: h.Name(), Cores: cores}, nil
+}

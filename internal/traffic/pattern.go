@@ -1,0 +1,209 @@
+package traffic
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+// CoreProfile describes the workload mapped onto one core: the rate at
+// which it offers traffic, the bandwidth class of its application (which
+// drives the DBA demand tables), and how it picks destinations.
+type CoreProfile struct {
+	// RateGbps is the offered injection rate of this core before the
+	// experiment's load scaling is applied.
+	RateGbps float64
+
+	// DemandGbps is the bandwidth class of the application running on
+	// the core. The photonic router's demand table entry toward each
+	// destination cluster is WavelengthsFor(DemandGbps). The thesis maps
+	// one application per cluster, so the four cores of a cluster share
+	// one class and each injects a quarter of its bandwidth.
+	DemandGbps float64
+
+	// PickDest samples a destination core. The thesis's evaluation
+	// patterns only generate inter-cluster traffic (core-to-memory style
+	// flows); custom assignments may also target cores in the source's
+	// own cluster, which travel the intra-cluster electrical network
+	// without touching the photonic crossbar (§3.3). The destination
+	// must never be the source core itself.
+	PickDest func(rng *sim.RNG) topology.CoreID
+
+	// DemandDests, when non-nil, restricts the clusters this core's
+	// demand-table entries cover (e.g. GPU cores only demand bandwidth
+	// toward memory clusters in the real-application scenario). Nil
+	// means every foreign cluster.
+	DemandDests []topology.ClusterID
+
+	// Burstiness makes the source an on/off Markov process instead of a
+	// constant-rate one: during ON periods it injects at
+	// Burstiness x RateGbps; OFF periods are sized so the long-run
+	// average stays RateGbps. 0 or 1 means constant-rate injection.
+	// Mean burst length is BurstCycles (default 256) when bursty.
+	Burstiness float64
+
+	// BurstCycles is the mean ON-period length in cycles for bursty
+	// sources (0 selects the default).
+	BurstCycles int
+}
+
+// DemandTable expands the profile into the per-destination wavelength
+// demand table the core reports to its photonic router (§3.2.1).
+func (p CoreProfile) DemandTable(topo topology.Topology, self topology.ClusterID) []int {
+	table := make([]int, topo.Clusters())
+	need := WavelengthsFor(p.DemandGbps)
+	if p.DemandDests != nil {
+		for _, d := range p.DemandDests {
+			if d != self {
+				table[d] = need
+			}
+		}
+		return table
+	}
+	for d := range table {
+		if topology.ClusterID(d) != self {
+			table[d] = need
+		}
+	}
+	return table
+}
+
+// Assignment is a full workload mapping: one profile per core.
+type Assignment struct {
+	Name  string
+	Cores []CoreProfile
+}
+
+// TotalOfferedGbps returns the aggregate offered load of the assignment.
+func (a Assignment) TotalOfferedGbps() float64 {
+	var sum float64
+	for _, c := range a.Cores {
+		sum += c.RateGbps
+	}
+	return sum
+}
+
+// ClusterDemandGbps returns the application bandwidth class of cluster cl
+// (the maximum demand among its cores, matching the request-table "max"
+// rule of §3.2.1).
+func (a Assignment) ClusterDemandGbps(topo topology.Topology, cl topology.ClusterID) float64 {
+	var maxDemand float64
+	for _, core := range topo.CoresOf(cl) {
+		if d := a.Cores[core].DemandGbps; d > maxDemand {
+			maxDemand = d
+		}
+	}
+	return maxDemand
+}
+
+// Pattern generates an Assignment for a topology. Patterns are pure
+// descriptions; all randomness comes from the provided RNG so assignments
+// are reproducible.
+type Pattern interface {
+	// Name identifies the pattern in results ("uniform", "skewed3", ...).
+	Name() string
+
+	// Assign maps the workload onto the topology.
+	Assign(topo topology.Topology, set BandwidthSet, rng *sim.RNG) (Assignment, error)
+}
+
+// uniformDest returns a destination sampler drawing uniformly from all
+// cores outside the source cluster.
+func uniformDest(topo topology.Topology, src topology.ClusterID) func(*sim.RNG) topology.CoreID {
+	return func(rng *sim.RNG) topology.CoreID {
+		for {
+			dst := topology.CoreID(rng.Intn(topo.Cores()))
+			if topo.ClusterOf(dst) != src {
+				return dst
+			}
+		}
+	}
+}
+
+// Uniform is the uniform-random pattern: "all communication requires the
+// same uniform bandwidth and all cores communicate with all other cores
+// with equal data rate" (§3.4.1). Every core offers an equal share of the
+// aggregate photonic bandwidth, so both architectures configure
+// identically: Firefly's static allocation is exactly what DBA converges
+// to.
+type Uniform struct{}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Assign implements Pattern.
+func (Uniform) Assign(topo topology.Topology, set BandwidthSet, _ *sim.RNG) (Assignment, error) {
+	if err := set.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	aggregateGbps := float64(set.TotalWavelengths) * 12.5
+	perCore := aggregateGbps / float64(topo.Cores())
+	perCluster := perCore * float64(topo.ClusterSize())
+
+	cores := make([]CoreProfile, topo.Cores())
+	for c := range cores {
+		src := topo.ClusterOf(topology.CoreID(c))
+		cores[c] = CoreProfile{
+			RateGbps:   perCore,
+			DemandGbps: perCluster,
+			PickDest:   uniformDest(topo, src),
+		}
+	}
+	return Assignment{Name: "uniform", Cores: cores}, nil
+}
+
+// Bursty wraps a pattern so every core injects through an on/off Markov
+// process with the given burstiness factor (peak rate = burstiness x
+// nominal; duty cycle = 1/burstiness), preserving each core's average
+// rate. Burstiness <= 1 leaves the pattern unchanged.
+type Bursty struct {
+	Base Pattern
+	// Factor is the peak-to-average ratio during bursts.
+	Factor float64
+	// MeanBurstCycles sizes the ON periods (0 = the source default).
+	MeanBurstCycles int
+}
+
+// Name implements Pattern.
+func (b Bursty) Name() string {
+	return fmt.Sprintf("%s-bursty%g", b.Base.Name(), b.Factor)
+}
+
+// Assign implements Pattern.
+func (b Bursty) Assign(topo topology.Topology, set BandwidthSet, rng *sim.RNG) (Assignment, error) {
+	if b.Base == nil {
+		return Assignment{}, fmt.Errorf("traffic: bursty wrapper needs a base pattern")
+	}
+	if b.Factor < 0 {
+		return Assignment{}, fmt.Errorf("traffic: negative burstiness %g", b.Factor)
+	}
+	a, err := b.Base.Assign(topo, set, rng)
+	if err != nil {
+		return Assignment{}, err
+	}
+	a.Name = b.Name()
+	for i := range a.Cores {
+		a.Cores[i].Burstiness = b.Factor
+		a.Cores[i].BurstCycles = b.MeanBurstCycles
+	}
+	return a, nil
+}
+
+// Fixed wraps a pre-built assignment as a Pattern, for tests and custom
+// scenarios built through the public API.
+type Fixed struct {
+	Assignment Assignment
+}
+
+// Name implements Pattern.
+func (f Fixed) Name() string { return f.Assignment.Name }
+
+// Assign implements Pattern.
+func (f Fixed) Assign(topo topology.Topology, _ BandwidthSet, _ *sim.RNG) (Assignment, error) {
+	if len(f.Assignment.Cores) != topo.Cores() {
+		return Assignment{}, fmt.Errorf("traffic: fixed assignment has %d cores, topology has %d",
+			len(f.Assignment.Cores), topo.Cores())
+	}
+	return f.Assignment, nil
+}

@@ -1,0 +1,244 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+func newTestSource(t *testing.T, rateGbps, loadScale float64) (*Source, *packet.MessageID, *packet.ID) {
+	t.Helper()
+	topo := topology.Default()
+	var msgs packet.MessageID
+	var pkts packet.ID
+	profile := CoreProfile{
+		RateGbps:   rateGbps,
+		DemandGbps: rateGbps * 4,
+		PickDest: func(rng *sim.RNG) topology.CoreID {
+			return topo.CoreAt(5, rng.Intn(4))
+		},
+	}
+	src, err := NewSource(0, profile, BWSet1.Format, sim.DefaultClock(), loadScale, sim.NewRNG(1), &msgs, &pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, &msgs, &pkts
+}
+
+// TestSourceRateAccuracy: over a long window the generated bit rate
+// matches the profile's offered rate.
+func TestSourceRateAccuracy(t *testing.T) {
+	topo := topology.Default()
+	for _, rate := range []float64{12.5, 25, 100} {
+		src, _, _ := newTestSource(t, rate, 1.0)
+		const cycles = 100000
+		bits := 0
+		for i := 0; i < cycles; i++ {
+			if p := src.Tick(sim.Cycle(i), topo); p != nil {
+				bits += p.Bits()
+			}
+		}
+		gotGbps := float64(bits) / (float64(cycles) * 400e-12) / 1e9
+		if math.Abs(gotGbps-rate)/rate > 0.01 {
+			t.Errorf("rate %g Gb/s: generated %g Gb/s", rate, gotGbps)
+		}
+	}
+}
+
+func TestSourceLoadScale(t *testing.T) {
+	topo := topology.Default()
+	src, _, _ := newTestSource(t, 100, 0.5)
+	const cycles = 50000
+	bits := 0
+	for i := 0; i < cycles; i++ {
+		if p := src.Tick(sim.Cycle(i), topo); p != nil {
+			bits += p.Bits()
+		}
+	}
+	gotGbps := float64(bits) / (float64(cycles) * 400e-12) / 1e9
+	if math.Abs(gotGbps-50)/50 > 0.01 {
+		t.Errorf("scaled source generated %g Gb/s, want 50", gotGbps)
+	}
+}
+
+func TestSourceZeroRateGeneratesNothing(t *testing.T) {
+	topo := topology.Default()
+	var msgs packet.MessageID
+	var pkts packet.ID
+	src, err := NewSource(0, CoreProfile{}, BWSet1.Format, sim.DefaultClock(), 1.0, sim.NewRNG(1), &msgs, &pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if p := src.Tick(sim.Cycle(i), topo); p != nil {
+			t.Fatal("zero-rate source generated a packet")
+		}
+	}
+}
+
+func TestSourcePacketIdentity(t *testing.T) {
+	topo := topology.Default()
+	src, _, _ := newTestSource(t, 100, 1.0)
+	seenIDs := make(map[packet.ID]bool)
+	seenMsgs := make(map[packet.MessageID]bool)
+	for i := 0; i < 5000; i++ {
+		p := src.Tick(sim.Cycle(i), topo)
+		if p == nil {
+			continue
+		}
+		if seenIDs[p.ID] || seenMsgs[p.Message] {
+			t.Fatalf("duplicate identity on %s", p)
+		}
+		seenIDs[p.ID] = true
+		seenMsgs[p.Message] = true
+		if p.Attempt != 1 {
+			t.Fatalf("fresh packet attempt = %d, want 1", p.Attempt)
+		}
+		if p.SrcCluster != topo.ClusterOf(p.Src) || p.DstCluster != topo.ClusterOf(p.Dst) {
+			t.Fatalf("cluster fields inconsistent on %s", p)
+		}
+	}
+	if len(seenIDs) == 0 {
+		t.Fatal("no packets generated")
+	}
+}
+
+func TestRetransmitPreservesMessage(t *testing.T) {
+	topo := topology.Default()
+	src, _, pkts := newTestSource(t, 100, 1.0)
+	var orig *packet.Packet
+	for i := 0; orig == nil; i++ {
+		orig = src.Tick(sim.Cycle(i), topo)
+	}
+	retry := Retransmit(orig, 500, pkts)
+	if retry.Message != orig.Message {
+		t.Fatal("retransmission changed the message identity")
+	}
+	if retry.ID == orig.ID {
+		t.Fatal("retransmission reused the packet ID")
+	}
+	if retry.Attempt != orig.Attempt+1 {
+		t.Fatalf("attempt = %d, want %d", retry.Attempt, orig.Attempt+1)
+	}
+	if retry.Born != orig.Born {
+		t.Fatal("retransmission changed the birth cycle")
+	}
+	if retry.Created != 500 {
+		t.Fatalf("retransmission created = %d, want 500", retry.Created)
+	}
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	var msgs packet.MessageID
+	var pkts packet.ID
+	clock := sim.DefaultClock()
+	// A rate without a destination sampler is a configuration bug.
+	_, err := NewSource(0, CoreProfile{RateGbps: 10}, BWSet1.Format, clock, 1.0, sim.NewRNG(1), &msgs, &pkts)
+	if err == nil {
+		t.Error("source with rate but no sampler accepted")
+	}
+	// Negative load scale.
+	_, err = NewSource(0, CoreProfile{}, BWSet1.Format, clock, -1, sim.NewRNG(1), &msgs, &pkts)
+	if err == nil {
+		t.Error("negative load scale accepted")
+	}
+	// Bad format.
+	_, err = NewSource(0, CoreProfile{}, packet.Format{}, clock, 1, sim.NewRNG(1), &msgs, &pkts)
+	if err == nil {
+		t.Error("zero format accepted")
+	}
+}
+
+// TestBurstySourcePreservesAverageRate: the on/off Markov source keeps the
+// long-run average at the nominal rate while concentrating it in bursts.
+func TestBurstySourcePreservesAverageRate(t *testing.T) {
+	topo := topology.Default()
+	var msgs packet.MessageID
+	var pkts packet.ID
+	profile := CoreProfile{
+		RateGbps:   25,
+		DemandGbps: 100,
+		Burstiness: 4,
+		PickDest: func(rng *sim.RNG) topology.CoreID {
+			return topo.CoreAt(5, rng.Intn(4))
+		},
+	}
+	src, err := NewSource(0, profile, BWSet1.Format, sim.DefaultClock(), 1.0, sim.NewRNG(3), &msgs, &pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 400000
+	bits := 0
+	for i := 0; i < cycles; i++ {
+		if p := src.Tick(sim.Cycle(i), topo); p != nil {
+			bits += p.Bits()
+		}
+	}
+	gotGbps := float64(bits) / (float64(cycles) * 400e-12) / 1e9
+	if math.Abs(gotGbps-25)/25 > 0.05 {
+		t.Fatalf("bursty source averaged %g Gb/s, want ~25", gotGbps)
+	}
+}
+
+// TestBurstySourceIsActuallyBursty: inter-packet gaps must be far more
+// variable than the constant-rate source's.
+func TestBurstySourceIsActuallyBursty(t *testing.T) {
+	topo := topology.Default()
+	gapStats := func(burstiness float64) (mean, variance float64) {
+		var msgs packet.MessageID
+		var pkts packet.ID
+		profile := CoreProfile{
+			RateGbps:   25,
+			DemandGbps: 100,
+			Burstiness: burstiness,
+			PickDest: func(rng *sim.RNG) topology.CoreID {
+				return topo.CoreAt(5, rng.Intn(4))
+			},
+		}
+		src, err := NewSource(0, profile, BWSet1.Format, sim.DefaultClock(), 1.0, sim.NewRNG(7), &msgs, &pkts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gaps []float64
+		last := -1
+		for i := 0; i < 200000; i++ {
+			if p := src.Tick(sim.Cycle(i), topo); p != nil {
+				if last >= 0 {
+					gaps = append(gaps, float64(i-last))
+				}
+				last = i
+			}
+		}
+		if len(gaps) < 100 {
+			t.Fatalf("only %d gaps observed", len(gaps))
+		}
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		for _, g := range gaps {
+			variance += (g - mean) * (g - mean)
+		}
+		variance /= float64(len(gaps))
+		return mean, variance
+	}
+
+	_, smoothVar := gapStats(1)
+	_, burstyVar := gapStats(8)
+	if burstyVar < 10*smoothVar {
+		t.Fatalf("bursty gap variance %.1f not far above smooth %.1f", burstyVar, smoothVar)
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	var msgs packet.MessageID
+	var pkts packet.ID
+	profile := CoreProfile{RateGbps: 10, Burstiness: -1,
+		PickDest: func(*sim.RNG) topology.CoreID { return 10 }}
+	if _, err := NewSource(0, profile, BWSet1.Format, sim.DefaultClock(), 1, sim.NewRNG(1), &msgs, &pkts); err == nil {
+		t.Fatal("negative burstiness accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+func assignPermutation(t *testing.T, kind PermutationKind) Assignment {
+	t.Helper()
+	a, err := Permutation{Kind: kind}.Assign(topology.Default(), BWSet1, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// destOf samples the fixed destination of core c (nil PickDest = silent).
+func destOf(a Assignment, c int) (topology.CoreID, bool) {
+	if a.Cores[c].PickDest == nil {
+		return 0, false
+	}
+	return a.Cores[c].PickDest(sim.NewRNG(1)), true
+}
+
+func TestTransposePartners(t *testing.T) {
+	a := assignPermutation(t, Transpose)
+	// Core (x,y) of the 8x8 grid -> (y,x): core 1 = (1,0) -> (0,1) = 8.
+	if dst, ok := destOf(a, 1); !ok || dst != 8 {
+		t.Fatalf("transpose(1) = %v, want 8", dst)
+	}
+	// Diagonal cores are fixed points and stay silent.
+	if _, ok := destOf(a, 9); ok { // (1,1)
+		t.Fatal("diagonal core 9 should be silent")
+	}
+	if a.Cores[9].RateGbps != 0 {
+		t.Fatal("diagonal core has a rate")
+	}
+}
+
+func TestBitComplementPartners(t *testing.T) {
+	a := assignPermutation(t, BitComplement)
+	tests := map[int]topology.CoreID{0: 63, 63: 0, 21: 42, 1: 62}
+	for c, want := range tests {
+		if dst, ok := destOf(a, c); !ok || dst != want {
+			t.Fatalf("complement(%d) = %v, want %d", c, dst, want)
+		}
+	}
+}
+
+func TestBitReversePartners(t *testing.T) {
+	a := assignPermutation(t, BitReverse)
+	// 6-bit reversal: 000001 -> 100000 (32); 011000 (24) -> 000110 (6).
+	tests := map[int]topology.CoreID{1: 32, 24: 6, 0: 0}
+	for c, want := range tests {
+		dst, ok := destOf(a, c)
+		if c == int(want) {
+			if ok {
+				t.Fatalf("fixed point %d should be silent", c)
+			}
+			continue
+		}
+		if !ok || dst != want {
+			t.Fatalf("reverse(%d) = %v, want %d", c, dst, want)
+		}
+	}
+}
+
+func TestShufflePartners(t *testing.T) {
+	a := assignPermutation(t, Shuffle)
+	// rotate-left-by-1 in 6 bits: 100000 (32) -> 000001 (1); 3 -> 6.
+	tests := map[int]topology.CoreID{32: 1, 3: 6, 17: 34}
+	for c, want := range tests {
+		if dst, ok := destOf(a, c); !ok || dst != want {
+			t.Fatalf("shuffle(%d) = %v, want %d", c, dst, want)
+		}
+	}
+}
+
+func TestNeighborPartners(t *testing.T) {
+	a := assignPermutation(t, Neighbor)
+	topo := topology.Default()
+	for c := 0; c < topo.Cores(); c++ {
+		dst, ok := destOf(a, c)
+		if !ok {
+			t.Fatalf("core %d silent under neighbor", c)
+		}
+		wantCl := (int(topo.ClusterOf(topology.CoreID(c))) + 1) % 16
+		if int(topo.ClusterOf(dst)) != wantCl {
+			t.Fatalf("neighbor(%d) lands in cluster %d, want %d", c, topo.ClusterOf(dst), wantCl)
+		}
+	}
+}
+
+// TestPermutationsAreInjective: every classic permutation maps distinct
+// sources to distinct destinations (fixed points excluded).
+func TestPermutationsAreInjective(t *testing.T) {
+	for _, kind := range []PermutationKind{Transpose, BitComplement, BitReverse, Shuffle, Neighbor} {
+		a := assignPermutation(t, kind)
+		seen := make(map[topology.CoreID]int)
+		for c := range a.Cores {
+			dst, ok := destOf(a, c)
+			if !ok {
+				continue
+			}
+			if prev, dup := seen[dst]; dup {
+				t.Fatalf("%v: cores %d and %d both target %d", kind, prev, c, dst)
+			}
+			seen[dst] = c
+		}
+	}
+}
+
+// TestPermutationDestinationsStable: the destination is deterministic
+// regardless of the RNG stream.
+func TestPermutationDestinationsStable(t *testing.T) {
+	a := assignPermutation(t, BitComplement)
+	f := func(seed uint64, rawCore uint8) bool {
+		c := int(rawCore) % 64
+		pick := a.Cores[c].PickDest
+		if pick == nil {
+			return true
+		}
+		return pick(sim.NewRNG(seed)) == pick(sim.NewRNG(seed+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationDefaultRateIsFairShare(t *testing.T) {
+	a := assignPermutation(t, Neighbor)
+	// 64 wavelengths x 12.5 / 64 cores = 12.5 Gb/s per core.
+	for c, p := range a.Cores {
+		if p.RateGbps != 12.5 {
+			t.Fatalf("core %d rate %g, want 12.5", c, p.RateGbps)
+		}
+	}
+}
+
+func TestPermutationNames(t *testing.T) {
+	if (Permutation{Kind: Transpose}).Name() != "transpose" {
+		t.Fatal("bad name")
+	}
+	if PermutationKind(0).String() != "unknown" {
+		t.Fatal("zero kind should be unknown")
+	}
+}
+
+func TestPermutationValidation(t *testing.T) {
+	topo := topology.Default()
+	if _, err := (Permutation{Kind: PermutationKind(99)}).Assign(topo, BWSet1, sim.NewRNG(1)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := (Permutation{Kind: Neighbor, RateGbps: -1}).Assign(topo, BWSet1, sim.NewRNG(1)); err == nil {
+		t.Error("negative rate accepted")
+	}
+	// Non-power-of-two core counts reject the bit patterns.
+	smallTopo, err := topology.New(36, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Permutation{Kind: BitComplement}).Assign(smallTopo, BWSet1, sim.NewRNG(1)); err == nil {
+		t.Error("bit-complement on 36 cores accepted")
+	}
+	// 36 is a perfect square though: transpose works.
+	if _, err := (Permutation{Kind: Transpose}).Assign(smallTopo, BWSet1, sim.NewRNG(1)); err != nil {
+		t.Errorf("transpose on 36 cores rejected: %v", err)
+	}
+}

@@ -1,0 +1,247 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+func TestWavelengthsFor(t *testing.T) {
+	tests := []struct {
+		gbps float64
+		want int
+	}{
+		{0, 0}, {-5, 0},
+		{12.5, 1}, {12.6, 2}, {25, 2}, {50, 4},
+		{100, 8}, {200, 16}, {400, 32}, {800, 64},
+		{1, 1}, {13, 2},
+	}
+	for _, tt := range tests {
+		if got := WavelengthsFor(tt.gbps); got != tt.want {
+			t.Errorf("WavelengthsFor(%g) = %d, want %d", tt.gbps, got, tt.want)
+		}
+	}
+}
+
+// TestBandwidthSetsMatchTable3_3 checks the three provisioning points
+// against Table 3-3's photonic configuration rows.
+func TestBandwidthSetsMatchTable3_3(t *testing.T) {
+	tests := []struct {
+		set            BandwidthSet
+		fireflyPerChan int
+		dhetMax        int
+		flits, bits    int
+	}{
+		{BWSet1, 4, 8, 64, 32},
+		{BWSet2, 16, 32, 16, 128},
+		{BWSet3, 32, 64, 8, 256},
+	}
+	for _, tt := range tests {
+		if err := tt.set.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", tt.set.Name, err)
+		}
+		if got := tt.set.FireflyChannelWavelengths(16); got != tt.fireflyPerChan {
+			t.Errorf("%s Firefly channel = %d wavelengths, Table 3-3 says %d", tt.set.Name, got, tt.fireflyPerChan)
+		}
+		if got := tt.set.MaxChannelWavelengths(); got != tt.dhetMax {
+			t.Errorf("%s d-Het max channel = %d wavelengths, Table 3-3 says %d", tt.set.Name, got, tt.dhetMax)
+		}
+		if tt.set.Format.Flits != tt.flits || tt.set.Format.FlitBits != tt.bits {
+			t.Errorf("%s packet format %dx%d, Table 3-3 says %dx%d",
+				tt.set.Name, tt.set.Format.Flits, tt.set.Format.FlitBits, tt.flits, tt.bits)
+		}
+	}
+}
+
+func TestBandwidthSetValidation(t *testing.T) {
+	bad := BWSet1
+	bad.Name = "bad"
+	bad.ClassGbps = [4]float64{100, 200, 25, 12.5} // not decreasing
+	if err := bad.Validate(); err == nil {
+		t.Error("non-decreasing classes passed validation")
+	}
+	bad = BWSet1
+	bad.TotalWavelengths = 4 // top class needs 8
+	if err := bad.Validate(); err == nil {
+		t.Error("insufficient budget passed validation")
+	}
+}
+
+func TestUniformAssignment(t *testing.T) {
+	topo := topology.Default()
+	a, err := Uniform{}.Assign(topo, BWSet1, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cores) != 64 {
+		t.Fatalf("assignment covers %d cores", len(a.Cores))
+	}
+	// 64 wavelengths x 12.5 Gb/s / 64 cores = 12.5 Gb/s per core.
+	for c, p := range a.Cores {
+		if p.RateGbps != 12.5 {
+			t.Fatalf("core %d rate = %g, want 12.5", c, p.RateGbps)
+		}
+		if p.DemandGbps != 50 {
+			t.Fatalf("core %d demand = %g, want 50 (cluster share)", c, p.DemandGbps)
+		}
+	}
+	if got := a.TotalOfferedGbps(); got != 800 {
+		t.Fatalf("total offered = %g, want 800", got)
+	}
+}
+
+func TestUniformDestinationsAreForeign(t *testing.T) {
+	topo := topology.Default()
+	a, err := Uniform{}.Assign(topo, BWSet1, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(2)
+	for c := range a.Cores {
+		src := topo.ClusterOf(topology.CoreID(c))
+		for i := 0; i < 50; i++ {
+			dst := a.Cores[c].PickDest(rng)
+			if topo.ClusterOf(dst) == src {
+				t.Fatalf("core %d picked destination %d in its own cluster", c, dst)
+			}
+		}
+	}
+}
+
+func TestApportionmentMatchesFrequencies(t *testing.T) {
+	topo := topology.Default()
+	for level := 1; level <= 3; level++ {
+		a, err := Skewed{Level: level}.Assign(topo, BWSet1, sim.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		freq := SkewFrequencies[level]
+
+		// Group offered traffic by bandwidth class and compare the
+		// shares with Table 3-1's frequencies. Apportionment over 16
+		// clusters quantizes, so allow a generous tolerance.
+		total := a.TotalOfferedGbps()
+		for class, classRate := range BWSet1.ClassGbps {
+			var offered float64
+			for _, p := range a.Cores {
+				if p.DemandGbps == classRate {
+					offered += p.RateGbps
+				}
+			}
+			share := offered / total
+			if math.Abs(share-freq[class]) > 0.12 {
+				t.Errorf("skewed%d class %g Gb/s: traffic share %.3f, Table 3-1 says %.3f",
+					level, classRate, share, freq[class])
+			}
+		}
+	}
+}
+
+func TestApportionmentCoversAllClusters(t *testing.T) {
+	topo := topology.Default()
+	for level := 1; level <= 3; level++ {
+		a, err := Skewed{Level: level}.Assign(topo, BWSet1, sim.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every cluster runs exactly one application class, all four
+		// cores sharing it.
+		for cl := 0; cl < topo.Clusters(); cl++ {
+			cores := topo.CoresOf(topology.ClusterID(cl))
+			demand := a.Cores[cores[0]].DemandGbps
+			if demand <= 0 {
+				t.Fatalf("skewed%d cluster %d has no application", level, cl)
+			}
+			for _, c := range cores[1:] {
+				if a.Cores[c].DemandGbps != demand {
+					t.Fatalf("skewed%d cluster %d mixes classes", level, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestApportionExact(t *testing.T) {
+	counts, err := apportionClusters(16, SkewFrequencies[3], BWSet1.ClassGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != 16 {
+		t.Fatalf("apportioned %d clusters, want 16", sum)
+	}
+	// With weights f/r = {.009, .001, .001, .002} the largest-remainder
+	// split over 16 clusters is 11/1/1/3.
+	want := [4]int{11, 1, 1, 3}
+	if counts != want {
+		t.Fatalf("skewed3 apportionment = %v, want %v", counts, want)
+	}
+}
+
+func TestSkewedUnknownLevel(t *testing.T) {
+	if _, err := (Skewed{Level: 4}).Assign(topology.Default(), BWSet1, sim.NewRNG(1)); err == nil {
+		t.Fatal("unknown skew level accepted")
+	}
+}
+
+func TestClusterDemandUsesMax(t *testing.T) {
+	topo := topology.Default()
+	cores := make([]CoreProfile, topo.Cores())
+	for i := range cores {
+		cores[i] = CoreProfile{RateGbps: 1, DemandGbps: 10}
+	}
+	cores[2].DemandGbps = 95 // one hot core in cluster 0
+	a := Assignment{Name: "t", Cores: cores}
+	if got := a.ClusterDemandGbps(topo, 0); got != 95 {
+		t.Fatalf("cluster demand = %g, want max 95 (§3.2.1)", got)
+	}
+	if got := a.ClusterDemandGbps(topo, 1); got != 10 {
+		t.Fatalf("cluster 1 demand = %g, want 10", got)
+	}
+}
+
+func TestDemandTable(t *testing.T) {
+	topo := topology.Default()
+	p := CoreProfile{RateGbps: 25, DemandGbps: 100}
+	table := p.DemandTable(topo, 3)
+	if len(table) != 16 {
+		t.Fatalf("table has %d entries", len(table))
+	}
+	for d, n := range table {
+		if d == 3 {
+			if n != 0 {
+				t.Fatal("demand toward own cluster must be 0")
+			}
+			continue
+		}
+		if n != 8 { // 100 Gb/s -> 8 wavelengths
+			t.Fatalf("demand toward cluster %d = %d, want 8", d, n)
+		}
+	}
+
+	// Restricted destinations (real-application style).
+	p.DemandDests = []topology.ClusterID{5, 7}
+	table = p.DemandTable(topo, 3)
+	for d, n := range table {
+		want := 0
+		if d == 5 || d == 7 {
+			want = 8
+		}
+		if n != want {
+			t.Fatalf("restricted demand toward %d = %d, want %d", d, n, want)
+		}
+	}
+}
+
+func TestFixedPatternValidation(t *testing.T) {
+	topo := topology.Default()
+	_, err := Fixed{Assignment: Assignment{Cores: make([]CoreProfile, 3)}}.Assign(topo, BWSet1, sim.NewRNG(1))
+	if err == nil {
+		t.Fatal("short fixed assignment accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Package xbar implements the reservation-assisted single-write
+// multiple-read (R-SWMR) photonic crossbar shared by both architectures
+// (§2.2.1, §3.3): per-cluster write data channels, the dedicated
+// reservation waveguides, the transmit engine that serializes packets onto
+// DWDM wavelengths, and the receive engine that gates demodulators for the
+// duration of a packet.
+//
+// The difference between the Firefly baseline and d-HetPNoC is the
+// wavelength allocation policy, abstracted as the Allocator interface; the
+// dynamic token-based allocator lives in internal/core.
+package xbar
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+// Allocator decides which data wavelengths each cluster's write channel
+// owns, and which subset a given packet uses.
+type Allocator interface {
+	// Name identifies the policy ("firefly-static", "token-dba").
+	Name() string
+
+	// Tick advances protocol state by one cycle (token circulation for
+	// the dynamic allocator; a no-op for the static one).
+	Tick(now sim.Cycle)
+
+	// Allocated returns the wavelengths currently owned by cluster c's
+	// write channel. Callers must not mutate the returned slice.
+	Allocated(c topology.ClusterID) []photonic.WavelengthID
+
+	// SelectForPacket returns the wavelengths a packet from src to dst
+	// will use, chosen among the allocated ones based on the demand
+	// toward dst (§3.3.1). The result is never empty.
+	SelectForPacket(src, dst topology.ClusterID) []photonic.WavelengthID
+
+	// SetDemand records that the application on core reports a
+	// wavelength demand toward each destination cluster (the demand
+	// table a core sends its photonic router on a task change, §3.2.1).
+	SetDemand(core topology.CoreID, demand []int)
+}
+
+// Static is the Firefly baseline allocation: the aggregate wavelength
+// budget divided uniformly, each cluster permanently owning an equal slice
+// of its dedicated write waveguide. Every packet uses the channel's full
+// wavelength set, regardless of the flow's bandwidth requirement — the
+// inefficiency §2.2.1 calls out.
+type Static struct {
+	perCluster [][]photonic.WavelengthID
+}
+
+var _ Allocator = (*Static)(nil)
+
+// NewStatic divides totalWavelengths evenly over the topology's clusters.
+func NewStatic(topo topology.Topology, bundle photonic.WaveguideBundle, totalWavelengths int) (*Static, error) {
+	clusters := topo.Clusters()
+	if totalWavelengths < clusters {
+		return nil, fmt.Errorf("xbar: %d wavelengths cannot cover %d clusters", totalWavelengths, clusters)
+	}
+	if totalWavelengths%clusters != 0 {
+		return nil, fmt.Errorf("xbar: %d wavelengths do not divide evenly over %d clusters", totalWavelengths, clusters)
+	}
+	per := totalWavelengths / clusters
+	alloc := make([][]photonic.WavelengthID, clusters)
+	slot := 0
+	for c := range alloc {
+		ids := make([]photonic.WavelengthID, per)
+		for i := range ids {
+			ids[i] = bundle.IDForSlot(slot)
+			slot++
+		}
+		alloc[c] = ids
+	}
+	return &Static{perCluster: alloc}, nil
+}
+
+// Name implements Allocator.
+func (s *Static) Name() string { return "firefly-static" }
+
+// Tick implements Allocator.
+func (s *Static) Tick(sim.Cycle) {}
+
+// Allocated implements Allocator.
+func (s *Static) Allocated(c topology.ClusterID) []photonic.WavelengthID {
+	return s.perCluster[c]
+}
+
+// SelectForPacket implements Allocator: Firefly always transmits on the
+// channel's full wavelength set.
+func (s *Static) SelectForPacket(src, _ topology.ClusterID) []photonic.WavelengthID {
+	return s.perCluster[src]
+}
+
+// SetDemand implements Allocator; the static allocation ignores demand.
+func (s *Static) SetDemand(topology.CoreID, []int) {}

@@ -1,0 +1,373 @@
+package xbar
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/event"
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/router"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/topology"
+)
+
+// GatingMode selects which demodulators the destination powers for the
+// duration of a packet.
+type GatingMode int
+
+// Gating modes.
+const (
+	// GateChannel powers the source channel's full wavelength set, as in
+	// Firefly: "all the wavelengths are turned on for all transmissions
+	// irrespective of the required data rate" (§3.3.1).
+	GateChannel GatingMode = iota + 1
+
+	// GateSelected powers only the wavelengths named in the reservation
+	// flit, the d-HetPNoC behaviour.
+	GateSelected
+)
+
+// DropHandler is notified when a packet is dropped at the receive side
+// because no virtual channel was free; the fabric schedules the source's
+// retransmission (§1.4).
+type DropHandler func(p *packet.Packet, now sim.Cycle)
+
+// RX is the receive side of one cluster's photonic router: the detector
+// bank and the photonic input port feeding the router's ejection paths.
+type RX struct {
+	cluster   topology.ClusterID
+	port      *router.Port
+	detectors *photonic.DetectorBank
+	ledger    *photonic.Ledger
+
+	// counters
+	packetsDropped int64
+	flitsDiscarded int64
+}
+
+// NewRX builds the receive engine for cluster, delivering into port (the
+// photonic input port of the cluster's photonic router).
+func NewRX(cluster topology.ClusterID, port *router.Port, bundle photonic.WaveguideBundle, ledger *photonic.Ledger) *RX {
+	return &RX{
+		cluster:   cluster,
+		port:      port,
+		detectors: photonic.NewDetectorBank(bundle),
+		ledger:    ledger,
+	}
+}
+
+// PacketsDropped returns the number of packets dropped for lack of a free
+// VC at this receiver.
+func (rx *RX) PacketsDropped() int64 { return rx.packetsDropped }
+
+// FlitsDiscarded returns the flits thrown away for dropped packets.
+func (rx *RX) FlitsDiscarded() int64 { return rx.flitsDiscarded }
+
+// Detectors exposes the detector bank (tests and energy accounting).
+func (rx *RX) Detectors() *photonic.DetectorBank { return rx.detectors }
+
+// Window is an open receive reservation: the destination has gated its
+// demodulators and, unless dropped, holds a VC for the incoming packet.
+type Window struct {
+	rx      *RX
+	pkt     *packet.Packet
+	vc      int
+	power   []photonic.WavelengthID
+	dropped bool
+}
+
+// Dropped reports whether the packet was refused for lack of a free VC.
+func (w *Window) Dropped() bool { return w.dropped }
+
+// Begin opens a receive window: the destination gates the demodulators for
+// power and, when a VC is free, holds it for the incoming packet. When
+// every VC of the photonic input port is busy, the window is marked
+// dropped: the transfer still occupies the channel (the source cannot
+// know), but the flits are discarded and the source must retransmit.
+// Exported so other inter-cluster transports (the torus baseline) can
+// reuse the receive engine.
+func (rx *RX) Begin(p *packet.Packet, power []photonic.WavelengthID) *Window {
+	w := &Window{rx: rx, pkt: p, power: power}
+	vc, ok := rx.port.AllocVC(p.ID)
+	if !ok {
+		w.dropped = true
+		rx.packetsDropped++
+	} else {
+		w.vc = vc
+	}
+	rx.detectors.Power(power, true)
+	return w
+}
+
+// Deliver accepts one flit off the channel into the window.
+func (w *Window) Deliver(f packet.Flit, now sim.Cycle) error {
+	w.rx.ledger.AddDemodulation(float64(f.Bits()))
+	if w.dropped {
+		w.rx.flitsDiscarded++
+		return nil
+	}
+	return w.rx.port.Enqueue(w.vc, f, now)
+}
+
+// End closes the window, un-gating the demodulators. If the packet was
+// dropped the VC was never held; otherwise the VC drains through the
+// router and frees itself when the tail departs.
+func (w *Window) End() {
+	w.rx.detectors.Power(w.power, false)
+}
+
+// HoldCost charges one cycle of powered demodulator rows.
+func (w *Window) HoldCost() {
+	w.rx.ledger.AddIdleDetector(float64(len(w.power)))
+}
+
+// pending is a reservation in flight for the next packet: broadcast on the
+// reservation waveguide while the current packet is still streaming, so the
+// channel can switch packets back-to-back (the reservation channel and the
+// data channel are separate waveguides).
+type pending struct {
+	pkt     *packet.Packet
+	vc      int
+	use     []photonic.WavelengthID
+	resLeft int
+	window  *Window
+}
+
+// TXConfig carries the static parameters of a transmit engine.
+type TXConfig struct {
+	Cluster  topology.ClusterID
+	Clusters int
+	// MaxFlits sizes the packet-length field of the reservation flit.
+	MaxFlits int
+	Bundle   photonic.WaveguideBundle
+	Gating   GatingMode
+	ClockHz  float64
+	// PropagationCycles is the light-propagation latency added to every
+	// reservation (1 cycle across the 20 mm die).
+	PropagationCycles int
+
+	// DisablePipelining serializes reservations behind data transfers
+	// (the next packet's reservation starts only after the current
+	// packet finishes). Only used by the ablation study; real R-SWMR
+	// overlaps them since the waveguides are separate.
+	DisablePipelining bool
+
+	// Events, when non-nil, receives protocol events.
+	Events *event.Log
+}
+
+// TX is the transmit side of one cluster's write channel: it drains the
+// photonic router's transmit port, broadcasts reservations on the
+// cluster's dedicated reservation waveguide, and serializes flits onto the
+// allocated data wavelengths.
+type TX struct {
+	cfg    TXConfig
+	port   *router.Port
+	alloc  Allocator
+	rxs    []*RX
+	ledger *photonic.Ledger
+	onDrop DropHandler
+
+	// current transfer being streamed, if any.
+	vcIdx   int
+	current *packet.Packet
+	use     []photonic.WavelengthID
+	window  *Window
+	credit  float64
+
+	// next reservation in flight, if any.
+	next *pending
+
+	rr int
+
+	packetsSent  int64
+	reservations int64
+	busyCycles   int64
+}
+
+// NewTX builds the transmit engine draining port. rxs must be indexed by
+// cluster; onDrop may be nil.
+func NewTX(cfg TXConfig, port *router.Port, alloc Allocator, rxs []*RX, ledger *photonic.Ledger, onDrop DropHandler) (*TX, error) {
+	if cfg.Clusters <= 0 || cfg.MaxFlits <= 0 || cfg.ClockHz <= 0 {
+		return nil, fmt.Errorf("xbar: TX config for cluster %d has non-positive parameters", cfg.Cluster)
+	}
+	if cfg.Gating != GateChannel && cfg.Gating != GateSelected {
+		return nil, fmt.Errorf("xbar: TX config for cluster %d has invalid gating mode", cfg.Cluster)
+	}
+	if len(rxs) != cfg.Clusters {
+		return nil, fmt.Errorf("xbar: TX for cluster %d given %d receivers for %d clusters", cfg.Cluster, len(rxs), cfg.Clusters)
+	}
+	if cfg.PropagationCycles < 0 {
+		return nil, fmt.Errorf("xbar: negative propagation latency")
+	}
+	return &TX{cfg: cfg, port: port, alloc: alloc, rxs: rxs, ledger: ledger, onDrop: onDrop}, nil
+}
+
+// PacketsSent returns completed channel transfers (including ones dropped
+// at the receiver — the channel time was spent either way).
+func (tx *TX) PacketsSent() int64 { return tx.packetsSent }
+
+// Reservations returns the number of reservation flits broadcast.
+func (tx *TX) Reservations() int64 { return tx.reservations }
+
+// BusyCycles returns cycles the channel spent reserving or streaming.
+func (tx *TX) BusyCycles() int64 { return tx.busyCycles }
+
+// Tick advances the engine one cycle. Reservation and data transfer use
+// separate waveguides, so the next packet's reservation broadcasts while
+// the current packet streams — the channel switches packets back-to-back
+// once the pipeline is warm.
+func (tx *TX) Tick(now sim.Cycle) error {
+	// Advance the in-flight reservation.
+	if tx.next != nil && tx.next.window == nil {
+		tx.next.resLeft--
+		if tx.next.resLeft <= 0 {
+			power := tx.next.use
+			if tx.cfg.Gating == GateChannel {
+				power = tx.alloc.Allocated(tx.cfg.Cluster)
+			}
+			tx.next.window = tx.rxs[tx.next.pkt.DstCluster].Begin(tx.next.pkt, power)
+		}
+	}
+
+	// Promote a completed reservation onto the idle data channel.
+	if tx.current == nil && tx.next != nil && tx.next.window != nil {
+		tx.current = tx.next.pkt
+		tx.vcIdx = tx.next.vc
+		tx.use = tx.next.use
+		tx.window = tx.next.window
+		tx.credit = 0
+		tx.next = nil
+		tx.cfg.Events.Appendf(now, event.StreamStarted, int(tx.cfg.Cluster), int64(tx.current.ID),
+			"to cluster %d on %d wavelengths", tx.current.DstCluster, len(tx.use))
+	}
+
+	// Stream the current packet.
+	if tx.current != nil {
+		tx.busyCycles++
+		if err := tx.stream(now); err != nil {
+			return err
+		}
+	} else if tx.next != nil {
+		tx.busyCycles++
+	}
+
+	// A pending window that has not been promoted yet still holds its
+	// destination demodulators powered.
+	if tx.next != nil && tx.next.window != nil {
+		tx.next.window.HoldCost()
+	}
+
+	// Admit the next reservation (only once the channel is idle when the
+	// ablation study disables reservation pipelining).
+	if tx.next == nil && (!tx.cfg.DisablePipelining || tx.current == nil) {
+		tx.admitNext(now)
+	}
+	return nil
+}
+
+// admitNext scans the transmit VCs round-robin for a ready packet header
+// (other than the one currently streaming), selects its wavelengths and
+// begins its reservation broadcast.
+func (tx *TX) admitNext(now sim.Cycle) {
+	n := tx.port.VCCount()
+	for scan := 0; scan < n; scan++ {
+		vc := (tx.rr + scan) % n
+		if tx.current != nil && vc == tx.vcIdx {
+			continue
+		}
+		flit, enq, ok := tx.port.Head(vc)
+		if !ok || !flit.Type.IsHeader() || now-enq < router.PipelineDelay {
+			continue
+		}
+		tx.rr = (vc + 1) % n
+		use := tx.alloc.SelectForPacket(tx.cfg.Cluster, flit.Packet.DstCluster)
+
+		// Size and charge the reservation flit. d-HetPNoC piggybacks the
+		// wavelength identifiers (§3.4.1.1); Firefly's static channels
+		// need none.
+		ids := 0
+		if tx.cfg.Gating == GateSelected {
+			ids = len(use)
+		}
+		cycles := packet.ReservationCycles(tx.cfg.Clusters, tx.cfg.MaxFlits, tx.cfg.Bundle, ids, tx.cfg.ClockHz)
+		bits := float64(packet.ReservationBits(tx.cfg.Clusters, tx.cfg.MaxFlits, tx.cfg.Bundle, ids))
+		tx.ledger.AddControlTransmit(bits)
+		// Every listening cluster decodes the destination-ID field of the
+		// broadcast; only the addressed destination demodulates the rest
+		// (R-SWMR reservation broadcast, §2.2.1).
+		idBits := float64(packet.DestinationIDBits(tx.cfg.Clusters))
+		tx.ledger.AddDemodulation(idBits*float64(tx.cfg.Clusters-1) + bits)
+
+		tx.next = &pending{
+			pkt:     flit.Packet,
+			vc:      vc,
+			use:     use,
+			resLeft: cycles + tx.cfg.PropagationCycles,
+		}
+		tx.reservations++
+		tx.cfg.Events.Appendf(now, event.ReservationSent, int(tx.cfg.Cluster), int64(flit.Packet.ID),
+			"to cluster %d, %d ids, %d cycles", flit.Packet.DstCluster, ids, cycles)
+		return
+	}
+}
+
+// stream moves flits of the current packet onto the channel as bandwidth
+// credit accrues: k allocated wavelengths earn k x (rate/clock) bits per
+// cycle (5 bits per wavelength at the thesis's operating point).
+func (tx *TX) stream(now sim.Cycle) error {
+	perCycle := photonic.BitsPerCycle(tx.cfg.ClockHz) * float64(len(tx.use))
+	flitBits := float64(tx.current.FlitBits)
+	tx.credit += perCycle
+	// Idle light slots are lost: credit cannot bank more than one cycle
+	// of bandwidth beyond a flit boundary.
+	if maxCredit := flitBits + perCycle; tx.credit > maxCredit {
+		tx.credit = maxCredit
+	}
+	tx.window.HoldCost()
+
+	for tx.credit >= flitBits {
+		flit, enq, ok := tx.port.Head(tx.vcIdx)
+		if !ok || now-enq < router.PipelineDelay {
+			return nil // channel stalls waiting for flits from the electrical side
+		}
+		if flit.Packet.ID != tx.current.ID {
+			return fmt.Errorf("xbar: cluster %d TX VC %d interleaved packet %d into packet %d",
+				tx.cfg.Cluster, tx.vcIdx, flit.Packet.ID, tx.current.ID)
+		}
+		popped, err := tx.port.Pop(tx.vcIdx)
+		if err != nil {
+			return err
+		}
+		tx.credit -= flitBits
+		tx.ledger.AddPhotonicTransmit(flitBits)
+		if err := tx.window.Deliver(popped, now); err != nil {
+			return err
+		}
+		if popped.Type.IsTail() {
+			tx.finish(now)
+			return nil
+		}
+	}
+	return nil
+}
+
+// finish closes the transfer: detectors off, drop notification if the
+// receiver had refused the packet, channel back to idle.
+func (tx *TX) finish(now sim.Cycle) {
+	tx.window.End()
+	tx.packetsSent++
+	if tx.window.dropped {
+		tx.cfg.Events.Appendf(now, event.PacketDropped, int(tx.current.DstCluster), int64(tx.current.ID),
+			"from cluster %d, attempt %d", tx.cfg.Cluster, tx.current.Attempt)
+		if tx.onDrop != nil {
+			tx.onDrop(tx.current, now)
+		}
+	} else {
+		tx.cfg.Events.Appendf(now, event.PacketArrived, int(tx.current.DstCluster), int64(tx.current.ID),
+			"from cluster %d", tx.cfg.Cluster)
+	}
+	tx.window = nil
+	tx.current = nil
+	tx.use = nil
+}
