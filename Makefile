@@ -1,0 +1,34 @@
+# Tier-1 verification and perf tooling for the hetpnoc simulator.
+#
+#   make check   — build, vet, full test suite, race-enabled run of the
+#                  goroutine-bearing packages (the CI gate)
+#   make test    — fast test pass only
+#   make bench   — perf snapshot: writes BENCH_<date>.json via cmd/benchjson
+#   make sweep   — quick smoke sweep of every figure
+
+GO ?= go
+
+.PHONY: check build vet test race bench sweep
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Only internal/experiments spawns goroutines (RunMatrix, RunReplicated,
+# and the figure runners built on them); everything else is single-
+# threaded per simulation, so the race run targets just that package.
+race:
+	$(GO) test -race ./internal/experiments/...
+
+bench:
+	./scripts/bench.sh
+
+sweep:
+	$(GO) run ./cmd/sweep -quick

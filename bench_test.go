@@ -43,6 +43,7 @@ func findRow(b *testing.B, rows []experiments.Row, set, pattern, arch string) ex
 // the maximum speedup (the thesis observes up to 63%) and the count of
 // benchmarks below 1%.
 func BenchmarkFig1_1_FlitSizeSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	var maxPct float64
 	var below1 int
 	for i := 0; i < b.N; i++ {
@@ -69,6 +70,7 @@ func BenchmarkFig1_1_FlitSizeSpeedup(b *testing.B) {
 // energy per message.
 func benchmarkPeakSet(b *testing.B, set traffic.BandwidthSet) {
 	b.Helper()
+	b.ReportAllocs()
 	var bwGain, epmDelta float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.PeakBandwidth(benchOpts(), []traffic.BandwidthSet{set})
@@ -88,6 +90,7 @@ func benchmarkPeakSet(b *testing.B, set traffic.BandwidthSet) {
 // bandwidth and packet energy for uniform and skewed traffic), one
 // sub-benchmark per bandwidth set.
 func BenchmarkFig3_3_PeakBandwidth(b *testing.B) {
+	b.ReportAllocs()
 	for _, set := range traffic.BandwidthSets() {
 		b.Run(set.Name, func(b *testing.B) { benchmarkPeakSet(b, set) })
 	}
@@ -99,6 +102,7 @@ func BenchmarkFig3_3_PeakBandwidth(b *testing.B) {
 // ~5%; this model's congestion term yields larger ones, see
 // EXPERIMENTS.md).
 func BenchmarkFig3_4_PacketEnergy(b *testing.B) {
+	b.ReportAllocs()
 	var saving float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.PeakBandwidth(benchOpts(), []traffic.BandwidthSet{traffic.BWSet1})
@@ -115,6 +119,7 @@ func BenchmarkFig3_4_PacketEnergy(b *testing.B) {
 // BenchmarkFig3_5_CaseStudies regenerates Figure 3-5: the skewed-hotspot
 // synthetic patterns and the real-application GPU/memory traffic.
 func BenchmarkFig3_5_CaseStudies(b *testing.B) {
+	b.ReportAllocs()
 	var realGain float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.CaseStudies(benchOpts(), traffic.BWSet1)
@@ -132,6 +137,7 @@ func BenchmarkFig3_5_CaseStudies(b *testing.B) {
 // Reported metrics are the thesis's two headline areas at 64 data
 // wavelengths (1.608 and 1.367 mm^2).
 func BenchmarkFig3_6_Area(b *testing.B) {
+	b.ReportAllocs()
 	var dhet, ff float64
 	for i := 0; i < b.N; i++ {
 		points := experiments.AreaSweep(nil)
@@ -144,6 +150,7 @@ func BenchmarkFig3_6_Area(b *testing.B) {
 // BenchmarkFig3_7_DHetScaling regenerates Figure 3-7: d-HetPNoC peak core
 // bandwidth and EPM across the three bandwidth sets.
 func BenchmarkFig3_7_DHetScaling(b *testing.B) {
+	b.ReportAllocs()
 	var perCoreBW3 float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.ScalingSeries(benchOpts(), fabric.DHetPNoC)
@@ -163,6 +170,7 @@ func BenchmarkFig3_7_DHetScaling(b *testing.B) {
 // as the wavelength budget grows from 64 to 512 under skewed 3 traffic
 // (the thesis reports +751.31% bandwidth for +70% area).
 func BenchmarkFig3_8_BWvsArea(b *testing.B) {
+	b.ReportAllocs()
 	var bwPct, areaPct float64
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.WavelengthScaling(benchOpts(), fabric.DHetPNoC)
@@ -179,6 +187,7 @@ func BenchmarkFig3_8_BWvsArea(b *testing.B) {
 // BenchmarkFig3_9_EPMvsArea regenerates Figure 3-9: energy per message and
 // area across the wavelength scaling (the thesis reports -10.89% EPM).
 func BenchmarkFig3_9_EPMvsArea(b *testing.B) {
+	b.ReportAllocs()
 	var epmPct float64
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.WavelengthScaling(benchOpts(), fabric.DHetPNoC)
@@ -195,6 +204,7 @@ func BenchmarkFig3_9_EPMvsArea(b *testing.B) {
 // bandwidth and -10.85% EPM from the smallest to the largest
 // configuration, +41.17% area).
 func BenchmarkFig3_10_FireflyScaling(b *testing.B) {
+	b.ReportAllocs()
 	var bwPct, epmPct float64
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.WavelengthScaling(benchOpts(), fabric.Firefly)
@@ -213,6 +223,7 @@ func BenchmarkFig3_10_FireflyScaling(b *testing.B) {
 // 3-4/3-5) — these are configuration, so the benchmark measures their
 // construction and checks internal consistency.
 func BenchmarkTables3_1to3_5_Inputs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, set := range traffic.BandwidthSets() {
 			if err := set.Validate(); err != nil {
@@ -227,6 +238,7 @@ func BenchmarkTables3_1to3_5_Inputs(b *testing.B) {
 // bandwidth. Reported metrics: the restricted variant's bandwidth cost and
 // area saving relative to unrestricted d-HetPNoC.
 func BenchmarkAblation_WaveguideRestriction(b *testing.B) {
+	b.ReportAllocs()
 	var bwCost, areaSaving float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.WaveguideRestrictionAblation(benchOpts())
@@ -248,6 +260,7 @@ func BenchmarkAblation_WaveguideRestriction(b *testing.B) {
 // BenchmarkArchitectureComparison runs all three modeled architectures
 // (Firefly, d-HetPNoC, and the related-work torus) on skewed 2 traffic.
 func BenchmarkArchitectureComparison(b *testing.B) {
+	b.ReportAllocs()
 	var dhetGain float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.ArchitectureComparison(benchOpts(), traffic.BWSet1, traffic.Skewed{Level: 2})

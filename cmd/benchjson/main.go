@@ -1,0 +1,121 @@
+// Command benchjson runs the repository's benchmarks and writes a
+// machine-readable BENCH_<date>.json report: mean ns/op, B/op, allocs/op
+// per benchmark across -count runs, plus derived simulated-cycles-per-
+// second for the cycle-loop benchmarks. It is the perf-regression
+// harness's capture step; compare two reports to spot regressions.
+//
+//	go run ./cmd/benchjson                       # fast default selection
+//	go run ./cmd/benchjson -bench . -pkg ./...   # everything (slow)
+//	go run ./cmd/benchjson -out bench.json
+//
+// The command shells out to `go test -bench -benchmem`, so it must run
+// from the module root with the go toolchain on PATH.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"goVersion"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Bench     string   `json:"bench"`
+	Packages  string   `json:"packages"`
+	Count     int      `json:"count"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		bench     = fs.String("bench", "BenchmarkFabricStep|BenchmarkFabricStepIdle|BenchmarkFabricBuild|BenchmarkRouterTick|BenchmarkTokenTick|BenchmarkSimulationThroughput", "benchmark regex passed to go test -bench")
+		pkg       = fs.String("pkg", "./...", "package pattern passed to go test")
+		count     = fs.Int("count", 3, "runs per benchmark (go test -count)")
+		benchtime = fs.String("benchtime", "", "go test -benchtime (e.g. 1x, 100ms); empty = go default")
+		out       = fs.String("out", "", "output path (default BENCH_<date>.json)")
+		verbose   = fs.Bool("v", false, "echo the raw go test output to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	now := time.Now()
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))
+	}
+
+	cmdArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", fmt.Sprint(*count)}
+	if *benchtime != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
+	}
+	cmdArgs = append(cmdArgs, *pkg)
+
+	var buf bytes.Buffer
+	cmd := exec.Command("go", cmdArgs...)
+	if *verbose {
+		cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	} else {
+		cmd.Stdout = &buf
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %v: %w", cmdArgs, err)
+	}
+
+	results, err := parseBench(&buf)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched -bench %q in %s", *bench, *pkg)
+	}
+
+	report := Report{
+		Date:      now.Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *bench,
+		Packages:  *pkg,
+		Count:     *count,
+		Benchtime: *benchtime,
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	for _, r := range results {
+		line := fmt.Sprintf("  %-50s %12.0f ns/op %10.0f B/op %8.1f allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.SimCyclesPerSecond > 0 {
+			line += fmt.Sprintf("  %.0f cycles/s", r.SimCyclesPerSecond)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}

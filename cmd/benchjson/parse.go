@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is the aggregated outcome of one benchmark across -count runs.
+// Means are arithmetic over the per-run values the testing package prints.
+type Result struct {
+	Name string `json:"name"`
+	Runs int    `json:"runs"`
+
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+
+	// SimCyclesPerSecond is derived for benchmarks whose op simulates a
+	// known number of fabric cycles (see cyclesPerOp); 0 elsewhere.
+	SimCyclesPerSecond float64 `json:"simCyclesPerSecond,omitempty"`
+
+	// Metrics holds any custom b.ReportMetric values (unit -> mean).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// cyclesPerOp maps benchmark base names to how many simulated fabric
+// cycles one benchmark op advances, letting the report state simulator
+// throughput in cycles/second rather than raw ns/op.
+var cyclesPerOp = map[string]float64{
+	"BenchmarkFabricStep":           1,
+	"BenchmarkFabricStepIdle":       1,
+	"BenchmarkSimulationThroughput": 2000,
+}
+
+// sample is one parsed benchmark output line.
+type sample struct {
+	name    string
+	metrics map[string]float64 // unit -> value, e.g. "ns/op" -> 9136
+}
+
+// parseLine parses one `go test -bench` result line, returning ok=false
+// for non-benchmark lines (goos/pkg headers, PASS, etc.). Lines look like:
+//
+//	BenchmarkFabricStep-8   200   9136 ns/op   102 B/op   0 allocs/op
+//
+// with optional custom metric pairs appended.
+func parseLine(line string) (sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return sample{}, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return sample{}, false // not an iteration count
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix the testing package appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	s := sample{name: name, metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return sample{}, false
+		}
+		s.metrics[fields[i+1]] = v
+	}
+	return s, true
+}
+
+// baseName returns the benchmark name without sub-benchmark path (the
+// part before the first '/'), used for the cycles-per-op lookup.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// parseBench reads `go test -bench` output and aggregates repeated runs
+// of each benchmark into mean Results, ordered by first appearance.
+func parseBench(r io.Reader) ([]Result, error) {
+	type acc struct {
+		runs int
+		sums map[string]float64
+	}
+	order := []string{}
+	byName := map[string]*acc{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		s, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		a := byName[s.name]
+		if a == nil {
+			a = &acc{sums: make(map[string]float64)}
+			byName[s.name] = a
+			order = append(order, s.name)
+		}
+		a.runs++
+		for unit, v := range s.metrics {
+			a.sums[unit] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading bench output: %w", err)
+	}
+
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		res := Result{Name: name, Runs: a.runs}
+		custom := map[string]float64{}
+		for unit, sum := range a.sums {
+			mean := sum / float64(a.runs)
+			switch unit {
+			case "ns/op":
+				res.NsPerOp = mean
+			case "B/op":
+				res.BytesPerOp = mean
+			case "allocs/op":
+				res.AllocsPerOp = mean
+			case "MB/s":
+				custom[unit] = mean
+			default:
+				custom[unit] = mean
+			}
+		}
+		if cyc := cyclesPerOp[baseName(name)]; cyc > 0 && res.NsPerOp > 0 {
+			res.SimCyclesPerSecond = cyc / res.NsPerOp * 1e9
+		}
+		if len(custom) > 0 {
+			res.Metrics = custom
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hetpnoc/internal/fabric
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFabricStep     	     200	      9136 ns/op	     102 B/op	       0 allocs/op
+BenchmarkFabricStep     	     200	      9336 ns/op	     104 B/op	       0 allocs/op
+BenchmarkFabricStepIdle 	     200	        86.23 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig3_3_PeakBandwidth/BW1-8         	       1	344057672 ns/op	        12.30 dhet-bw-gain-%	  50041 allocs/op
+PASS
+ok  	hetpnoc/internal/fabric	0.041s
+`
+
+func TestParseLine(t *testing.T) {
+	s, ok := parseLine("BenchmarkFabricStep-8   200   9136 ns/op   102 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("expected a benchmark line to parse")
+	}
+	if s.name != "BenchmarkFabricStep" {
+		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", s.name)
+	}
+	if s.metrics["ns/op"] != 9136 || s.metrics["B/op"] != 102 || s.metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics = %v", s.metrics)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: hetpnoc/internal/fabric",
+		"PASS",
+		"ok  	hetpnoc/internal/fabric	0.041s",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("non-benchmark line parsed: %q", line)
+		}
+	}
+}
+
+func TestParseBenchAggregates(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+
+	step := results[0]
+	if step.Name != "BenchmarkFabricStep" || step.Runs != 2 {
+		t.Fatalf("first result = %+v, want 2 aggregated FabricStep runs", step)
+	}
+	if step.NsPerOp != 9236 || step.BytesPerOp != 103 {
+		t.Fatalf("means = %g ns/op, %g B/op; want 9236, 103", step.NsPerOp, step.BytesPerOp)
+	}
+	// 1 simulated cycle per op -> cycles/s = 1e9 / nsPerOp.
+	if want := 1e9 / 9236; math.Abs(step.SimCyclesPerSecond-want) > 1e-6 {
+		t.Fatalf("cycles/s = %g, want %g", step.SimCyclesPerSecond, want)
+	}
+
+	idle := results[1]
+	if idle.Name != "BenchmarkFabricStepIdle" || idle.SimCyclesPerSecond == 0 {
+		t.Fatalf("idle result = %+v, want cycles/s derived", idle)
+	}
+
+	fig := results[2]
+	if fig.Name != "BenchmarkFig3_3_PeakBandwidth/BW1" {
+		t.Fatalf("sub-benchmark name = %q", fig.Name)
+	}
+	if fig.SimCyclesPerSecond != 0 {
+		t.Fatalf("figure benchmark should have no cycles/s mapping, got %g", fig.SimCyclesPerSecond)
+	}
+	if fig.Metrics["dhet-bw-gain-%"] != 12.30 {
+		t.Fatalf("custom metric lost: %+v", fig.Metrics)
+	}
+}

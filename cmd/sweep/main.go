@@ -12,14 +12,20 @@
 //	sweep -tables       # the input tables (3-1..3-5)
 //
 // Simulation figures honour -cycles/-warmup/-seed; -quick shrinks runs for
-// a fast smoke pass.
+// a fast smoke pass. -parallel bounds concurrent simulations and, when
+// several figures are selected, runs whole figures concurrently too (each
+// buffers its output so tables still print in figure order).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 
 	"hetpnoc/internal/experiments"
 	"hetpnoc/internal/fabric"
@@ -46,162 +52,191 @@ func run(args []string) error {
 		warmup      = fs.Int("warmup", 1000, "warm-up cycles per run")
 		seed        = fs.Uint64("seed", 1, "simulation seed")
 		quick       = fs.Bool("quick", false, "short runs (4000 cycles) for a fast pass")
+		parallel    = fs.Int("parallel", 0, "max concurrent simulations and figures (0 = GOMAXPROCS)")
 		csvDir      = fs.String("csv", "", "also write machine-readable CSV files into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tables {
-		printTables()
+		printTables(os.Stdout)
 		return nil
 	}
 
-	opts := experiments.Options{Cycles: *cycles, WarmupCycles: *warmup, Seed: *seed}
+	opts := experiments.Options{Cycles: *cycles, WarmupCycles: *warmup, Seed: *seed, Parallelism: *parallel}
 	if *quick {
 		opts.Cycles = 4000
 		opts.WarmupCycles = 800
 	}
 
+	var figures []func(io.Writer) error
+	add := func(fn func(io.Writer) error) { figures = append(figures, fn) }
+
 	all := *fig == ""
 	if all || *fig == "1-1" {
-		if err := printFig1_1(); err != nil {
-			return err
-		}
+		add(printFig1_1)
 	}
 	if all || *fig == "3-3" || *fig == "3-4" {
-		if err := printFig3_3(opts, *csvDir); err != nil {
-			return err
-		}
+		add(func(w io.Writer) error { return printFig3_3(w, opts, *csvDir) })
 	}
 	if all || *fig == "3-5" {
-		if err := printFig3_5(opts, *csvDir); err != nil {
-			return err
-		}
+		add(func(w io.Writer) error { return printFig3_5(w, opts, *csvDir) })
 	}
 	if all || *fig == "3-6" {
-		printFig3_6()
+		add(func(w io.Writer) error { printFig3_6(w); return nil })
 	}
 	if all || *fig == "3-7" {
-		if err := printScaling(opts, fabric.DHetPNoC, "3-7"); err != nil {
-			return err
-		}
+		add(func(w io.Writer) error { return printScaling(w, opts, fabric.DHetPNoC, "3-7") })
 	}
 	if all || *fig == "3-8" || *fig == "3-9" {
-		if err := printFig3_8(opts); err != nil {
-			return err
-		}
+		add(func(w io.Writer) error { return printFig3_8(w, opts) })
 	}
 	if all || *fig == "3-10" {
-		if err := printScaling(opts, fabric.Firefly, "3-10"); err != nil {
-			return err
-		}
+		add(func(w io.Writer) error { return printScaling(w, opts, fabric.Firefly, "3-10") })
 	}
 	if *ablations {
-		if err := printAblations(opts); err != nil {
-			return err
-		}
+		add(func(w io.Writer) error { return printAblations(w, opts) })
 	}
 	if *latency {
-		if err := printLatencyCurves(opts); err != nil {
-			return err
-		}
+		add(func(w io.Writer) error { return printLatencyCurves(w, opts) })
 	}
 	if *sensitivity {
-		if err := printSensitivity(opts); err != nil {
+		add(func(w io.Writer) error { return printSensitivity(w, opts) })
+	}
+
+	return runFigures(figures, *parallel)
+}
+
+// runFigures executes every figure, concurrently up to parallel when more
+// than one is selected. Each concurrent figure writes into its own buffer;
+// the buffers are flushed to stdout in figure order so the report reads
+// the same regardless of parallelism.
+func runFigures(figures []func(io.Writer) error, parallel int) error {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if len(figures) <= 1 || parallel == 1 {
+		for _, fn := range figures {
+			if err := fn(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	bufs := make([]bytes.Buffer, len(figures))
+	errs := make([]error, len(figures))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, fn := range figures {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, fn func(io.Writer) error) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(&bufs[i])
+		}(i, fn)
+	}
+	wg.Wait()
+	for i := range figures {
+		os.Stdout.Write(bufs[i].Bytes())
+	}
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func printSensitivity(opts experiments.Options) error {
+func printSensitivity(w io.Writer, opts experiments.Options) error {
 	rows, err := experiments.EnergySensitivity(opts, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Println("== Energy-model sensitivity (extension): Figure 3-4 sign vs calibration ==")
-	fmt.Printf("%-18s %6s %14s %14s %10s\n", "parameter", "scale", "firefly EPM", "d-Het EPM", "saving")
+	fmt.Fprintln(w, "== Energy-model sensitivity (extension): Figure 3-4 sign vs calibration ==")
+	fmt.Fprintf(w, "%-18s %6s %14s %14s %10s\n", "parameter", "scale", "firefly EPM", "d-Het EPM", "saving")
 	for _, r := range rows {
-		fmt.Printf("%-18s %5.2fx %14.1f %14.1f %9.1f%%\n",
+		fmt.Fprintf(w, "%-18s %5.2fx %14.1f %14.1f %9.1f%%\n",
 			r.Parameter, r.Scale, r.FireflyEPMPJ, r.DHetPNoCEPMPJ, r.DHetSavingPct)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
-func printLatencyCurves(opts experiments.Options) error {
-	fmt.Println("== Load-latency curves (extension), BW set 1, skewed 2 ==")
-	fmt.Printf("%-10s %6s %12s %14s %12s\n", "arch", "load", "offered", "delivered", "avg latency")
+func printLatencyCurves(w io.Writer, opts experiments.Options) error {
+	fmt.Fprintln(w, "== Load-latency curves (extension), BW set 1, skewed 2 ==")
+	fmt.Fprintf(w, "%-10s %6s %12s %14s %12s\n", "arch", "load", "offered", "delivered", "avg latency")
 	for _, arch := range []fabric.Arch{fabric.Firefly, fabric.DHetPNoC} {
 		points, err := experiments.LoadLatencyCurve(opts, arch, traffic.Skewed{Level: 2}, traffic.BWSet1, nil)
 		if err != nil {
 			return err
 		}
 		for _, p := range points {
-			fmt.Printf("%-10s %6.2f %10.1f G %12.1f G %10.1f c\n",
+			fmt.Fprintf(w, "%-10s %6.2f %10.1f G %12.1f G %10.1f c\n",
 				arch, p.LoadScale, p.OfferedGbps, p.DeliveredGbps, p.AvgLatencyCycles)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
-func printAblations(opts experiments.Options) error {
+func printAblations(w io.Writer, opts experiments.Options) error {
 	rows, err := experiments.AllAblations(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Println("== Ablation studies (extensions; see DESIGN.md §4 and EXPERIMENTS.md) ==")
-	fmt.Printf("%-24s %-24s %12s %14s %12s %9s %10s\n",
+	fmt.Fprintln(w, "== Ablation studies (extensions; see DESIGN.md §4 and EXPERIMENTS.md) ==")
+	fmt.Fprintf(w, "%-24s %-24s %12s %14s %12s %9s %10s\n",
 		"study", "variant", "BW Gb/s", "EPM pJ", "latency cyc", "fairness", "area mm^2")
 	for _, r := range rows {
 		areaCol := "-"
 		if r.AreaMM2 > 0 {
 			areaCol = fmt.Sprintf("%.3f", r.AreaMM2)
 		}
-		fmt.Printf("%-24s %-24s %12.1f %14.1f %12.1f %9.3f %10s\n",
+		fmt.Fprintf(w, "%-24s %-24s %12.1f %14.1f %12.1f %9.3f %10s\n",
 			r.Study, r.Variant, r.PeakBandwidthGbps, r.EnergyPerMessagePJ,
 			r.AvgLatencyCycles, r.FairnessJain, areaCol)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
-func printFig1_1() error {
+func printFig1_1(w io.Writer) error {
 	points, err := experiments.Figure1_1()
 	if err != nil {
 		return err
 	}
-	fmt.Println("== Figure 1-1: speedup of 1024 B flits over 32 B baseline, 700 MHz GPU-memory link ==")
-	fmt.Printf("%-15s %-9s %8s %10s\n", "benchmark", "suite", "kernels", "speedup")
+	fmt.Fprintln(w, "== Figure 1-1: speedup of 1024 B flits over 32 B baseline, 700 MHz GPU-memory link ==")
+	fmt.Fprintf(w, "%-15s %-9s %8s %10s\n", "benchmark", "suite", "kernels", "speedup")
 	for _, p := range points {
-		fmt.Printf("%-15s %-9s %8d %9.2f%%\n", p.Benchmark, p.Suite, p.KernelLaunches, p.SpeedupPct)
+		fmt.Fprintf(w, "%-15s %-9s %8d %9.2f%%\n", p.Benchmark, p.Suite, p.KernelLaunches, p.SpeedupPct)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
-func printFig3_3(opts experiments.Options, csvDir string) error {
+func printFig3_3(w io.Writer, opts experiments.Options, csvDir string) error {
 	rows, err := experiments.PeakBandwidth(opts, traffic.BandwidthSets())
 	if err != nil {
 		return err
 	}
-	if err := writeRowsCSV(csvDir, "fig3-3_peak_bandwidth.csv", rows); err != nil {
+	if err := writeRowsCSV(w, csvDir, "fig3-3_peak_bandwidth.csv", rows); err != nil {
 		return err
 	}
-	fmt.Println("== Figures 3-3 / 3-4: peak bandwidth and packet energy, Firefly vs d-HetPNoC ==")
-	fmt.Printf("%-5s %-10s %-10s %12s %14s %10s\n", "set", "traffic", "arch", "peak Gb/s", "EPM pJ", "drops")
+	fmt.Fprintln(w, "== Figures 3-3 / 3-4: peak bandwidth and packet energy, Firefly vs d-HetPNoC ==")
+	fmt.Fprintf(w, "%-5s %-10s %-10s %12s %14s %10s\n", "set", "traffic", "arch", "peak Gb/s", "EPM pJ", "drops")
 	for _, r := range rows {
-		fmt.Printf("%-5s %-10s %-10s %12.1f %14.1f %10d\n",
+		fmt.Fprintf(w, "%-5s %-10s %-10s %12.1f %14.1f %10d\n",
 			r.Set, r.Pattern, r.Arch, r.PeakBandwidthGbps, r.EnergyPerMessagePJ, r.PacketsDropped)
 	}
-	printPairGains(rows)
-	fmt.Println()
+	printPairGains(w, rows)
+	fmt.Fprintln(w)
 	return nil
 }
 
 // writeRowsCSV writes rows into dir/name when dir is set.
-func writeRowsCSV(dir, name string, rows []experiments.Row) error {
+func writeRowsCSV(w io.Writer, dir, name string, rows []experiments.Row) error {
 	if dir == "" {
 		return nil
 	}
@@ -217,73 +252,73 @@ func writeRowsCSV(dir, name string, rows []experiments.Row) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Println("wrote", path)
+	fmt.Fprintln(w, "wrote", path)
 	return nil
 }
 
-func printFig3_5(opts experiments.Options, csvDir string) error {
+func printFig3_5(w io.Writer, opts experiments.Options, csvDir string) error {
 	rows, err := experiments.CaseStudies(opts, traffic.BWSet1)
 	if err != nil {
 		return err
 	}
-	if err := writeRowsCSV(csvDir, "fig3-5_case_studies.csv", rows); err != nil {
+	if err := writeRowsCSV(w, csvDir, "fig3-5_case_studies.csv", rows); err != nil {
 		return err
 	}
-	fmt.Println("== Figure 3-5: case studies (skewed hotspot + real application), BW set 1 ==")
-	fmt.Printf("%-17s %-10s %15s %14s %10s\n", "traffic", "arch", "per-core Gb/s", "EPM pJ", "drops")
+	fmt.Fprintln(w, "== Figure 3-5: case studies (skewed hotspot + real application), BW set 1 ==")
+	fmt.Fprintf(w, "%-17s %-10s %15s %14s %10s\n", "traffic", "arch", "per-core Gb/s", "EPM pJ", "drops")
 	for _, r := range rows {
-		fmt.Printf("%-17s %-10s %15.2f %14.1f %10d\n",
+		fmt.Fprintf(w, "%-17s %-10s %15.2f %14.1f %10d\n",
 			r.Pattern, r.Arch, r.PerCoreGbps, r.EnergyPerMessagePJ, r.PacketsDropped)
 	}
-	printPairGains(rows)
-	fmt.Println()
+	printPairGains(w, rows)
+	fmt.Fprintln(w)
 	return nil
 }
 
-func printFig3_6() {
-	fmt.Println("== Figure 3-6: total electro-optic device area vs aggregate bandwidth ==")
-	fmt.Printf("%12s %15s %13s %10s\n", "wavelengths", "d-HetPNoC mm^2", "Firefly mm^2", "overhead")
+func printFig3_6(w io.Writer) {
+	fmt.Fprintln(w, "== Figure 3-6: total electro-optic device area vs aggregate bandwidth ==")
+	fmt.Fprintf(w, "%12s %15s %13s %10s\n", "wavelengths", "d-HetPNoC mm^2", "Firefly mm^2", "overhead")
 	for _, p := range experiments.AreaSweep(nil) {
-		fmt.Printf("%12d %15.3f %13.3f %9.1f%%\n", p.DataWavelengths, p.DynamicMM2, p.FireflyMM2, p.OverheadPct)
+		fmt.Fprintf(w, "%12d %15.3f %13.3f %9.1f%%\n", p.DataWavelengths, p.DynamicMM2, p.FireflyMM2, p.OverheadPct)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func printScaling(opts experiments.Options, arch fabric.Arch, figName string) error {
+func printScaling(w io.Writer, opts experiments.Options, arch fabric.Arch, figName string) error {
 	rows, err := experiments.ScalingSeries(opts, arch)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("== Figure %s: %s peak core bandwidth and EPM across bandwidth sets ==\n", figName, arch)
-	fmt.Printf("%-5s %-10s %6s %15s %14s %12s\n", "set", "traffic", "total", "per-core Gb/s", "EPM pJ", "area mm^2")
+	fmt.Fprintf(w, "== Figure %s: %s peak core bandwidth and EPM across bandwidth sets ==\n", figName, arch)
+	fmt.Fprintf(w, "%-5s %-10s %6s %15s %14s %12s\n", "set", "traffic", "total", "per-core Gb/s", "EPM pJ", "area mm^2")
 	for _, r := range rows {
-		fmt.Printf("%-5s %-10s %6d %15.2f %14.1f %12.3f\n",
+		fmt.Fprintf(w, "%-5s %-10s %6d %15.2f %14.1f %12.3f\n",
 			r.Set, r.Pattern, r.TotalWavelengths, r.PerCoreGbps, r.EnergyPerMessagePJ, r.AreaMM2)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
-func printFig3_8(opts experiments.Options) error {
+func printFig3_8(w io.Writer, opts experiments.Options) error {
 	points, err := experiments.WavelengthScaling(opts, fabric.DHetPNoC)
 	if err != nil {
 		return err
 	}
-	fmt.Println("== Figures 3-8 / 3-9: d-HetPNoC, skewed 3 — wavelengths vs peak bandwidth, EPM, area ==")
-	fmt.Printf("%12s %12s %12s %11s %9s %9s %9s\n",
+	fmt.Fprintln(w, "== Figures 3-8 / 3-9: d-HetPNoC, skewed 3 — wavelengths vs peak bandwidth, EPM, area ==")
+	fmt.Fprintf(w, "%12s %12s %12s %11s %9s %9s %9s\n",
 		"wavelengths", "peak Gb/s", "EPM pJ", "area mm^2", "dBW%", "dEPM%", "dArea%")
 	for _, p := range points {
-		fmt.Printf("%12d %12.1f %12.1f %11.3f %+8.1f%% %+8.1f%% %+8.1f%%\n",
+		fmt.Fprintf(w, "%12d %12.1f %12.1f %11.3f %+8.1f%% %+8.1f%% %+8.1f%%\n",
 			p.TotalWavelengths, p.PeakBandwidthGbps, p.EnergyPerMessagePJ, p.AreaMM2,
 			p.BandwidthChangePct, p.EPMChangePct, p.AreaChangePct)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
 // printPairGains prints the d-HetPNoC-over-Firefly deltas for rows that
 // come in (Firefly, d-HetPNoC) pairs.
-func printPairGains(rows []experiments.Row) {
+func printPairGains(w io.Writer, rows []experiments.Row) {
 	for i := 0; i+1 < len(rows); i += 2 {
 		ff, dh := rows[i], rows[i+1]
 		if ff.Arch == dh.Arch || ff.Set != dh.Set || ff.Pattern != dh.Pattern {
@@ -292,30 +327,30 @@ func printPairGains(rows []experiments.Row) {
 		if ff.Arch != "firefly" {
 			ff, dh = dh, ff
 		}
-		fmt.Printf("   %s/%s: d-HetPNoC bandwidth %+.1f%%, EPM %+.1f%%\n",
+		fmt.Fprintf(w, "   %s/%s: d-HetPNoC bandwidth %+.1f%%, EPM %+.1f%%\n",
 			ff.Set, ff.Pattern,
 			(dh.PeakBandwidthGbps/ff.PeakBandwidthGbps-1)*100,
 			(dh.EnergyPerMessagePJ/ff.EnergyPerMessagePJ-1)*100)
 	}
 }
 
-func printTables() {
-	fmt.Println("== Table 3-1: bandwidth sets ==")
+func printTables(w io.Writer) {
+	fmt.Fprintln(w, "== Table 3-1: bandwidth sets ==")
 	for _, s := range traffic.BandwidthSets() {
-		fmt.Printf("%s: classes %v Gb/s, %d wavelengths, packets %dx%d b\n",
+		fmt.Fprintf(w, "%s: classes %v Gb/s, %d wavelengths, packets %dx%d b\n",
 			s.Name, s.ClassGbps, s.TotalWavelengths, s.Format.Flits, s.Format.FlitBits)
 	}
-	fmt.Println("\n== Table 3-2: frequency of communication (share of traffic per class) ==")
+	fmt.Fprintln(w, "\n== Table 3-2: frequency of communication (share of traffic per class) ==")
 	for level := 1; level <= 3; level++ {
 		f := traffic.SkewFrequencies[level]
-		fmt.Printf("skewed%d: %.1f%% / %.1f%% / %.2f%% / %.2f%%\n",
+		fmt.Fprintf(w, "skewed%d: %.1f%% / %.1f%% / %.2f%% / %.2f%%\n",
 			level, f[0]*100, f[1]*100, f[2]*100, f[3]*100)
 	}
-	fmt.Println("\n== Table 3-3: simulation parameters ==")
-	fmt.Println("64 cores, 16 clusters of 4; 2.5 GHz clock; 10,000 cycles with 1,000 reset;")
-	fmt.Println("16 VCs/port, 64-flit buffers; wormhole switching; 64 wavelengths/waveguide")
-	fmt.Println("\n== Tables 3-4 / 3-5: photonic energy parameters ==")
+	fmt.Fprintln(w, "\n== Table 3-3: simulation parameters ==")
+	fmt.Fprintln(w, "64 cores, 16 clusters of 4; 2.5 GHz clock; 10,000 cycles with 1,000 reset;")
+	fmt.Fprintln(w, "16 VCs/port, 64-flit buffers; wormhole switching; 64 wavelengths/waveguide")
+	fmt.Fprintln(w, "\n== Tables 3-4 / 3-5: photonic energy parameters ==")
 	p := photonic.DefaultEnergyParams()
-	fmt.Printf("modulation %.3g pJ/b, tuning %.3g pJ/b, launch %.3g pJ/b, buffer %.6g pJ/b, router %.3g pJ/b\n",
+	fmt.Fprintf(w, "modulation %.3g pJ/b, tuning %.3g pJ/b, launch %.3g pJ/b, buffer %.6g pJ/b, router %.3g pJ/b\n",
 		p.ModulationPJPerBit, p.TuningPJPerBit, p.LaunchPJPerBit, p.BufferPJPerBit, p.RouterPJPerBit)
 }

@@ -363,7 +363,7 @@ func (a *Allocator) Tick(now sim.Cycle) {
 		a.pos = 0
 		a.transitLeft = a.transitCycles
 		a.regenerations++
-		a.cfg.Events.Appendf(now, event.AllocationChanged, 0, 0, "token regenerated")
+		a.cfg.Events.AppendInts(now, event.AllocationChanged, 0, 0, "token regenerated")
 		return
 	}
 	a.transitLeft--
@@ -489,10 +489,15 @@ func (a *Allocator) process(c int, now sim.Cycle) {
 		}
 		a.current[c][d] = cur
 	}
-	a.rebuildIDs(c)
+	// The acquired list only changed if the count moved (a visit either
+	// appends or trims, never both), so an unchanged allocation keeps its
+	// cached IDs — rebuilding would allocate a fresh slice per token
+	// visit. The cache must never be mutated in place: transmit engines
+	// and open receive windows hold views of it across cycles.
 	if have != before {
-		a.cfg.Events.Appendf(now, event.AllocationChanged, c, 0,
-			"%d -> %d wavelengths (target %d)", before, have, target)
+		a.rebuildIDs(c)
+		a.cfg.Events.AppendInts(now, event.AllocationChanged, c, 0,
+			"%d -> %d wavelengths (target %d)", int64(before), int64(have), int64(target))
 	}
 }
 

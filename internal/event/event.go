@@ -73,10 +73,39 @@ type Event struct {
 	// Detail carries kind-specific context ("4 wavelengths", "alloc
 	// 1->8").
 	Detail string
+
+	// Deferred detail: AppendInts stores the verb string and integer
+	// arguments instead of formatting eagerly, so events that are evicted
+	// before anyone reads the log never pay the fmt cost. format is empty
+	// once Detail has been materialized.
+	format string
+	iargs  [4]int64
+	nargs  int
+}
+
+// materialize renders a deferred detail string in place.
+func (e *Event) materialize() {
+	if e.format == "" {
+		return
+	}
+	switch e.nargs {
+	case 0:
+		e.Detail = e.format
+	case 1:
+		e.Detail = fmt.Sprintf(e.format, e.iargs[0])
+	case 2:
+		e.Detail = fmt.Sprintf(e.format, e.iargs[0], e.iargs[1])
+	case 3:
+		e.Detail = fmt.Sprintf(e.format, e.iargs[0], e.iargs[1], e.iargs[2])
+	default:
+		e.Detail = fmt.Sprintf(e.format, e.iargs[0], e.iargs[1], e.iargs[2], e.iargs[3])
+	}
+	e.format = ""
 }
 
 // String formats the event for logs.
 func (e Event) String() string {
+	e.materialize()
 	return fmt.Sprintf("[%6d] %-18s cluster=%d pkt=%d %s",
 		e.Cycle, e.Kind, e.Cluster, e.Packet, e.Detail)
 }
@@ -128,6 +157,26 @@ func (l *Log) Appendf(cycle sim.Cycle, kind Kind, cluster int, pkt int64, format
 	})
 }
 
+// AppendInts records an event whose detail formats only integers (%d
+// verbs, at most four). Unlike Appendf it defers the fmt work to read
+// time: a disabled log or an event evicted before Events is called costs
+// no formatting and no allocation.
+func (l *Log) AppendInts(cycle sim.Cycle, kind Kind, cluster int, pkt int64, format string, args ...int64) {
+	if l == nil {
+		return
+	}
+	e := Event{
+		Cycle:   cycle,
+		Kind:    kind,
+		Cluster: cluster,
+		Packet:  pkt,
+		format:  format,
+		nargs:   len(args),
+	}
+	copy(e.iargs[:], args)
+	l.Append(e)
+}
+
 // Events returns the retained events in chronological order.
 func (l *Log) Events() []Event {
 	if l == nil {
@@ -136,6 +185,9 @@ func (l *Log) Events() []Event {
 	out := make([]Event, 0, len(l.ring))
 	out = append(out, l.ring[l.next:]...)
 	out = append(out, l.ring[:l.next]...)
+	for i := range out {
+		out[i].materialize()
+	}
 	return out
 }
 

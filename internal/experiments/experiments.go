@@ -148,13 +148,16 @@ func RunMatrix(opts Options, points []Point) ([]Row, error) {
 	rows := make([]Row, len(points))
 	errs := make([]error, len(points))
 
+	// Acquire the semaphore before spawning: a large matrix then keeps at
+	// most Parallelism goroutines alive instead of materializing one per
+	// point up front.
 	sem := make(chan struct{}, opts.Parallelism)
 	var wg sync.WaitGroup
 	for i, p := range points {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, p Point) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			rows[i], errs[i] = runPoint(opts, p)
 		}(i, p)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Replicated aggregates one matrix point over several seeds: mean, sample
@@ -42,21 +43,22 @@ func RunReplicated(opts Options, p Point, seeds int) (Replicated, error) {
 	rows := make([]Row, seeds)
 	errs := make([]error, seeds)
 
+	// Acquire the semaphore before spawning so at most Parallelism
+	// replicate goroutines exist at once.
 	sem := make(chan struct{}, opts.Parallelism)
-	done := make(chan int)
+	var wg sync.WaitGroup
 	for i := 0; i < seeds; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
 		go func(i int) {
-			sem <- struct{}{}
+			defer wg.Done()
 			defer func() { <-sem }()
 			o := opts
 			o.Seed = opts.Seed + uint64(i)
 			rows[i], errs[i] = runPoint(o, p)
-			done <- i
 		}(i)
 	}
-	for i := 0; i < seeds; i++ {
-		<-done
-	}
+	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			return Replicated{}, err

@@ -3,6 +3,7 @@ package fabric
 import (
 	"testing"
 
+	"hetpnoc/internal/topology"
 	"hetpnoc/internal/traffic"
 )
 
@@ -21,6 +22,38 @@ func BenchmarkFabricStep(b *testing.B) {
 	}
 	// Warm the pipelines so the benchmark measures steady state.
 	for i := 0; i < 2000; i++ {
+		if err := f.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricStepIdle measures one cycle of the chip with zero
+// offered load — the case the active-list scheduling targets. With no
+// traffic, every router, TX engine and core stays off the active lists
+// and a cycle costs only the torus/allocator housekeeping.
+func BenchmarkFabricStepIdle(b *testing.B) {
+	topo := topology.Default()
+	silent := traffic.Assignment{Name: "silent", Cores: make([]traffic.CoreProfile, topo.Cores())}
+	f, err := New(Config{
+		Arch:    DHetPNoC,
+		Set:     traffic.BWSet1,
+		Pattern: traffic.Fixed{Assignment: silent},
+		Cycles:  1 << 30, // stepped manually
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A short run drains any construction-time transients.
+	for i := 0; i < 100; i++ {
 		if err := f.Step(); err != nil {
 			b.Fatal(err)
 		}

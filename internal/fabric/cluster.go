@@ -27,7 +27,7 @@ const (
 type coreState struct {
 	id      topology.CoreID
 	source  *traffic.Source
-	queue   []*packet.Packet
+	queue   packet.Queue
 	rejects int64
 
 	injectPort *router.Port
@@ -294,15 +294,15 @@ func (c *cluster) rxInputPort(clusterSize int, mode IntraCluster) *router.Port {
 func (cs *coreState) pumpInject(now sim.Cycle) error {
 	for moved := 0; moved < injectWidth; moved++ {
 		if cs.inFlight == nil {
-			if len(cs.queue) == 0 {
+			head := cs.queue.Head()
+			if head == nil {
 				return nil
 			}
-			vc, ok := cs.injectPort.AllocVC(cs.queue[0].ID)
+			vc, ok := cs.injectPort.AllocVC(head.ID)
 			if !ok {
 				return nil // every VC busy; the packet waits at the source
 			}
-			cs.inFlight = cs.queue[0]
-			cs.queue = cs.queue[1:]
+			cs.inFlight = cs.queue.Pop()
 			cs.inVC = vc
 			cs.inNext = 0
 		}

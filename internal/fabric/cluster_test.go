@@ -109,7 +109,7 @@ func TestPeerLinksCarryTraffic(t *testing.T) {
 		Src: 0, Dst: 3, SrcCluster: 0, DstCluster: 0,
 		Flits: 8, FlitBits: 32, Attempt: 1,
 	}
-	f.cores[0].queue = append(f.cores[0].queue, pkt)
+	f.enqueueAtSource(0, pkt)
 
 	for i := 0; i < 200; i++ {
 		if err := f.Step(); err != nil {

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hetpnoc/internal/core"
 	"hetpnoc/internal/event"
@@ -43,6 +44,29 @@ type Fabric struct {
 	msgIDs     packet.MessageID
 	pktIDs     packet.ID
 	now        sim.Cycle
+
+	// Activity tracking: a component is on its active set exactly while
+	// it may have work, so idle cycles cost O(active) instead of
+	// O(everything). Ports wake their consumer on every empty-to-non-empty
+	// transition; the scheduler deregisters a component when it drains.
+	routerActive sim.Bitset
+	txActive     sim.Bitset
+	injActive    sim.Bitset
+	ejectActive  sim.Bitset
+
+	// genList holds the cores whose traffic source can emit packets
+	// (rebuilt on every workload assignment); idle sources tick as pure
+	// no-ops and are skipped.
+	genList []*coreState
+
+	// Ejection callbacks, hoisted out of Step so the per-core drain loop
+	// does not allocate two closures per core per cycle.
+	onEjectFlit   func(packet.Flit)
+	onEjectPacket func(*packet.Packet)
+
+	// pool recycles packet structs once their tail is consumed or the
+	// packet is lost; sources draw from it when generating.
+	pool packet.Pool
 }
 
 // New builds a fabric from cfg (after applying defaults and validation).
@@ -182,6 +206,38 @@ func New(cfg Config) (*Fabric, error) {
 		}
 	}
 
+	// Activity tracking: wire every input port to wake its consumer.
+	f.routerActive = sim.NewBitset(len(f.routers))
+	f.txActive = sim.NewBitset(len(f.txs))
+	f.injActive = sim.NewBitset(len(f.cores))
+	f.ejectActive = sim.NewBitset(len(f.cores))
+	for ri := range f.routers {
+		ri := ri
+		r := f.routers[ri]
+		wake := func() { f.routerActive.Set(ri) }
+		for i := 0; i < r.Inputs(); i++ {
+			r.Input(i).SetWake(wake)
+		}
+	}
+	for c := range f.cores {
+		c := c
+		f.cores[c].ejectPort.SetWake(func() { f.ejectActive.Set(c) })
+	}
+	for i := range f.txs {
+		i := i
+		f.clusters[i].txPort.SetWake(func() { f.txActive.Set(i) })
+	}
+	f.onEjectFlit = func(fl packet.Flit) {
+		f.collector.OnDeliverFlit(fl.Bits(), int(fl.Packet.SrcCluster))
+	}
+	f.onEjectPacket = func(p *packet.Packet) {
+		f.collector.OnDeliverPacket(p.Born, f.now)
+		f.events.AppendInts(f.now, event.PacketDelivered, int(p.DstCluster), int64(p.ID),
+			"core %d, latency %d cycles", int64(p.Dst), int64(f.now-p.Born))
+		// The tail was the last live reference: recycle the struct.
+		f.pool.Put(p)
+	}
+
 	// Initial workload mapping.
 	assignment, err := cfg.Pattern.Assign(cfg.Topology, cfg.Set, f.rng.Split())
 	if err != nil {
@@ -222,7 +278,14 @@ func (f *Fabric) applyAssignment(a traffic.Assignment) error {
 			return err
 		}
 		cs.source = src
+		src.SetPool(&f.pool)
 		f.alloc.SetDemand(coreID, profile.DemandTable(f.cfg.Topology, f.cfg.Topology.ClusterOf(coreID)))
+	}
+	f.genList = f.genList[:0]
+	for _, cs := range f.cores {
+		if !cs.source.Idle() {
+			f.genList = append(f.genList, cs)
+		}
 	}
 	return nil
 }
@@ -234,17 +297,27 @@ func (f *Fabric) handleDrop(p *packet.Packet, now sim.Cycle) {
 	f.collector.OnDropRX()
 	if p.Attempt > f.cfg.MaxRetries {
 		f.collector.OnLost()
+		f.pool.Put(p)
 		return
 	}
 	f.collector.OnRetransmit()
-	f.events.Appendf(now, event.Retransmit, int(p.SrcCluster), int64(p.ID),
-		"attempt %d, back-off %d cycles", p.Attempt, f.cfg.RetryBackoffCycles)
+	f.events.AppendInts(now, event.Retransmit, int(p.SrcCluster), int64(p.ID),
+		"attempt %d, back-off %d cycles", int64(p.Attempt), int64(f.cfg.RetryBackoffCycles))
 	f.timers.Schedule(now+sim.Cycle(f.cfg.RetryBackoffCycles), func(at sim.Cycle) {
-		retry := traffic.Retransmit(p, at, &f.pktIDs)
+		retry := traffic.RetransmitFrom(&f.pool, p, at, &f.pktIDs)
 		// Retransmissions bypass the source-queue limit: the message is
 		// already committed and must not be silently shed.
-		f.cores[p.Src].queue = append(f.cores[p.Src].queue, retry)
+		f.enqueueAtSource(retry.Src, retry)
+		f.pool.Put(p) // the old attempt is fully copied out
 	})
+}
+
+// enqueueAtSource appends p to core c's source queue and registers the
+// core on the injection active set. Every out-of-band insertion (retry
+// timers, tests) must go through it so the core is not skipped.
+func (f *Fabric) enqueueAtSource(c topology.CoreID, p *packet.Packet) {
+	f.cores[c].queue.Push(p)
+	f.injActive.Set(int(c))
 }
 
 // Now returns the current cycle.
@@ -256,7 +329,10 @@ func (f *Fabric) DBA() *core.Allocator { return f.dba }
 // Assignment returns the workload mapping currently in force.
 func (f *Fabric) Assignment() traffic.Assignment { return f.assignment }
 
-// Step simulates one cycle.
+// Step simulates one cycle. Each phase visits only the components on its
+// active set; a skipped component's tick is provably a no-op (empty
+// ports, idle engines, zero-rate sources), so the result is bit-identical
+// to ticking everything — TestGoldenResults enforces this.
 func (f *Fabric) Step() error {
 	now := f.now
 	if int(now) == f.cfg.WarmupCycles {
@@ -268,31 +344,47 @@ func (f *Fabric) Step() error {
 	f.alloc.Tick(now)
 
 	// Traffic generation into the bounded source queues.
-	for _, cs := range f.cores {
+	for _, cs := range f.genList {
 		p := cs.source.Tick(now, f.cfg.Topology)
 		if p == nil {
 			continue
 		}
-		if len(cs.queue) >= f.cfg.SourceQueueLimit {
+		if cs.queue.Len() >= f.cfg.SourceQueueLimit {
 			cs.rejects++
 			f.collector.OnReject()
+			f.pool.Put(p) // never escaped: safe to recycle immediately
 			continue
 		}
-		cs.queue = append(cs.queue, p)
+		cs.queue.Push(p)
+		f.injActive.Set(int(cs.id))
 		f.collector.OnInject()
 	}
 
 	// Injection into the electrical network.
-	for _, cs := range f.cores {
-		if err := cs.pumpInject(now); err != nil {
-			return fmt.Errorf("cycle %d: %w", now, err)
+	for w, words := 0, f.injActive.Words(); w < len(words); w++ {
+		for word := words[w]; word != 0; word &= word - 1 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			cs := f.cores[i]
+			if err := cs.pumpInject(now); err != nil {
+				return fmt.Errorf("cycle %d: %w", now, err)
+			}
+			if cs.inFlight == nil && cs.queue.Len() == 0 {
+				f.injActive.Clear(i)
+			}
 		}
 	}
 
 	// Inter-cluster photonic transport (crossbar engines or the torus).
-	for _, tx := range f.txs {
-		if err := tx.Tick(now); err != nil {
-			return fmt.Errorf("cycle %d: %w", now, err)
+	for w, words := 0, f.txActive.Words(); w < len(words); w++ {
+		for word := words[w]; word != 0; word &= word - 1 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			tx := f.txs[i]
+			if err := tx.Tick(now); err != nil {
+				return fmt.Errorf("cycle %d: %w", now, err)
+			}
+			if !tx.Busy() {
+				f.txActive.Clear(i)
+			}
 		}
 	}
 	if f.torus != nil {
@@ -301,30 +393,43 @@ func (f *Fabric) Step() error {
 		}
 	}
 
-	// Electrical routers (core switches, then photonic routers).
-	for _, r := range f.routers {
-		if err := r.Tick(now); err != nil {
-			return fmt.Errorf("cycle %d: %w", now, err)
+	// Electrical routers (core switches, then photonic routers). A router
+	// woken mid-phase by an upstream enqueue stays registered for the next
+	// cycle; ticking it now would be a no-op anyway, because flits that
+	// arrived this cycle are still inside the router pipeline delay.
+	for w, words := 0, f.routerActive.Words(); w < len(words); w++ {
+		for word := words[w]; word != 0; word &= word - 1 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			r := f.routers[i]
+			if err := r.Tick(now); err != nil {
+				return fmt.Errorf("cycle %d: %w", now, err)
+			}
+			if r.BufferedFlits() == 0 {
+				f.routerActive.Clear(i)
+			}
 		}
 	}
 
 	// Core ejection.
-	for _, cs := range f.cores {
-		err := cs.drainEject(now, f.cfg.EjectWidth,
-			func(fl packet.Flit) { f.collector.OnDeliverFlit(fl.Bits(), int(fl.Packet.SrcCluster)) },
-			func(p *packet.Packet) {
-				f.collector.OnDeliverPacket(p.Born, now)
-				f.events.Appendf(now, event.PacketDelivered, int(p.DstCluster), int64(p.ID),
-					"core %d, latency %d cycles", p.Dst, now-p.Born)
-			})
-		if err != nil {
-			return fmt.Errorf("cycle %d: %w", now, err)
+	for w, words := 0, f.ejectActive.Words(); w < len(words); w++ {
+		for word := words[w]; word != 0; word &= word - 1 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			cs := f.cores[i]
+			if err := cs.drainEject(now, f.cfg.EjectWidth, f.onEjectFlit, f.onEjectPacket); err != nil {
+				return fmt.Errorf("cycle %d: %w", now, err)
+			}
+			if cs.ejectPort.BufferedFlits() == 0 {
+				f.ejectActive.Clear(i)
+			}
 		}
 	}
 
 	// Congestion-sensitive buffer retention energy, proportional to the
-	// bits held in SRAM this cycle.
-	f.ledger.AddBufferResidency(float64(f.occupancy) * float64(f.cfg.Set.Format.FlitBits))
+	// bits held in SRAM this cycle. An empty fabric holds zero bits and
+	// would add exactly +0.0, so the call is skipped.
+	if f.occupancy != 0 {
+		f.ledger.AddBufferResidency(float64(f.occupancy) * float64(f.cfg.Set.Format.FlitBits))
+	}
 
 	f.now++
 	return nil

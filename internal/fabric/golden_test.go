@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"strconv"
+	"testing"
+
+	"hetpnoc/internal/traffic"
+)
+
+// goldenCase pins the headline Result fields of one short reference run.
+// The values were recorded from the pre-optimization simulator (PR 1) and
+// must never drift: performance work on the cycle loop is only acceptable
+// when the simulation stays bit-identical. Regenerate deliberately with
+//
+//	go run ./internal/fabric/goldengen
+//
+// and only commit new values alongside an intentional behaviour change.
+type goldenCase struct {
+	Arch    string
+	Pattern string
+
+	PacketsDelivered int64
+	DeliveredGbps    float64
+	AvgLatencyCycles float64
+	EPMpj            float64
+}
+
+// goldenCases covers all three architectures at bandwidth set 1, seed 1,
+// under both uniform and skewed traffic (3,000 cycles, 500 warm-up).
+var goldenCases = []goldenCase{
+	{"firefly", "uniform", 400, 795.072, 270.9575, 8819.472224999765},
+	{"firefly", "skewed2", 269, 537.408, 692.5353159851301, 13624.46479553866},
+	{"d-hetpnoc", "uniform", 400, 795.072, 270.9575, 8893.992224999693},
+	{"d-hetpnoc", "skewed2", 372, 759.008, 402.73655913978496, 10406.69037634387},
+	{"torus-pnoc", "uniform", 391, 799.104, 205.40153452685422, 8913.15686700745},
+	{"torus-pnoc", "skewed2", 397, 822.528, 284.1007556675063, 9743.069231737909},
+}
+
+func goldenArch(t *testing.T, name string) Arch {
+	t.Helper()
+	for _, a := range []Arch{Firefly, DHetPNoC, TorusPNoC} {
+		if a.String() == name {
+			return a
+		}
+	}
+	t.Fatalf("unknown architecture %q", name)
+	return 0
+}
+
+func goldenPattern(t *testing.T, name string) traffic.Pattern {
+	t.Helper()
+	switch name {
+	case "uniform":
+		return traffic.Uniform{}
+	case "skewed2":
+		return traffic.Skewed{Level: 2}
+	}
+	t.Fatalf("unknown pattern %q", name)
+	return nil
+}
+
+// TestGoldenResults asserts that every reference run still produces exactly
+// the recorded headline numbers. Floating-point fields are compared
+// bit-exactly (via shortest round-trip formatting), so even a reordering of
+// energy or latency accumulation fails the test.
+func TestGoldenResults(t *testing.T) {
+	for _, gc := range goldenCases {
+		gc := gc
+		t.Run(gc.Arch+"/"+gc.Pattern, func(t *testing.T) {
+			t.Parallel()
+			f, err := New(Config{
+				Arch:         goldenArch(t, gc.Arch),
+				Set:          traffic.BWSet1,
+				Pattern:      goldenPattern(t, gc.Pattern),
+				Cycles:       3000,
+				WarmupCycles: 500,
+				Seed:         1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := f.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.PacketsDelivered != gc.PacketsDelivered {
+				t.Errorf("PacketsDelivered = %d, golden %d",
+					res.Stats.PacketsDelivered, gc.PacketsDelivered)
+			}
+			assertGoldenFloat(t, "DeliveredGbps", res.Stats.DeliveredGbps, gc.DeliveredGbps)
+			assertGoldenFloat(t, "AvgLatencyCycles", res.Stats.AvgLatencyCycles, gc.AvgLatencyCycles)
+			assertGoldenFloat(t, "EnergyPerMessagePJ", res.EnergyPerMessagePJ, gc.EPMpj)
+		})
+	}
+}
+
+func assertGoldenFloat(t *testing.T, field string, got, want float64) {
+	t.Helper()
+	if strconv.FormatFloat(got, 'g', -1, 64) != strconv.FormatFloat(want, 'g', -1, 64) {
+		t.Errorf("%s = %s, golden %s", field,
+			strconv.FormatFloat(got, 'g', -1, 64),
+			strconv.FormatFloat(want, 'g', -1, 64))
+	}
+}

@@ -1,0 +1,45 @@
+// Command goldengen regenerates the golden values pinned by
+// internal/fabric/golden_test.go: the headline Result fields of six short
+// reference runs (three architectures x two traffic patterns at bandwidth
+// set 1, seed 1). Run it only when an intentional behaviour change makes
+// the recorded values obsolete, and paste its output over the goldenCases
+// table:
+//
+//	go run ./internal/fabric/goldengen
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"hetpnoc/internal/fabric"
+	"hetpnoc/internal/traffic"
+)
+
+func main() {
+	for _, arch := range []fabric.Arch{fabric.Firefly, fabric.DHetPNoC, fabric.TorusPNoC} {
+		for _, pat := range []traffic.Pattern{traffic.Uniform{}, traffic.Skewed{Level: 2}} {
+			f, err := fabric.New(fabric.Config{
+				Arch:         arch,
+				Set:          traffic.BWSet1,
+				Pattern:      pat,
+				Cycles:       3000,
+				WarmupCycles: 500,
+				Seed:         1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			res, err := f.Run()
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("{%q, %q, %d, %s, %s, %s},\n",
+				res.Arch, res.Pattern,
+				res.Stats.PacketsDelivered,
+				strconv.FormatFloat(res.Stats.DeliveredGbps, 'g', -1, 64),
+				strconv.FormatFloat(res.Stats.AvgLatencyCycles, 'g', -1, 64),
+				strconv.FormatFloat(res.EnergyPerMessagePJ, 'g', -1, 64))
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package packet
+
+// Pool is a free-list of Packet structs. The simulator generates one
+// packet per transfer and drops the reference as soon as the tail flit is
+// consumed (or the packet is lost), so recycling the structs removes the
+// dominant steady-state allocation of the cycle loop. A nil *Pool is
+// valid and always allocates.
+//
+// The pool is not safe for concurrent use; each fabric owns its own.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing a recycled one when available.
+func (pl *Pool) Get() *Packet {
+	if pl == nil || len(pl.free) == 0 {
+		return &Packet{}
+	}
+	n := len(pl.free) - 1
+	p := pl.free[n]
+	pl.free[n] = nil
+	pl.free = pl.free[:n]
+	*p = Packet{}
+	return p
+}
+
+// Put recycles p. The caller must hold the only remaining reference:
+// after the next Get the struct is rewritten in place.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	pl.free = append(pl.free, p)
+}
+
+// Queue is a FIFO of packets backed by a reusable ring, replacing the
+// append/re-slice idiom that leaks the front capacity of the backing
+// array on every dequeue.
+type Queue struct {
+	buf   []*Packet
+	head  int
+	count int
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return q.count }
+
+// Head returns the oldest queued packet without removing it, or nil when
+// the queue is empty.
+func (q *Queue) Head() *Packet {
+	if q.count == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Push appends p, growing the ring as needed.
+func (q *Queue) Push(p *Packet) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	slot := q.head + q.count
+	if slot >= len(q.buf) {
+		slot -= len(q.buf)
+	}
+	q.buf[slot] = p
+	q.count++
+}
+
+// Pop removes and returns the oldest packet, or nil when empty.
+func (q *Queue) Pop() *Packet {
+	if q.count == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.count--
+	return p
+}
+
+// grow doubles the ring capacity, linearizing the contents at the front.
+func (q *Queue) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap < 8 {
+		newCap = 8
+	}
+	buf := make([]*Packet, newCap)
+	for i := 0; i < q.count; i++ {
+		slot := q.head + i
+		if slot >= len(q.buf) {
+			slot -= len(q.buf)
+		}
+		buf[i] = q.buf[slot]
+	}
+	q.buf = buf
+	q.head = 0
+}

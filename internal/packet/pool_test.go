@@ -1,0 +1,60 @@
+package packet
+
+import "testing"
+
+func TestPoolRecycles(t *testing.T) {
+	var pl Pool
+	p := pl.Get()
+	p.ID = 7
+	p.Flits = 8
+	pl.Put(p)
+	q := pl.Get()
+	if q != p {
+		t.Fatal("pool did not reuse the recycled packet")
+	}
+	if q.ID != 0 || q.Flits != 0 {
+		t.Fatalf("recycled packet not zeroed: %+v", q)
+	}
+}
+
+func TestPoolNilSafe(t *testing.T) {
+	var pl *Pool
+	if p := pl.Get(); p == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	pl.Put(&Packet{}) // must not panic
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 || q.Head() != nil || q.Pop() != nil {
+		t.Fatal("empty queue misbehaves")
+	}
+	pkts := make([]*Packet, 20)
+	for i := range pkts {
+		pkts[i] = &Packet{ID: ID(i + 1)}
+		q.Push(pkts[i])
+	}
+	if q.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", q.Len())
+	}
+	for i := range pkts {
+		if q.Head() != pkts[i] {
+			t.Fatalf("Head mismatch at %d", i)
+		}
+		if q.Pop() != pkts[i] {
+			t.Fatalf("Pop mismatch at %d", i)
+		}
+	}
+	// Interleave pushes and pops across the wrap point.
+	for round := 0; round < 50; round++ {
+		q.Push(pkts[round%20])
+		q.Push(pkts[(round+1)%20])
+		if got := q.Pop(); got != pkts[round%20] {
+			t.Fatalf("round %d: wrong packet", round)
+		}
+		if got := q.Pop(); got != pkts[(round+1)%20] {
+			t.Fatalf("round %d: wrong second packet", round)
+		}
+	}
+}

@@ -24,8 +24,14 @@ type entry struct {
 // VC is one virtual channel: a FIFO flit buffer plus the wormhole state
 // that binds it to a packet and, once the header has been routed, to a
 // downstream (output port, VC) pair.
+//
+// The FIFO is a ring: buf grows on demand up to depth entries and is then
+// reused for the rest of the run, so steady-state traffic enqueues and
+// dequeues without allocating.
 type VC struct {
-	fifo  []entry
+	buf   []entry
+	head  int
+	count int
 	depth int
 
 	// owner is the packet currently occupying the VC (0 when free). Set
@@ -40,19 +46,88 @@ type VC struct {
 }
 
 // Len returns the number of buffered flits.
-func (v *VC) Len() int { return len(v.fifo) }
+func (v *VC) Len() int { return v.count }
 
 // Free returns the remaining buffer slots.
-func (v *VC) Free() int { return v.depth - len(v.fifo) }
+func (v *VC) Free() int { return v.depth - v.count }
+
+// headEntry returns the ring slot of the oldest buffered flit.
+func (v *VC) headEntry() *entry { return &v.buf[v.head] }
+
+// push appends an entry, growing the ring toward depth when full.
+func (v *VC) push(e entry) {
+	if v.count == len(v.buf) {
+		v.grow()
+	}
+	slot := v.head + v.count
+	if slot >= len(v.buf) {
+		slot -= len(v.buf)
+	}
+	v.buf[slot] = e
+	v.count++
+}
+
+// pop removes and returns the oldest entry.
+func (v *VC) pop() entry {
+	e := v.buf[v.head]
+	v.buf[v.head] = entry{} // drop the packet reference
+	v.head++
+	if v.head == len(v.buf) {
+		v.head = 0
+	}
+	v.count--
+	return e
+}
+
+// grow doubles the ring capacity (bounded by depth), linearizing the
+// current contents at the front of the new buffer.
+func (v *VC) grow() {
+	newCap := 2 * len(v.buf)
+	if newCap < 8 {
+		newCap = 8
+	}
+	if newCap > v.depth {
+		newCap = v.depth
+	}
+	buf := make([]entry, newCap)
+	for i := 0; i < v.count; i++ {
+		slot := v.head + i
+		if slot >= len(v.buf) {
+			slot -= len(v.buf)
+		}
+		buf[i] = v.buf[slot]
+	}
+	v.buf = buf
+	v.head = 0
+}
+
+// clear discards every buffered entry but keeps the ring storage for
+// reuse.
+func (v *VC) clear() {
+	for i := 0; i < v.count; i++ {
+		slot := v.head + i
+		if slot >= len(v.buf) {
+			slot -= len(v.buf)
+		}
+		v.buf[slot] = entry{}
+	}
+	v.head = 0
+	v.count = 0
+}
 
 // Port is an input port: a bank of VCs. It is the unit of connection in
 // the fabric — router outputs, the photonic transmit engine and the core
 // ejection path all receive flits through a Port.
 type Port struct {
-	vcs       []*VC
+	vcs       []VC
 	ledger    *photonic.Ledger
 	occupancy *int64 // shared fabric-wide buffered-flit counter
 	buffered  int    // flits buffered across this port's VCs
+
+	// wake, when set, is invoked whenever the port transitions from empty
+	// to non-empty. The fabric uses it to register the consuming component
+	// (router, transmit engine or ejecting core) on its active lists.
+	wake func()
 }
 
 // NewPort builds a port with the given VC count and per-VC depth. ledger
@@ -65,25 +140,31 @@ func NewPort(vcCount, depth int, ledger *photonic.Ledger, occupancy *int64) (*Po
 	if ledger == nil || occupancy == nil {
 		return nil, fmt.Errorf("router: port needs a ledger and occupancy counter")
 	}
-	vcs := make([]*VC, vcCount)
+	vcs := make([]VC, vcCount)
 	for i := range vcs {
-		vcs[i] = &VC{depth: depth}
+		vcs[i].depth = depth
 	}
 	return &Port{vcs: vcs, ledger: ledger, occupancy: occupancy}, nil
 }
+
+// SetWake installs fn to run on every empty-to-non-empty transition of the
+// port. The fabric wires it to its activity tracking so components with
+// freshly arrived work re-enter the per-cycle schedule.
+func (p *Port) SetWake(fn func()) { p.wake = fn }
 
 // VCCount returns the number of virtual channels.
 func (p *Port) VCCount() int { return len(p.vcs) }
 
 // VC returns channel i.
-func (p *Port) VC(i int) *VC { return p.vcs[i] }
+func (p *Port) VC(i int) *VC { return &p.vcs[i] }
 
 // AllocVC claims a free, empty VC for a new packet and returns its index.
 // It reports false when every VC is busy — the §1.4 condition under which
 // a header flit is dropped.
 func (p *Port) AllocVC(owner packet.ID) (int, bool) {
-	for i, vc := range p.vcs {
-		if vc.owner == 0 && len(vc.fifo) == 0 {
+	for i := range p.vcs {
+		vc := &p.vcs[i]
+		if vc.owner == 0 && vc.count == 0 {
 			vc.owner = owner
 			return i, true
 		}
@@ -94,8 +175,9 @@ func (p *Port) AllocVC(owner packet.ID) (int, bool) {
 // FreeVCs returns how many VCs are currently unclaimed.
 func (p *Port) FreeVCs() int {
 	n := 0
-	for _, vc := range p.vcs {
-		if vc.owner == 0 && len(vc.fifo) == 0 {
+	for i := range p.vcs {
+		vc := &p.vcs[i]
+		if vc.owner == 0 && vc.count == 0 {
 			n++
 		}
 	}
@@ -109,16 +191,19 @@ func (p *Port) Space(i int) int { return p.vcs[i].Free() }
 // energy. It reports an error when the VC is full or not owned by the
 // flit's packet — both are fabric bugs, not runtime conditions.
 func (p *Port) Enqueue(i int, f packet.Flit, now sim.Cycle) error {
-	vc := p.vcs[i]
+	vc := &p.vcs[i]
 	if vc.Free() == 0 {
 		return fmt.Errorf("router: enqueue into full VC %d (%s)", i, f)
 	}
 	if vc.owner != f.Packet.ID {
 		return fmt.Errorf("router: VC %d owned by packet %d, got flit of packet %d", i, vc.owner, f.Packet.ID)
 	}
-	vc.fifo = append(vc.fifo, entry{flit: f, enqueued: now})
+	vc.push(entry{flit: f, enqueued: now})
 	*p.occupancy++
 	p.buffered++
+	if p.buffered == 1 && p.wake != nil {
+		p.wake()
+	}
 	p.ledger.AddBufferAccess(float64(f.Bits()))
 	return nil
 }
@@ -126,22 +211,22 @@ func (p *Port) Enqueue(i int, f packet.Flit, now sim.Cycle) error {
 // Head returns the head flit of VC i and its enqueue cycle; ok is false
 // when the VC is empty.
 func (p *Port) Head(i int) (packet.Flit, sim.Cycle, bool) {
-	vc := p.vcs[i]
-	if len(vc.fifo) == 0 {
+	vc := &p.vcs[i]
+	if vc.count == 0 {
 		return packet.Flit{}, 0, false
 	}
-	return vc.fifo[0].flit, vc.fifo[0].enqueued, true
+	e := vc.headEntry()
+	return e.flit, e.enqueued, true
 }
 
 // Pop dequeues the head flit of VC i, charging the buffer-read energy and
 // releasing the VC when the tail departs.
 func (p *Port) Pop(i int) (packet.Flit, error) {
-	vc := p.vcs[i]
-	if len(vc.fifo) == 0 {
+	vc := &p.vcs[i]
+	if vc.count == 0 {
 		return packet.Flit{}, fmt.Errorf("router: pop from empty VC %d", i)
 	}
-	f := vc.fifo[0].flit
-	vc.fifo = vc.fifo[1:]
+	f := vc.pop().flit
 	*p.occupancy--
 	p.buffered--
 	p.ledger.AddBufferAccess(float64(f.Bits()))
@@ -160,10 +245,10 @@ func (p *Port) BufferedFlits() int {
 // ReleaseOwner force-frees VC i. The receive engine uses it when a packet
 // is dropped mid-window and its partial contents discarded.
 func (p *Port) ReleaseOwner(i int) {
-	vc := p.vcs[i]
-	*p.occupancy -= int64(len(vc.fifo))
-	p.buffered -= len(vc.fifo)
-	vc.fifo = nil
+	vc := &p.vcs[i]
+	*p.occupancy -= int64(vc.count)
+	p.buffered -= vc.count
+	vc.clear()
 	vc.owner = 0
 	vc.routed = false
 }

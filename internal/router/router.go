@@ -45,8 +45,15 @@ type Router struct {
 
 	// candIn/candVC map a flat arbitration-scan index to its (input
 	// port, VC) pair, precomputed so the per-cycle scan is table lookups.
-	candIn []int
-	candVC []int
+	// candBase[i] is the flat index of input i's VC 0.
+	candIn   []int
+	candVC   []int
+	candBase []int
+
+	// elig and moved are per-Tick scratch buffers, retained across cycles
+	// so the hot loop never allocates.
+	elig  []int32
+	moved []int
 }
 
 // New creates a router with the given name, input ports and routing
@@ -67,12 +74,22 @@ func New(name string, inputs []*Port, inWidths []int, route RouteFunc, ledger *p
 		return nil, fmt.Errorf("router %s: needs a route function and ledger", name)
 	}
 	r := &Router{name: name, inputs: inputs, inWidth: inWidths, route: route, ledger: ledger}
+	total := 0
+	for _, in := range inputs {
+		total += in.VCCount()
+	}
+	r.candIn = make([]int, 0, total)
+	r.candVC = make([]int, 0, total)
+	r.candBase = make([]int, len(inputs))
 	for i, in := range inputs {
+		r.candBase[i] = len(r.candIn)
 		for vc := 0; vc < in.VCCount(); vc++ {
 			r.candIn = append(r.candIn, i)
 			r.candVC = append(r.candVC, vc)
 		}
 	}
+	r.elig = make([]int32, 0, total)
+	r.moved = make([]int, len(inputs))
 	return r, nil
 }
 
@@ -81,6 +98,9 @@ func (r *Router) Name() string { return r.name }
 
 // Input returns input port i.
 func (r *Router) Input(i int) *Port { return r.inputs[i] }
+
+// Inputs returns the number of input ports.
+func (r *Router) Inputs() int { return len(r.inputs) }
 
 // AddOutput attaches the next output, feeding dst with the given per-cycle
 // flit width, and returns its index. chargeLink selects whether forwarding
@@ -108,51 +128,82 @@ func (r *Router) Outputs() int { return len(r.outputs) }
 // Headers perform routing and downstream VC allocation; body and tail
 // flits follow the path their header locked.
 func (r *Router) Tick(now sim.Cycle) error {
-	// Fast path: nothing buffered anywhere means nothing to arbitrate.
-	idle := true
-	for _, in := range r.inputs {
-		if in.buffered > 0 {
-			idle = false
-			break
+	// Snapshot the eligible candidates: VCs that hold a flit whose head
+	// has cleared the pipeline delay. A VC empty here cannot produce an
+	// eligible flit later this cycle (anything enqueued mid-cycle is
+	// younger than PipelineDelay), and an ineligible head only gets
+	// younger when popped, so the snapshot prunes exactly the candidates
+	// the full scan would skip — arbitration order is unchanged.
+	elig := r.elig[:0]
+	for i, in := range r.inputs {
+		if in.buffered == 0 {
+			continue
+		}
+		base := r.candBase[i]
+		for vcIdx := range in.vcs {
+			vc := &in.vcs[vcIdx]
+			if vc.count == 0 || now-vc.headEntry().enqueued < PipelineDelay {
+				continue
+			}
+			elig = append(elig, int32(base+vcIdx))
 		}
 	}
-	if idle {
+	r.elig = elig
+	if len(elig) == 0 {
 		return nil
 	}
 
 	// Per-cycle dequeue budget per input port (switch constraint).
-	var movedArray [16]int
-	moved := movedArray[:]
-	if len(r.inputs) > len(moved) {
-		moved = make([]int, len(r.inputs))
-	} else {
-		moved = moved[:len(r.inputs)]
-		for i := range moved {
-			moved[i] = 0
-		}
+	moved := r.moved
+	for i := range moved {
+		moved[i] = 0
 	}
 
 	candidates := len(r.candIn)
 	for o, out := range r.outputs {
 		granted := 0
+		// The reference scan evaluates position (out.rr + scan) mod
+		// candidates for scan = 0..candidates-1, reading out.rr live — a
+		// grant advances out.rr mid-scan, shifting every later position.
+		// Reproduce that sequence exactly, but jump in one step over runs
+		// of candidates that are not in the eligible snapshot (they would
+		// all `continue` without touching any state).
 		for scan := 0; scan < candidates && granted < out.width; scan++ {
-			idx := out.rr + scan
-			if idx >= candidates {
-				idx -= candidates
+			t := out.rr + scan
+			if t >= candidates {
+				t -= candidates
+			}
+			// First eligible flat index at or circularly after t.
+			pos := lowerBound(elig, int32(t))
+			wrapped := pos == len(elig)
+			if wrapped {
+				pos = 0
+			}
+			idx := int(elig[pos])
+			d := idx - t
+			if d < 0 || wrapped {
+				d += candidates
+			}
+			scan += d
+			if scan >= candidates {
+				break
 			}
 			inIdx, vcIdx := r.candIn[idx], r.candVC[idx]
 			if moved[inIdx] >= r.inWidth[inIdx] {
 				continue
 			}
 			in := r.inputs[inIdx]
-			if in.buffered == 0 {
+			vc := &in.vcs[vcIdx]
+			// Re-check liveness: an earlier output may have drained the
+			// VC or exposed a younger head this cycle.
+			if vc.count == 0 {
 				continue
 			}
-			flit, enq, ok := in.Head(vcIdx)
-			if !ok || now-enq < PipelineDelay {
+			head := vc.headEntry()
+			if now-head.enqueued < PipelineDelay {
 				continue
 			}
-			vc := in.VC(vcIdx)
+			flit := head.flit
 
 			if flit.Type.IsHeader() && !vc.routed {
 				if r.route(flit) != o {
@@ -192,6 +243,21 @@ func (r *Router) Tick(now sim.Cycle) error {
 		}
 	}
 	return nil
+}
+
+// lowerBound returns the index of the first element of s at or above t,
+// or len(s) when every element is below it.
+func lowerBound(s []int32, t int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // BufferedFlits returns the flits buffered across all input ports, for

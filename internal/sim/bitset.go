@@ -1,0 +1,40 @@
+package sim
+
+// Bitset is a fixed-size set of small integers, used by the fabric to
+// track which components (routers, cores, transmit engines) currently
+// have work. Words are exposed so the per-cycle scheduler can iterate
+// set bits without allocating.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns an empty set able to hold values in [0, n).
+func NewBitset(n int) Bitset {
+	return Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// Set adds i to the set.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether i is in the set.
+func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Words returns the live backing words, least-significant bit first.
+// Callers iterate set bits with math/bits.TrailingZeros64; mutating the
+// set invalidates nothing, but bits set after a word was read are only
+// observed on the next pass.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Count returns the number of set bits (diagnostics).
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestBitsetSetClearGet(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in empty bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if !b.Get(63) || !b.Get(65) {
+		// neighbours must be untouched
+		t.Fatal("Clear disturbed neighbouring bits")
+	}
+	if got := b.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+}
+
+func TestBitsetIterationOrder(t *testing.T) {
+	b := NewBitset(200)
+	want := []int{3, 64, 70, 130, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	for w, word := range b.Words() {
+		for ; word != 0; word &= word - 1 {
+			got = append(got, w<<6+bits.TrailingZeros64(word))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+}

@@ -248,8 +248,8 @@ func (n *Network) Tick(now sim.Cycle) error {
 				p.window = n.rxs[p.dst].Begin(p.pkt, n.fullBand())
 				p.state = phaseStreaming
 				p.credit = 0
-				n.cfg.Events.Appendf(now, event.StreamStarted, src, int64(p.pkt.ID),
-					"torus path to %d, %d hops", p.dst, len(p.links))
+				n.cfg.Events.AppendInts(now, event.StreamStarted, src, int64(p.pkt.ID),
+					"torus path to %d, %d hops", int64(p.dst), int64(len(p.links)))
 			}
 		case phaseStreaming:
 			if err := n.stream(p, now); err != nil {
@@ -324,8 +324,8 @@ func (n *Network) trySetup(src int, now sim.Cycle) {
 		}
 		n.active[src] = p
 		n.pathsSetUp++
-		n.cfg.Events.Appendf(now, event.ReservationSent, src, int64(flit.Packet.ID),
-			"torus setup to %d, %d hops, %d turns", dst, len(links), turns)
+		n.cfg.Events.AppendInts(now, event.ReservationSent, src, int64(flit.Packet.ID),
+			"torus setup to %d, %d hops, %d turns", int64(dst), int64(len(links)), int64(turns))
 		return
 	}
 }
@@ -375,14 +375,14 @@ func (n *Network) teardown(p *path, now sim.Cycle) {
 	p.window.End()
 	n.packetsSent++
 	if p.window.Dropped() {
-		n.cfg.Events.Appendf(now, event.PacketDropped, p.dst, int64(p.pkt.ID),
-			"torus, from node %d", p.src)
+		n.cfg.Events.AppendInts(now, event.PacketDropped, p.dst, int64(p.pkt.ID),
+			"torus, from node %d", int64(p.src))
 		if n.onDrop != nil {
 			n.onDrop(p.pkt, now)
 		}
 	} else {
-		n.cfg.Events.Appendf(now, event.PacketArrived, p.dst, int64(p.pkt.ID),
-			"torus, from node %d", p.src)
+		n.cfg.Events.AppendInts(now, event.PacketArrived, p.dst, int64(p.pkt.ID),
+			"torus, from node %d", int64(p.src))
 	}
 	for _, l := range p.links {
 		delete(n.linkOwner, l)

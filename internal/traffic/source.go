@@ -35,6 +35,9 @@ type Source struct {
 
 	nextMessage *packet.MessageID
 	nextPacket  *packet.ID
+
+	// pool, when set, recycles packet structs (nil allocates fresh).
+	pool *packet.Pool
 }
 
 // NewSource builds a source for core with the given profile and framing.
@@ -84,6 +87,17 @@ func NewSource(core topology.CoreID, profile CoreProfile, format packet.Format, 
 // OfferedBitsPerCycle returns the source's scaled injection rate.
 func (s *Source) OfferedBitsPerCycle() float64 { return s.bitsPerCycle }
 
+// Idle reports whether the source can never emit a packet. Its Tick is
+// then a pure no-op (zero credit accrues and the RNG is untouched —
+// bursty state only exists for positive rates), so the fabric may skip
+// it without perturbing determinism.
+func (s *Source) Idle() bool { return s.bitsPerCycle == 0 }
+
+// SetPool installs a packet free-list; generated packets are drawn from
+// it instead of the heap. The owner must only recycle packets it has
+// fully retired.
+func (s *Source) SetPool(pool *packet.Pool) { s.pool = pool }
+
 // Tick advances one cycle and returns a newly generated packet, or nil.
 // At most one packet is generated per cycle; surplus credit carries over,
 // so the long-run rate matches the profile even if it briefly exceeds one
@@ -110,7 +124,8 @@ func (s *Source) Tick(now sim.Cycle, topo topology.Topology) *packet.Packet {
 	dst := s.profile.PickDest(s.rng)
 	*s.nextMessage++
 	*s.nextPacket++
-	return &packet.Packet{
+	p := s.pool.Get()
+	*p = packet.Packet{
 		ID:         *s.nextPacket,
 		Message:    *s.nextMessage,
 		Src:        s.core,
@@ -123,14 +138,23 @@ func (s *Source) Tick(now sim.Cycle, topo topology.Topology) *packet.Packet {
 		Born:       now,
 		Attempt:    1,
 	}
+	return p
 }
 
 // Retransmit builds a fresh attempt of a dropped packet, preserving its
 // logical message identity and birth cycle (§1.4: "the source will have to
 // retransmit").
 func Retransmit(p *packet.Packet, now sim.Cycle, packetIDs *packet.ID) *packet.Packet {
+	return RetransmitFrom(nil, p, now, packetIDs)
+}
+
+// RetransmitFrom is Retransmit drawing the new attempt from pool (which
+// may be nil). The original p is still intact afterwards; the caller
+// decides when to recycle it.
+func RetransmitFrom(pool *packet.Pool, p *packet.Packet, now sim.Cycle, packetIDs *packet.ID) *packet.Packet {
 	*packetIDs++
-	return &packet.Packet{
+	retry := pool.Get()
+	*retry = packet.Packet{
 		ID:         *packetIDs,
 		Message:    p.Message,
 		Src:        p.Src,
@@ -143,4 +167,5 @@ func Retransmit(p *packet.Packet, now sim.Cycle, packetIDs *packet.ID) *packet.P
 		Born:       p.Born,
 		Attempt:    p.Attempt + 1,
 	}
+	return retry
 }

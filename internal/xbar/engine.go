@@ -213,6 +213,13 @@ func (tx *TX) Reservations() int64 { return tx.reservations }
 // BusyCycles returns cycles the channel spent reserving or streaming.
 func (tx *TX) BusyCycles() int64 { return tx.busyCycles }
 
+// Busy reports whether the engine has any work: a packet streaming, a
+// reservation in flight, or flits waiting in the transmit port. When it
+// is false, Tick is a no-op and the fabric may skip the engine entirely.
+func (tx *TX) Busy() bool {
+	return tx.current != nil || tx.next != nil || tx.port.BufferedFlits() > 0
+}
+
 // Tick advances the engine one cycle. Reservation and data transfer use
 // separate waveguides, so the next packet's reservation broadcasts while
 // the current packet streams — the channel switches packets back-to-back
@@ -238,8 +245,8 @@ func (tx *TX) Tick(now sim.Cycle) error {
 		tx.window = tx.next.window
 		tx.credit = 0
 		tx.next = nil
-		tx.cfg.Events.Appendf(now, event.StreamStarted, int(tx.cfg.Cluster), int64(tx.current.ID),
-			"to cluster %d on %d wavelengths", tx.current.DstCluster, len(tx.use))
+		tx.cfg.Events.AppendInts(now, event.StreamStarted, int(tx.cfg.Cluster), int64(tx.current.ID),
+			"to cluster %d on %d wavelengths", int64(tx.current.DstCluster), int64(len(tx.use)))
 	}
 
 	// Stream the current packet.
@@ -306,8 +313,8 @@ func (tx *TX) admitNext(now sim.Cycle) {
 			resLeft: cycles + tx.cfg.PropagationCycles,
 		}
 		tx.reservations++
-		tx.cfg.Events.Appendf(now, event.ReservationSent, int(tx.cfg.Cluster), int64(flit.Packet.ID),
-			"to cluster %d, %d ids, %d cycles", flit.Packet.DstCluster, ids, cycles)
+		tx.cfg.Events.AppendInts(now, event.ReservationSent, int(tx.cfg.Cluster), int64(flit.Packet.ID),
+			"to cluster %d, %d ids, %d cycles", int64(flit.Packet.DstCluster), int64(ids), int64(cycles))
 		return
 	}
 }
@@ -358,14 +365,14 @@ func (tx *TX) finish(now sim.Cycle) {
 	tx.window.End()
 	tx.packetsSent++
 	if tx.window.dropped {
-		tx.cfg.Events.Appendf(now, event.PacketDropped, int(tx.current.DstCluster), int64(tx.current.ID),
-			"from cluster %d, attempt %d", tx.cfg.Cluster, tx.current.Attempt)
+		tx.cfg.Events.AppendInts(now, event.PacketDropped, int(tx.current.DstCluster), int64(tx.current.ID),
+			"from cluster %d, attempt %d", int64(tx.cfg.Cluster), int64(tx.current.Attempt))
 		if tx.onDrop != nil {
 			tx.onDrop(tx.current, now)
 		}
 	} else {
-		tx.cfg.Events.Appendf(now, event.PacketArrived, int(tx.current.DstCluster), int64(tx.current.ID),
-			"from cluster %d", tx.cfg.Cluster)
+		tx.cfg.Events.AppendInts(now, event.PacketArrived, int(tx.current.DstCluster), int64(tx.current.ID),
+			"from cluster %d", int64(tx.cfg.Cluster))
 	}
 	tx.window = nil
 	tx.current = nil

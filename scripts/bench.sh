@@ -1,0 +1,16 @@
+#!/bin/sh
+# bench.sh — capture a perf-regression snapshot.
+#
+# Runs the hot-path benchmark suite (3 repetitions, with allocation
+# counters) and writes BENCH_<date>.json in the repo root via
+# cmd/benchjson. Compare two snapshots to spot ns/op or allocs/op
+# regressions; docs/PERFORMANCE.md explains how to read the report.
+#
+# Usage:
+#	scripts/bench.sh                 # default fast selection
+#	scripts/bench.sh -bench . -pkg . -benchtime 1x   # full figure suite
+#
+# Extra arguments are passed through to cmd/benchjson.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchjson -count 3 "$@"
