@@ -1,16 +1,18 @@
 # Tier-1 verification and perf tooling for the hetpnoc simulator.
 #
-#   make check   — build, vet, full test suite, race-enabled run of the
-#                  goroutine-bearing packages (the CI gate)
+#   make check   — build, vet, lint (hetpnoclint), full test suite, and a
+#                  race-enabled run of everything (the CI gate)
+#   make lint    — run the determinism/hot-path analyzer suite
+#                  (cmd/hetpnoclint, see docs/ANALYSIS.md)
 #   make test    — fast test pass only
 #   make bench   — perf snapshot: writes BENCH_<date>.json via cmd/benchjson
 #   make sweep   — quick smoke sweep of every figure
 
 GO ?= go
 
-.PHONY: check build vet test race bench sweep
+.PHONY: check build vet lint test race race-quick bench sweep
 
-check: build vet test race
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -18,14 +20,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# hetpnoclint enforces the simulator's determinism and hot-path
+# invariants (detrand, maprange, hotpathalloc, globalstate); any
+# undirected violation exits non-zero. See docs/ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/hetpnoclint ./...
+
 test:
 	$(GO) test ./...
 
-# Only internal/experiments spawns goroutines (RunMatrix, RunReplicated,
-# and the figure runners built on them); everything else is single-
-# threaded per simulation, so the race run targets just that package.
+# The race gate covers the whole module: internal/experiments spawns the
+# simulation goroutines, and cmd/sweep dispatches whole figures
+# concurrently since the -parallel flag landed. A full -race pass takes
+# a few minutes; race-quick keeps the old goroutine-bearing subset for
+# tight loops.
 race:
-	$(GO) test -race ./internal/experiments/...
+	$(GO) test -race ./...
+
+race-quick:
+	$(GO) test -race ./internal/experiments/... ./cmd/sweep/...
 
 bench:
 	./scripts/bench.sh

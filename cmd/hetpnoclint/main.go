@@ -1,0 +1,144 @@
+// Command hetpnoclint runs the repo's determinism and hot-path
+// analyzers (internal/analysis/...) over module packages and fails on
+// any undirected violation. `make lint` wires it into the tier-1 gate.
+//
+// Usage:
+//
+//	hetpnoclint [-json] [-tests=false] [packages ...]
+//
+// Packages default to ./... . Each diagnostic carries a -fix-style
+// suggestion: either the directive that would silence it (with its
+// required justification placeholder) or the mechanical rewrite that
+// removes the violation. -json emits machine-readable diagnostics for
+// CI annotation.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load or internal
+// failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hetpnoc/internal/analysis"
+	"hetpnoc/internal/analysis/detrand"
+	"hetpnoc/internal/analysis/globalstate"
+	"hetpnoc/internal/analysis/hotpathalloc"
+	"hetpnoc/internal/analysis/load"
+	"hetpnoc/internal/analysis/maprange"
+)
+
+// analyzers is the hetpnoclint suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	detrand.Analyzer,
+	maprange.Analyzer,
+	hotpathalloc.Analyzer,
+	globalstate.Analyzer,
+}
+
+// diagnostic is one resolved violation, shaped for both output modes.
+type diagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON for CI annotation")
+	tests := flag.Bool("tests", true, "also lint _test.go files and external test packages")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := lint("", *tests, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetpnoclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "hetpnoclint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+			if d.Suggestion != "" {
+				fmt.Printf("\tsuggestion: %s\n", d.Suggestion)
+			}
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "hetpnoclint: %d violation(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// lint loads patterns from the module containing dir and applies every
+// analyzer, returning position-sorted diagnostics.
+func lint(dir string, tests bool, patterns []string) ([]diagnostic, error) {
+	loader := &load.Loader{Dir: dir, Tests: tests}
+	fset, pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	cwd, _ := os.Getwd()
+	diags := []diagnostic{}
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.Info,
+				Report: func(d analysis.Diagnostic) {
+					pos := fset.Position(d.Pos)
+					file := pos.Filename
+					if cwd != "" {
+						if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
+							file = rel
+						}
+					}
+					diags = append(diags, diagnostic{
+						Analyzer:   a.Name,
+						File:       file,
+						Line:       pos.Line,
+						Col:        pos.Column,
+						Message:    d.Message,
+						Suggestion: d.Suggestion,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, p.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Col < diags[j].Col
+	})
+	return diags, nil
+}

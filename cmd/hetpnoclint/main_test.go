@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoLintsClean is the self-gate: the hetpnoclint suite must run
+// clean over the repository that ships it, test files included. A
+// failure here means a determinism or hot-path violation landed without
+// a justified directive.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	diags, err := lint("", true, []string{"hetpnoc/..."})
+	if err != nil {
+		t.Fatalf("lint failed: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+	}
+}
+
+// TestLintFindsViolations drives the full pipeline — go list, parsing,
+// type checking, every analyzer — over a scratch module with one
+// violation per analyzer.
+func TestLintFindsViolations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module badmod\n\ngo 1.22\n")
+	write("internal/sim/bad.go", `package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+var hits int
+
+func Draw(m map[string]int) int64 {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	hits += s
+	return rand.Int63() + time.Now().UnixNano()
+}
+
+//hetpnoc:hotpath
+func Hot(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+`)
+
+	diags, err := lint(dir, true, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint failed: %v", err)
+	}
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Analyzer]++
+		if d.Suggestion == "" {
+			t.Errorf("diagnostic without a suggestion: %s: %s", d.Analyzer, d.Message)
+		}
+	}
+	want := map[string]int{
+		"detrand":      2, // math/rand import + time.Now call
+		"maprange":     1, // undirected range over m
+		"globalstate":  1, // package-level var hits
+		"hotpathalloc": 1, // fmt.Sprintf in a hotpath function
+	}
+	for a, n := range want {
+		if got[a] != n {
+			t.Errorf("analyzer %s reported %d diagnostics, want %d", a, got[a], n)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics from the scratch module, got none")
+	}
+}

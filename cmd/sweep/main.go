@@ -342,7 +342,7 @@ func printTables(w io.Writer) {
 	}
 	fmt.Fprintln(w, "\n== Table 3-2: frequency of communication (share of traffic per class) ==")
 	for level := 1; level <= 3; level++ {
-		f := traffic.SkewFrequencies[level]
+		f, _ := traffic.SkewFrequencies(level)
 		fmt.Fprintf(w, "skewed%d: %.1f%% / %.1f%% / %.2f%% / %.2f%%\n",
 			level, f[0]*100, f[1]*100, f[2]*100, f[3]*100)
 	}

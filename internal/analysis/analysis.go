@@ -1,0 +1,90 @@
+// Package analysis is a small, dependency-free analysis framework
+// modelled on golang.org/x/tools/go/analysis. The container this repo is
+// grown in cannot fetch external modules, so instead of depending on
+// x/tools the repo carries this minimal mirror of its API: an Analyzer
+// owns a Run function, a Pass hands it one type-checked package, and
+// diagnostics flow back through Pass.Report.
+//
+// The surface is deliberately the subset the hetpnoclint suite needs —
+// if the module ever gains network access, the analyzers port to the
+// real go/analysis by swapping this import and deleting nothing else.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and JSON output. By
+	// convention it is a single lowercase word.
+	Name string
+
+	// Doc is the analyzer's documentation: first line summary, then
+	// detail.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer run with the information about a single
+// type-checked package and a sink for its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+
+	// Files are the parsed source files of the package, including any
+	// in-package _test.go files.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type information for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+
+	// Suggestion, when non-empty, is a -fix-style hint: either the
+	// directive that would silence the diagnostic (with its required
+	// justification placeholder) or the mechanical rewrite that removes
+	// the violation.
+	Suggestion string
+}
+
+// Reportf reports a formatted diagnostic at pos. It keeps analyzer
+// bodies terse without pulling fmt into every call site.
+func (p *Pass) Reportf(pos token.Pos, msg, suggestion string) {
+	p.Report(Diagnostic{Pos: pos, Message: msg, Suggestion: suggestion})
+}
+
+// TypeOf returns the type of expression e, or nil if not found.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// PkgNameOf resolves ident to the imported package it names, or nil when
+// ident is not a package qualifier (or is shadowed by a local
+// declaration). Analyzers use it to match qualified calls like time.Now
+// without being fooled by a local variable named "time".
+func (p *Pass) PkgNameOf(ident *ast.Ident) *types.PkgName {
+	obj := p.TypesInfo.Uses[ident]
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn
+}

@@ -1,0 +1,91 @@
+// Package detrand forbids nondeterministic randomness and wall-clock
+// time in the simulator core. Two runs with the same seed must be
+// bit-identical (internal/sim package doc), so all randomness must flow
+// through sim.RNG and all time through sim.Clock / sim.Cycle. Tooling
+// packages (cmd/*, internal/report, examples) are exempt.
+package detrand
+
+import (
+	"fmt"
+	"go/ast"
+
+	"hetpnoc/internal/analysis"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand, crypto/rand and wall-clock time in simulator packages\n\n" +
+		"Simulator state may only advance from seeded sim.RNG draws and the\n" +
+		"sim.Cycle clock; any other entropy source makes runs irreproducible.",
+	Run: run,
+}
+
+// forbiddenImports are packages whose mere presence in a simulator
+// package is a violation: every API they export is a nondeterminism
+// source (or, for crypto/rand, an entropy source the simulator must
+// never need).
+var forbiddenImports = map[string]string{
+	"math/rand":    "use the run-owned *sim.RNG instead",
+	"math/rand/v2": "use the run-owned *sim.RNG instead",
+	"crypto/rand":  "the simulator must not consume OS entropy",
+}
+
+// forbiddenTime are the wall-clock members of package time. Types and
+// constants (time.Duration, time.Second) remain usable for reporting
+// physical quantities; anything that reads or waits on the host clock
+// does not.
+var forbiddenTime = map[string]string{
+	"Now":       "derive timestamps from the sim.Cycle counter",
+	"Since":     "subtract sim.Cycle values instead",
+	"Until":     "subtract sim.Cycle values instead",
+	"Sleep":     "schedule future work on the sim.TimerWheel",
+	"After":     "schedule future work on the sim.TimerWheel",
+	"AfterFunc": "schedule future work on the sim.TimerWheel",
+	"Tick":      "schedule recurring work on the sim.TimerWheel",
+	"NewTimer":  "schedule future work on the sim.TimerWheel",
+	"NewTicker": "schedule recurring work on the sim.TimerWheel",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := importPath(imp)
+			if hint, ok := forbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(),
+					fmt.Sprintf("import of %s is forbidden in simulator packages: %s", path, hint),
+					"thread a *sim.RNG (seeded from the run config) through the component")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn := pass.PkgNameOf(ident)
+			if pn == nil || pn.Imported().Path() != "time" {
+				return true
+			}
+			if hint, ok := forbiddenTime[sel.Sel.Name]; ok {
+				pass.Reportf(sel.Pos(),
+					fmt.Sprintf("time.%s reads the wall clock, which breaks run reproducibility: %s", sel.Sel.Name, hint),
+					"express the quantity in sim.Cycle ticks")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	// The path literal is always a valid quoted string once the file
+	// type-checks.
+	return imp.Path.Value[1 : len(imp.Path.Value)-1]
+}

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrand.Analyzer,
+		"simfix/internal/sim",
+		"simfix/cmd/benchjson",
+	)
+}

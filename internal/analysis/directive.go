@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The simulator's lint directives. A directive is a //hetpnoc:<name>
+// comment; orderfree and immutable additionally require a justification
+// after the name, so every suppression records why it is safe.
+const (
+	// DirectiveOrderfree marks a range-over-map statement whose body is
+	// insensitive to iteration order.
+	DirectiveOrderfree = "orderfree"
+
+	// DirectiveHotpath marks a function that must not allocate in steady
+	// state; hotpathalloc checks its body.
+	DirectiveHotpath = "hotpath"
+
+	// DirectiveImmutable marks a package-level var that is a write-once
+	// constant table (Go has no const for composite values).
+	DirectiveImmutable = "immutable"
+)
+
+const directivePrefix = "//hetpnoc:"
+
+// Directive is one parsed //hetpnoc: comment.
+type Directive struct {
+	Pos  token.Pos
+	Name string // "orderfree", "hotpath", "immutable"
+	// Arg is the justification text after the name, trimmed.
+	Arg string
+}
+
+// Directives indexes a file's //hetpnoc: comments by line so analyzers
+// can ask "is statement S covered?" in O(1).
+type Directives struct {
+	fset   *token.FileSet
+	byLine map[int]Directive
+}
+
+// ParseDirectives collects every //hetpnoc: comment of file.
+func ParseDirectives(fset *token.FileSet, file *ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: make(map[int]Directive)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			name, arg, _ := strings.Cut(rest, " ")
+			d.byLine[fset.Position(c.Pos()).Line] = Directive{
+				Pos:  c.Pos(),
+				Name: name,
+				Arg:  strings.TrimSpace(arg),
+			}
+		}
+	}
+	return d
+}
+
+// Covering returns the directive named name that covers node n: either a
+// trailing comment on n's first line or a comment on the line directly
+// above it. The bool reports whether one was found.
+func (d *Directives) Covering(n ast.Node, name string) (Directive, bool) {
+	line := d.fset.Position(n.Pos()).Line
+	if dir, ok := d.byLine[line]; ok && dir.Name == name {
+		return dir, true
+	}
+	if dir, ok := d.byLine[line-1]; ok && dir.Name == name {
+		return dir, true
+	}
+	return Directive{}, false
+}
+
+// HasHotpath reports whether fn's doc comment carries //hetpnoc:hotpath.
+func HasHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(rest, " ")
+		if name == DirectiveHotpath {
+			return true
+		}
+	}
+	return false
+}

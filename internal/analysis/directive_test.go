@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+//hetpnoc:hotpath
+func Hot() {}
+
+func Cold() {}
+
+func Body(m map[int]int) {
+	//hetpnoc:orderfree sums commute
+	for range m {
+	}
+	for range m { //hetpnoc:orderfree trailing form
+	}
+	for range m {
+	}
+}
+`
+
+func TestDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasHotpath(f.Decls[0].(*ast.FuncDecl)) {
+		t.Error("Hot should carry the hotpath directive")
+	}
+	if HasHotpath(f.Decls[1].(*ast.FuncDecl)) {
+		t.Error("Cold should not carry the hotpath directive")
+	}
+
+	dirs := ParseDirectives(fset, f)
+	body := f.Decls[2].(*ast.FuncDecl).Body
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			ranges = append(ranges, rs)
+		}
+		return true
+	})
+	if len(ranges) != 3 {
+		t.Fatalf("got %d range statements, want 3", len(ranges))
+	}
+	if d, ok := dirs.Covering(ranges[0], DirectiveOrderfree); !ok || d.Arg != "sums commute" {
+		t.Errorf("leading directive: ok=%v arg=%q", ok, d.Arg)
+	}
+	if d, ok := dirs.Covering(ranges[1], DirectiveOrderfree); !ok || d.Arg != "trailing form" {
+		t.Errorf("trailing directive: ok=%v arg=%q", ok, d.Arg)
+	}
+	if _, ok := dirs.Covering(ranges[2], DirectiveOrderfree); ok {
+		t.Error("bare range should not be covered by a directive")
+	}
+}
+
+func TestIsSimPackage(t *testing.T) {
+	for path, want := range map[string]bool{
+		"hetpnoc/internal/sim":    true,
+		"hetpnoc/internal/fabric": true,
+		"internal/torus":          true,
+		"simfix/internal/packet":  true,
+		"hetpnoc/cmd/benchjson":   false,
+		"hetpnoc/internal/report": false,
+		"hetpnoc/internal/simx":   false,
+		"hetpnoc":                 false,
+	} {
+		if got := IsSimPackage(path); got != want {
+			t.Errorf("IsSimPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

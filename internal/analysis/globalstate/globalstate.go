@@ -1,0 +1,88 @@
+// Package globalstate forbids mutable package-level variables in the
+// simulator core. A package-level var is shared by every run in the
+// process: state written by one simulation leaks into the next, which
+// breaks both reproducibility and the concurrent figure sweeps.
+//
+// Exemptions:
+//   - blank vars (`var _ Iface = (*T)(nil)` compile-time asserts);
+//   - vars annotated //hetpnoc:immutable <why> — write-once constant
+//     tables that Go cannot express as const (structs, arrays);
+//   - _test.go files, which run outside the simulator process model.
+package globalstate
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"hetpnoc/internal/analysis"
+)
+
+// Analyzer is the globalstate check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalstate",
+	Doc: "forbid mutable package-level vars in simulator packages\n\n" +
+		"Package-level state outlives a run and leaks between runs; own the\n" +
+		"state in a component struct, or annotate a write-once table\n" +
+		"//hetpnoc:immutable <why>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		dirs := analysis.ParseDirectives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			declDir, declOK := dirs.Covering(gd, analysis.DirectiveImmutable)
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				if allBlank(vs.Names) {
+					continue
+				}
+				dir, ok := declDir, declOK
+				if !ok {
+					dir, ok = dirs.Covering(vs, analysis.DirectiveImmutable)
+				}
+				if ok {
+					if dir.Arg == "" {
+						pass.Reportf(vs.Pos(),
+							"//hetpnoc:immutable needs a justification explaining why this var is never written after init",
+							"//hetpnoc:immutable <why the table is write-once>")
+					}
+					continue
+				}
+				pass.Reportf(vs.Pos(),
+					fmt.Sprintf("package-level var %s in a simulator package leaks state across runs; move it into the owning component", names(vs.Names)),
+					"//hetpnoc:immutable <why>, if this is a write-once constant table")
+			}
+		}
+	}
+	return nil
+}
+
+func allBlank(idents []*ast.Ident) bool {
+	for _, id := range idents {
+		if id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+func names(idents []*ast.Ident) string {
+	parts := make([]string, len(idents))
+	for i, id := range idents {
+		parts[i] = id.Name
+	}
+	return strings.Join(parts, ", ")
+}

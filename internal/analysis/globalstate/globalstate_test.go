@@ -1,0 +1,14 @@
+package globalstate_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/globalstate"
+)
+
+func TestGlobalstate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), globalstate.Analyzer,
+		"gfix/internal/router",
+	)
+}

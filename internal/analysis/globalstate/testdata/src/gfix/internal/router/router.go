@@ -1,0 +1,35 @@
+// Fixture: package-level state in a simulator package — mutable vars
+// are flagged; blank asserts and justified immutable tables are not.
+package router
+
+type Table struct{ Size int }
+
+type arbiter interface{ Arbitrate() int }
+
+var hits int // want `package-level var hits in a simulator package leaks state across runs`
+
+var Lookup = map[string]int{"east": 0} // want `package-level var Lookup in a simulator package leaks state across runs`
+
+var a, b int // want `package-level var a, b in a simulator package leaks state across runs`
+
+//hetpnoc:immutable frozen provisioning table, written only by this initializer
+var Frozen = Table{Size: 4}
+
+//hetpnoc:immutable
+var unjustified = Table{Size: 5} // want `needs a justification`
+
+//hetpnoc:immutable the three bandwidth sets of the evaluation, never reassigned
+var (
+	SetA = Table{Size: 1}
+	SetB = Table{Size: 2}
+)
+
+var _ arbiter = (*nullArbiter)(nil) // interface-compliance assert: allowed
+
+type nullArbiter struct{}
+
+func (*nullArbiter) Arbitrate() int { return 0 }
+
+func use() int { return hits + Frozen.Size + unjustified.Size + SetA.Size + SetB.Size + a + b }
+
+var _ = use

@@ -1,0 +1,7 @@
+// Fixture: _test.go files live outside the simulator process model, so
+// their package-level tables (golden cases and the like) are allowed.
+package router
+
+var goldenCases = []Table{{Size: 1}, {Size: 2}}
+
+var _ = goldenCases

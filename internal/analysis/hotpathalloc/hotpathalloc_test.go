@@ -1,0 +1,14 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpathalloc.Analyzer,
+		"hfix/hot",
+	)
+}

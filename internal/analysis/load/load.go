@@ -1,0 +1,240 @@
+// Package load type-checks the module's packages for the hetpnoclint
+// analyzers. It is the moral equivalent of go/packages.Load in the
+// LoadAllSyntax mode, built from the standard library only: package
+// enumeration comes from `go list -json`, parsing from go/parser, and
+// type checking from go/types with stdlib imports resolved from source
+// via go/importer (the compiled-export-data path is unavailable because
+// the toolchain no longer ships .a files for the standard library).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path. External test packages carry the go
+	// convention "_test" suffix.
+	Path string
+
+	// Dir is the package's source directory.
+	Dir string
+
+	// Files are the parsed sources. For the in-package unit this is
+	// GoFiles plus TestGoFiles, so analyzers see test code too.
+	Files []*ast.File
+
+	// Pkg and Info are the go/types results.
+	Pkg  *types.Package
+	Info *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Loader loads and type-checks module packages. The zero value loads
+// from the current directory's module.
+type Loader struct {
+	// Dir is a directory inside the target module ("" = cwd).
+	Dir string
+
+	// Tests includes _test.go files in each package's unit and loads
+	// external _test packages. hetpnoclint sets this: determinism bugs
+	// in golden tests are as fatal as in the fabric itself.
+	Tests bool
+
+	fset    *token.FileSet
+	std     types.ImporterFrom // source-based stdlib importer
+	listed  map[string]*listPkg
+	checked map[string]*Package
+	loading map[string]bool // cycle detection
+	module  string          // module path prefix
+}
+
+// Load lists patterns (e.g. "./..."), type-checks every matched package
+// plus its module-internal dependencies, and returns the matched
+// packages in listing order. The returned FileSet resolves every
+// position in the returned packages.
+func (l *Loader) Load(patterns ...string) (*token.FileSet, []*Package, error) {
+	l.fset = token.NewFileSet()
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	l.listed = make(map[string]*listPkg)
+	l.checked = make(map[string]*Package)
+	l.loading = make(map[string]bool)
+
+	mod, err := l.goList("list", "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: resolving module: %w", err)
+	}
+	l.module = strings.TrimSpace(string(mod))
+
+	roots, err := l.list(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var pkgs []*Package
+	for _, lp := range roots {
+		p, err := l.check(lp.ImportPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, p)
+		if l.Tests && len(lp.XTestGoFiles) > 0 {
+			xp, err := l.checkXTest(lp)
+			if err != nil {
+				return nil, nil, err
+			}
+			pkgs = append(pkgs, xp)
+		}
+	}
+	return l.fset, pkgs, nil
+}
+
+// goList runs the go tool in the module directory and returns stdout.
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// list runs `go list -json` over patterns and indexes the results.
+func (l *Loader) list(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...)
+	out, err := l.goList(args...)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &lp)
+		l.listed[lp.ImportPath] = &lp
+	}
+	return pkgs, nil
+}
+
+// lookup returns the go list record for path, listing it on demand when
+// the original patterns did not cover it.
+func (l *Loader) lookup(path string) (*listPkg, error) {
+	if lp, ok := l.listed[path]; ok {
+		return lp, nil
+	}
+	lps, err := l.list([]string{path})
+	if err != nil {
+		return nil, err
+	}
+	return lps[0], nil
+}
+
+// check type-checks the in-package unit of path (GoFiles, plus
+// TestGoFiles when Tests is set) and caches the result.
+func (l *Loader) check(path string) (*Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s (a _test.go file imports a package that imports its own package)", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	lp, err := l.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	names := lp.GoFiles
+	if l.Tests {
+		names = append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+	}
+	p, err := l.checkFiles(path, lp.Dir, lp.Name, names)
+	if err != nil {
+		return nil, err
+	}
+	l.checked[path] = p
+	return p, nil
+}
+
+// checkXTest type-checks lp's external test package. Its self-import
+// resolves to the already-checked in-package unit.
+func (l *Loader) checkXTest(lp *listPkg) (*Package, error) {
+	return l.checkFiles(lp.ImportPath+"_test", lp.Dir, lp.Name+"_test", lp.XTestGoFiles)
+}
+
+func (l *Loader) checkFiles(path, dir, name string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, fn), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tp, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Pkg: tp, Info: info}, nil
+}
+
+// loaderImporter resolves imports during type checking: module-internal
+// paths recurse into the loader, everything else falls through to the
+// source-based stdlib importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		p, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}

@@ -1,0 +1,162 @@
+// Package maprange flags range statements over maps in the simulator
+// core. Go randomizes map iteration order per run, so an undirected map
+// range is the classic silent determinism killer: statistics, event
+// order or resource assignment quietly differ between two identically
+// seeded runs.
+//
+// A map range is allowed when:
+//   - it is the canonical sorted-iteration prologue — a key-collection
+//     loop `for k := range m { keys = append(keys, k) }` whose target
+//     slice is passed to a sort or slices call later in the same
+//     function; or
+//   - the statement carries a //hetpnoc:orderfree directive (same line
+//     or the line above) with a justification explaining why its body
+//     is insensitive to order — e.g. it only fills another map, or
+//     folds with a commutative operation.
+//
+// Everything else must iterate sorted keys.
+package maprange
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hetpnoc/internal/analysis"
+)
+
+// Analyzer is the maprange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag range over a map in simulator packages\n\n" +
+		"Map iteration order is randomized per run; sort the keys first or\n" +
+		"annotate the statement //hetpnoc:orderfree <why> when the body is\n" +
+		"provably order-insensitive.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		dirs := analysis.ParseDirectives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			body := funcBody(n)
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				check(pass, dirs, body, rs)
+				return true
+			})
+			return false // inner walk covered this function (incl. nested literals)
+		})
+	}
+	return nil
+}
+
+func funcBody(n ast.Node) *ast.BlockStmt {
+	fd, ok := n.(*ast.FuncDecl)
+	if !ok || fd.Body == nil {
+		return nil
+	}
+	return fd.Body
+}
+
+func check(pass *analysis.Pass, dirs *analysis.Directives, fn *ast.BlockStmt, rs *ast.RangeStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if dir, ok := dirs.Covering(rs, analysis.DirectiveOrderfree); ok {
+		if dir.Arg == "" {
+			pass.Reportf(rs.Pos(),
+				"//hetpnoc:orderfree needs a justification explaining why this range is order-insensitive",
+				"//hetpnoc:orderfree <why the body is insensitive to iteration order>")
+		}
+		return
+	}
+	if isSortedCollect(pass, fn, rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		fmt.Sprintf("range over map %s has randomized iteration order, which breaks run reproducibility; iterate sorted keys instead",
+			types.TypeString(t, types.RelativeTo(pass.Pkg))),
+		"//hetpnoc:orderfree <why> on the line above, if the body is order-insensitive")
+}
+
+// isSortedCollect recognizes the sorted-iteration prologue: the loop
+// body is exactly `keys = append(keys, k)` for the range key, and the
+// same function later hands keys to package sort or slices. The sort
+// erases the nondeterministic collection order.
+func isSortedCollect(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	target := types.ExprString(as.Lhs[0])
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || arg.Name != key.Name || types.ExprString(call.Args[0]) != target {
+		return false
+	}
+
+	// Look for sort.X(target, ...) or slices.X(target, ...) after the
+	// loop in the same function.
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() < rs.End() || len(c.Args) == 0 {
+			return true
+		}
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn := pass.PkgNameOf(id)
+		if pn == nil {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if types.ExprString(c.Args[0]) == target {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,15 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maprange.Analyzer,
+		"mfix/internal/fabric",
+		"mfix/internal/report",
+	)
+}

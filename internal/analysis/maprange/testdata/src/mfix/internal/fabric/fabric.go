@@ -1,0 +1,60 @@
+// Fixture: map iteration in a simulator package — undirected ranges are
+// flagged, the sorted-keys prologue and justified orderfree directives
+// are not.
+package fabric
+
+import "sort"
+
+func Undirected(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `range over map map\[string\]int has randomized iteration order`
+		s += v
+	}
+	return s
+}
+
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collection loop, erased by the sort below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func CollectedButNeverSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map map\[string\]int has randomized iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func Directed(m map[string]int) int {
+	s := 0
+	//hetpnoc:orderfree integer addition is commutative
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func TrailingDirective(dst, src map[string]int) {
+	for k, v := range src { //hetpnoc:orderfree fills a map, insertion order is invisible
+		dst[k] = v
+	}
+}
+
+func MissingJustification(m map[string]int) {
+	//hetpnoc:orderfree
+	for range m { // want `needs a justification`
+	}
+}
+
+func SliceRange(xs []int) int {
+	s := 0
+	for _, v := range xs { // slices iterate in index order: fine
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,11 @@
+// Fixture: internal/report is not a simulator package, so its map
+// ranges are unconstrained.
+package report
+
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -333,6 +333,8 @@ func (f *Fabric) Assignment() traffic.Assignment { return f.assignment }
 // active set; a skipped component's tick is provably a no-op (empty
 // ports, idle engines, zero-rate sources), so the result is bit-identical
 // to ticking everything — TestGoldenResults enforces this.
+//
+//hetpnoc:hotpath
 func (f *Fabric) Step() error {
 	now := f.now
 	if int(now) == f.cfg.WarmupCycles {

@@ -384,6 +384,7 @@ func TestEnergyBreakdownConsistent(t *testing.T) {
 		Cycles: 3000, WarmupCycles: 500, Seed: 19,
 	})
 	var sum float64
+	//hetpnoc:orderfree floating-point sum of a few components, compared with a relative tolerance
 	for _, v := range res.EnergyBreakdownPJ {
 		sum += v
 	}

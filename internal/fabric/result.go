@@ -75,6 +75,7 @@ func (f *Fabric) result() Result {
 		EnergyElectricalPJ: f.ledger.ElectricalPJ(),
 		EnergyBreakdownPJ:  make(map[string]float64),
 	}
+	//hetpnoc:orderfree fills a map from a map; insertion order is invisible in the result
 	for comp, pj := range f.ledger.Breakdown() {
 		res.EnergyBreakdownPJ[comp.String()] = pj
 	}

@@ -12,6 +12,8 @@ type Pool struct {
 }
 
 // Get returns a zeroed packet, reusing a recycled one when available.
+//
+//hetpnoc:hotpath
 func (pl *Pool) Get() *Packet {
 	if pl == nil || len(pl.free) == 0 {
 		return &Packet{}
@@ -26,6 +28,8 @@ func (pl *Pool) Get() *Packet {
 
 // Put recycles p. The caller must hold the only remaining reference:
 // after the next Get the struct is rewritten in place.
+//
+//hetpnoc:hotpath
 func (pl *Pool) Put(p *Packet) {
 	if pl == nil || p == nil {
 		return
@@ -55,6 +59,8 @@ func (q *Queue) Head() *Packet {
 }
 
 // Push appends p, growing the ring as needed.
+//
+//hetpnoc:hotpath
 func (q *Queue) Push(p *Packet) {
 	if q.count == len(q.buf) {
 		q.grow()
@@ -68,6 +74,8 @@ func (q *Queue) Push(p *Packet) {
 }
 
 // Pop removes and returns the oldest packet, or nil when empty.
+//
+//hetpnoc:hotpath
 func (q *Queue) Pop() *Packet {
 	if q.count == 0 {
 		return nil

@@ -116,6 +116,7 @@ func TestChainConservesAndOrdersFlits(t *testing.T) {
 					active[p] = true
 				}
 			}
+			//hetpnoc:orderfree flit conservation holds under any enqueue interleaving; the property, not a trace, is asserted
 			for p := range active {
 				for moved := 0; moved < 2 && p.next < p.pkt.Flits && f.in.Space(p.vc) > 0; moved++ {
 					if err := f.in.Enqueue(p.vc, packet.FlitAt(p.pkt, p.next), now); err != nil {
@@ -142,6 +143,7 @@ func TestChainConservesAndOrdersFlits(t *testing.T) {
 		// Everything injected must have arrived (the run is long enough
 		// to drain), and nothing beyond it.
 		got := 0
+		//hetpnoc:orderfree integer sum is commutative
 		for _, n := range arrived {
 			got += n
 		}

@@ -127,6 +127,8 @@ func (r *Router) Outputs() int { return len(r.outputs) }
 // `width` eligible flits are moved from input VCs to the downstream port.
 // Headers perform routing and downstream VC allocation; body and tail
 // flits follow the path their header locked.
+//
+//hetpnoc:hotpath
 func (r *Router) Tick(now sim.Cycle) error {
 	// Snapshot the eligible candidates: VCs that hold a flit whose head
 	// has cleared the pipeline delay. A VC empty here cannot produce an

@@ -29,6 +29,7 @@ func (n *Network) checkInvariants() error {
 			}
 		}
 	}
+	//hetpnoc:orderfree every link is checked against the same invariant; no entry depends on another
 	for l, p := range n.linkOwner {
 		if p == nil {
 			return errf("nil owner recorded for link %v", l)

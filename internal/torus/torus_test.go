@@ -144,6 +144,7 @@ func TestTorusDeliversPacket(t *testing.T) {
 		t.Fatalf("sent %d packets over %d paths", r.net.PacketsSent(), r.net.PathsSetUp())
 	}
 	// Circuit released after the tail.
+	//hetpnoc:orderfree asserts all owners are nil; order cannot matter
 	for _, owner := range r.net.linkOwner {
 		if owner != nil {
 			t.Fatal("links still held after teardown")
@@ -243,6 +244,7 @@ func TestTorusConfigValidation(t *testing.T) {
 }
 
 func TestDirectionNames(t *testing.T) {
+	//hetpnoc:orderfree each direction name is asserted independently
 	for d, want := range map[Direction]string{East: "east", West: "west", North: "north", South: "south"} {
 		if d.String() != want {
 			t.Fatalf("direction %d = %q", d, d.String())

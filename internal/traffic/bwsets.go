@@ -33,6 +33,8 @@ type BandwidthSet struct {
 }
 
 // The three bandwidth sets of the evaluation.
+//
+//hetpnoc:immutable Table 3-1/3-3 provisioning points; written only here, every consumer copies the struct
 var (
 	// BWSet1: classes 12.5-100 Gb/s, 64 wavelengths, 64x32 b packets.
 	BWSet1 = BandwidthSet{

@@ -117,7 +117,7 @@ func TestApportionmentMatchesFrequencies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		freq := SkewFrequencies[level]
+		freq, _ := SkewFrequencies(level)
 
 		// Group offered traffic by bandwidth class and compare the
 		// shares with Table 3-1's frequencies. Apportionment over 16
@@ -164,7 +164,8 @@ func TestApportionmentCoversAllClusters(t *testing.T) {
 }
 
 func TestApportionExact(t *testing.T) {
-	counts, err := apportionClusters(16, SkewFrequencies[3], BWSet1.ClassGbps)
+	freq3, _ := SkewFrequencies(3)
+	counts, err := apportionClusters(16, freq3, BWSet1.ClassGbps)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -224,6 +224,8 @@ func (tx *TX) Busy() bool {
 // separate waveguides, so the next packet's reservation broadcasts while
 // the current packet streams — the channel switches packets back-to-back
 // once the pipeline is warm.
+//
+//hetpnoc:hotpath
 func (tx *TX) Tick(now sim.Cycle) error {
 	// Advance the in-flight reservation.
 	if tx.next != nil && tx.next.window == nil {
@@ -276,6 +278,8 @@ func (tx *TX) Tick(now sim.Cycle) error {
 // admitNext scans the transmit VCs round-robin for a ready packet header
 // (other than the one currently streaming), selects its wavelengths and
 // begins its reservation broadcast.
+//
+//hetpnoc:hotpath
 func (tx *TX) admitNext(now sim.Cycle) {
 	n := tx.port.VCCount()
 	for scan := 0; scan < n; scan++ {
