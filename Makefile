@@ -5,12 +5,14 @@
 #   make lint    — run the determinism/hot-path analyzer suite
 #                  (cmd/hetpnoclint, see docs/ANALYSIS.md)
 #   make test    — fast test pass only
+#   make fuzz-smoke — 10s-per-target native fuzz pass (CI smoke gate)
 #   make bench   — perf snapshot: writes BENCH_<date>.json via cmd/benchjson
 #   make sweep   — quick smoke sweep of every figure
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build vet lint test race race-quick bench sweep
+.PHONY: check build vet lint test race race-quick fuzz-smoke bench sweep
 
 check: build vet lint test race
 
@@ -38,7 +40,15 @@ race:
 	$(GO) test -race ./...
 
 race-quick:
-	$(GO) test -race ./internal/experiments/... ./cmd/sweep/...
+	$(GO) test -race ./internal/experiments/... ./cmd/sweep/... ./internal/serve/...
+
+# Short native-fuzzing pass over every fuzz target; `go test -fuzz`
+# accepts one package per invocation, hence one line per target. Seed
+# corpora live under testdata/fuzz/; new crashers land there too.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzConfigValidate$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzServeRequestDecode$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzSweepDecode$$' -fuzztime $(FUZZTIME) ./internal/serve
 
 bench:
 	./scripts/bench.sh

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"hetpnoc/internal/serve"
+)
+
+func TestServerConfigMapping(t *testing.T) {
+	got := serverConfig(8, 16, 512, 5_000_000, time.Minute, 3*time.Second)
+	want := serve.Config{
+		Workers:       8,
+		QueueDepth:    16,
+		CacheCapacity: 512,
+		JobTimeout:    time.Minute,
+		MaxCycles:     5_000_000,
+		RetryAfter:    3 * time.Second,
+	}
+	if got != want {
+		t.Fatalf("serverConfig = %+v, want %+v", got, want)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("undefined flag accepted")
+	}
+	if err := run([]string{"-workers", "zebra"}); err == nil {
+		t.Fatal("malformed flag value accepted")
+	}
+}

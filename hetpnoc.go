@@ -28,6 +28,7 @@
 package hetpnoc
 
 import (
+	"context"
 	"fmt"
 
 	"hetpnoc/internal/fabric"
@@ -200,6 +201,15 @@ type Config struct {
 // Run simulates the configured network for the configured cycles and
 // returns its measured results.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run honoring cancellation: the cycle loop polls ctx
+// every fabric.CancelCheckInterval cycles and aborts with ctx.Err() when
+// it fires, so a canceled simulation releases its worker within tens of
+// microseconds. The simulation itself is unaffected by the polling — a
+// run that completes is bit-identical to Run's.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	fc, err := cfg.toFabricConfig()
 	if err != nil {
 		return Result{}, err
@@ -208,7 +218,7 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := f.Run()
+	res, err := f.RunContext(ctx)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hetpnoc/internal/fabric"
+	"hetpnoc/internal/traffic"
+)
+
+func tinyMatrix() (Options, []Point) {
+	opts := Options{
+		Cycles:       1500,
+		WarmupCycles: 500,
+		LoadScales:   []float64{1.0},
+		Parallelism:  2,
+	}
+	points := []Point{
+		{Set: traffic.BWSet1, Pattern: traffic.Uniform{}, Arch: fabric.Firefly},
+		{Set: traffic.BWSet1, Pattern: traffic.Uniform{}, Arch: fabric.DHetPNoC},
+	}
+	return opts, points
+}
+
+// TestRunMatrixContextMatchesRunMatrix: a background context must not
+// perturb the matrix — same rows, same order.
+func TestRunMatrixContextMatchesRunMatrix(t *testing.T) {
+	opts, points := tinyMatrix()
+	a, err := RunMatrix(opts, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMatrixContext(context.Background(), opts, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("RunMatrixContext diverges from RunMatrix:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunMatrixContextCanceled: a dead context aborts the matrix with
+// its error instead of running the points.
+func TestRunMatrixContextCanceled(t *testing.T) {
+	opts, points := tinyMatrix()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunMatrixContext(ctx, opts, points); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

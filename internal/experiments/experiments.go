@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -99,7 +100,7 @@ type Row struct {
 }
 
 // runPoint sweeps the load scales for one point and keeps the best.
-func runPoint(opts Options, p Point) (Row, error) {
+func runPoint(ctx context.Context, opts Options, p Point) (Row, error) {
 	best := Row{
 		Set:     p.Set.Name,
 		Pattern: p.Pattern.Name(),
@@ -120,7 +121,7 @@ func runPoint(opts Options, p Point) (Row, error) {
 		if err != nil {
 			return Row{}, fmt.Errorf("experiments: %s/%s/%s: %w", p.Set.Name, p.Pattern.Name(), p.Arch, err)
 		}
-		res, err := f.Run()
+		res, err := f.RunContext(ctx)
 		if err != nil {
 			return Row{}, fmt.Errorf("experiments: %s/%s/%s: %w", p.Set.Name, p.Pattern.Name(), p.Arch, err)
 		}
@@ -144,6 +145,14 @@ func runPoint(opts Options, p Point) (Row, error) {
 // RunMatrix executes every point, in parallel up to opts.Parallelism, and
 // returns rows in point order.
 func RunMatrix(opts Options, points []Point) ([]Row, error) {
+	return RunMatrixContext(context.Background(), opts, points)
+}
+
+// RunMatrixContext is RunMatrix with cancellation: when ctx is done, the
+// in-flight points abort at the fabric's next cancellation check and the
+// first error returned is ctx's. The serving layer and long sweeps use
+// this to make whole matrices abortable.
+func RunMatrixContext(ctx context.Context, opts Options, points []Point) ([]Row, error) {
 	opts = opts.withDefaults()
 	rows := make([]Row, len(points))
 	errs := make([]error, len(points))
@@ -154,12 +163,16 @@ func RunMatrix(opts Options, points []Point) ([]Row, error) {
 	sem := make(chan struct{}, opts.Parallelism)
 	var wg sync.WaitGroup
 	for i, p := range points {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			break
+		}
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, p Point) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rows[i], errs[i] = runPoint(opts, p)
+			rows[i], errs[i] = runPoint(ctx, opts, p)
 		}(i, p)
 	}
 	wg.Wait()

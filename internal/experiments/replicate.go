@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -55,7 +56,7 @@ func RunReplicated(opts Options, p Point, seeds int) (Replicated, error) {
 			defer func() { <-sem }()
 			o := opts
 			o.Seed = opts.Seed + uint64(i)
-			rows[i], errs[i] = runPoint(o, p)
+			rows[i], errs[i] = runPoint(context.Background(), o, p)
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hetpnoc/internal/traffic"
+)
+
+// TestRunContextMatchesRun: threading a background context through the
+// chunked cycle loop must not perturb the simulation — RunContext and
+// Run produce identical results, including at cycle counts that are not
+// multiples of CancelCheckInterval.
+func TestRunContextMatchesRun(t *testing.T) {
+	for _, cycles := range []int{1500, CancelCheckInterval, CancelCheckInterval*2 + 7} {
+		mk := func() *Fabric {
+			f, err := New(Config{Pattern: traffic.Uniform{}, Cycles: cycles, WarmupCycles: 500, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		}
+		a, err := mk().Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mk().RunContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("cycles=%d: RunContext diverges from Run", cycles)
+		}
+	}
+}
+
+// TestRunContextCancel: a canceled context aborts the run with its error
+// before the full cycle budget is spent, and the fabric survives at a
+// cycle boundary.
+func TestRunContextCancel(t *testing.T) {
+	f, err := New(Config{Pattern: traffic.Uniform{}, Cycles: 1 << 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if f.Now() != 0 {
+		t.Fatalf("pre-canceled run advanced to cycle %d", f.Now())
+	}
+}
+
+// TestStepContextCancelBound: cancellation mid-run stops within one
+// check interval of the cancel point.
+func TestStepContextCancelBound(t *testing.T) {
+	f, err := New(Config{Pattern: traffic.Uniform{}, Cycles: 1 << 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	// Run one chunk, then cancel: the very next context poll must stop
+	// the loop, i.e. no more than one further interval is simulated.
+	if err := f.StepContext(ctx, CancelCheckInterval); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	err = f.StepContext(ctx, 100*CancelCheckInterval)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := int(f.Now()); got > 2*CancelCheckInterval {
+		t.Fatalf("canceled run overran the check interval: at cycle %d", got)
+	}
+}

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -67,6 +68,27 @@ type Fabric struct {
 	// pool recycles packet structs once their tail is consumed or the
 	// packet is lost; sources draw from it when generating.
 	pool packet.Pool
+
+	// totals are whole-run packet counters, never gated by the warm-up
+	// measurement window; the conservation property tests balance them
+	// against the pool's live count.
+	totals Totals
+}
+
+// Totals are un-gated whole-run packet counters (the warm-up window
+// included, unlike stats.Summary). At any instant the conservation
+// invariant Injected == Delivered + Lost + live packets holds, where the
+// live term is LivePackets: a packet that entered a source queue is in
+// exactly one of the delivered, lost or still-in-flight states.
+// Retransmission copies retire their predecessor atomically and so never
+// unbalance the equation.
+type Totals struct {
+	Injected      int64
+	Rejected      int64
+	Delivered     int64
+	DroppedRX     int64
+	Lost          int64
+	Retransmitted int64
 }
 
 // New builds a fabric from cfg (after applying defaults and validation).
@@ -231,6 +253,7 @@ func New(cfg Config) (*Fabric, error) {
 		f.collector.OnDeliverFlit(fl.Bits(), int(fl.Packet.SrcCluster))
 	}
 	f.onEjectPacket = func(p *packet.Packet) {
+		f.totals.Delivered++
 		f.collector.OnDeliverPacket(p.Born, f.now)
 		f.events.AppendInts(f.now, event.PacketDelivered, int(p.DstCluster), int64(p.ID),
 			"core %d, latency %d cycles", int64(p.Dst), int64(f.now-p.Born))
@@ -294,12 +317,15 @@ func (f *Fabric) applyAssignment(a traffic.Assignment) error {
 // VC, the packet's flits were discarded, and the source must retransmit
 // after a back-off (§1.4), up to the retry budget.
 func (f *Fabric) handleDrop(p *packet.Packet, now sim.Cycle) {
+	f.totals.DroppedRX++
 	f.collector.OnDropRX()
 	if p.Attempt > f.cfg.MaxRetries {
+		f.totals.Lost++
 		f.collector.OnLost()
 		f.pool.Put(p)
 		return
 	}
+	f.totals.Retransmitted++
 	f.collector.OnRetransmit()
 	f.events.AppendInts(now, event.Retransmit, int(p.SrcCluster), int64(p.ID),
 		"attempt %d, back-off %d cycles", int64(p.Attempt), int64(f.cfg.RetryBackoffCycles))
@@ -353,12 +379,14 @@ func (f *Fabric) Step() error {
 		}
 		if cs.queue.Len() >= f.cfg.SourceQueueLimit {
 			cs.rejects++
+			f.totals.Rejected++
 			f.collector.OnReject()
 			f.pool.Put(p) // never escaped: safe to recycle immediately
 			continue
 		}
 		cs.queue.Push(p)
 		f.injActive.Set(int(cs.id))
+		f.totals.Injected++
 		f.collector.OnInject()
 	}
 
@@ -437,14 +465,49 @@ func (f *Fabric) Step() error {
 	return nil
 }
 
-// Run simulates the configured number of cycles and returns the result.
-func (f *Fabric) Run() (Result, error) {
-	for i := 0; i < f.cfg.Cycles; i++ {
-		if err := f.Step(); err != nil {
-			return Result{}, err
+// CancelCheckInterval is the number of cycles simulated between context
+// checks in StepContext/RunContext. The check lives outside Step, so the
+// zero-alloc hot path is untouched: cancellation latency is bounded by
+// one interval's wall time (tens of microseconds on current hardware)
+// while the per-cycle cost of supporting it is zero.
+const CancelCheckInterval = 1024
+
+// StepContext simulates up to cycles cycles, polling ctx between
+// CancelCheckInterval-sized chunks. It returns ctx.Err() when canceled
+// mid-run; the fabric is left at a cycle boundary and remains usable
+// (Finish still produces a partial-window result). A background context
+// makes it equivalent to calling Step cycles times.
+func (f *Fabric) StepContext(ctx context.Context, cycles int) error {
+	for done := 0; done < cycles; {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
+		chunk := cycles - done
+		if chunk > CancelCheckInterval {
+			chunk = CancelCheckInterval
+		}
+		for i := 0; i < chunk; i++ {
+			if err := f.Step(); err != nil {
+				return err
+			}
+		}
+		done += chunk
+	}
+	return nil
+}
+
+// RunContext simulates the configured number of cycles, honoring ctx
+// cancellation between cycle chunks, and returns the result.
+func (f *Fabric) RunContext(ctx context.Context) (Result, error) {
+	if err := f.StepContext(ctx, f.cfg.Cycles); err != nil {
+		return Result{}, err
 	}
 	return f.Finish()
+}
+
+// Run simulates the configured number of cycles and returns the result.
+func (f *Fabric) Run() (Result, error) {
+	return f.RunContext(context.Background())
 }
 
 // Finish closes the measurement window and assembles the result. Use it
@@ -458,6 +521,14 @@ func (f *Fabric) Finish() (Result, error) {
 func (f *Fabric) DeliveredPackets() int64 {
 	return f.collector.Delivered()
 }
+
+// Totals returns the un-gated whole-run packet counters.
+func (f *Fabric) Totals() Totals { return f.totals }
+
+// LivePackets returns the packets currently in flight anywhere in the
+// fabric: source queues, router buffers, photonic channels and pending
+// retransmission timers.
+func (f *Fabric) LivePackets() int64 { return f.pool.Live() }
 
 // AllocatedOf returns the wavelengths currently owned by cluster c.
 func (f *Fabric) AllocatedOf(c topology.ClusterID) []photonic.WavelengthID {

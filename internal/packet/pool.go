@@ -9,13 +9,24 @@ package packet
 // The pool is not safe for concurrent use; each fabric owns its own.
 type Pool struct {
 	free []*Packet
+
+	// gets and puts count every packet handed out and returned; their
+	// difference is the number of live packets drawn from this pool,
+	// the in-flight term of the conservation invariant the property
+	// tests check (injected = delivered + lost + live).
+	gets int64
+	puts int64
 }
 
 // Get returns a zeroed packet, reusing a recycled one when available.
 //
 //hetpnoc:hotpath
 func (pl *Pool) Get() *Packet {
-	if pl == nil || len(pl.free) == 0 {
+	if pl == nil {
+		return &Packet{}
+	}
+	pl.gets++
+	if len(pl.free) == 0 {
 		return &Packet{}
 	}
 	n := len(pl.free) - 1
@@ -34,7 +45,18 @@ func (pl *Pool) Put(p *Packet) {
 	if pl == nil || p == nil {
 		return
 	}
+	pl.puts++
 	pl.free = append(pl.free, p)
+}
+
+// Live returns the number of packets drawn from the pool and not yet
+// returned — exactly the packets somewhere in the fabric: source queues,
+// router buffers, photonic channels, or retry timers.
+func (pl *Pool) Live() int64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.gets - pl.puts
 }
 
 // Queue is a FIFO of packets backed by a reusable ring, replacing the

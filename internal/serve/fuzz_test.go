@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzServeRequestDecode holds the /v1/run decoder to its contract on
+// arbitrary bytes: it must never panic, and whenever it accepts a body
+// the returned config must be fully validated (Submit relies on this —
+// a decoded config goes straight to normalization and the pool).
+func FuzzServeRequestDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"architecture":"firefly","bandwidthSet":2,"cycles":2500,"seed":7}`))
+	f.Add([]byte(`{"traffic":{"kind":"skewed","skewLevel":3},"loadScale":2}`))
+	f.Add([]byte(`{"traffic":{"kind":"hotspot","hotspotFraction":0.2,"skewLevel":2,"burstiness":4}}`))
+	f.Add([]byte(`{"traffic":{"kind":"permutation","permutation":"transpose"}}`))
+	f.Add([]byte(`{"architecture":"torus-pnoc","warmupCycles":100,"concentrated":true,"proportionalDBA":true}`))
+	f.Add([]byte(`{"no_such_field":1}`))
+	f.Add([]byte(`{"loadScale":1e308}`))
+	f.Add([]byte(`{} trailing`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Add([]byte("\xff\xfe{"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := DecodeRunRequest(data)
+		if err != nil {
+			return // rejection is fine; the no-panic guarantee is the point
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("decoder accepted a config Validate rejects: %v\nbody: %q", verr, data)
+		}
+		if _, cerr := cfg.CanonicalJSON(); cerr != nil {
+			t.Fatalf("accepted config fails canonical encoding: %v\nbody: %q", cerr, data)
+		}
+	})
+}
+
+// FuzzSweepDecode extends the same guarantee to /v1/sweep bodies, whose
+// decoder additionally expands a cross product with hostile axis sizes.
+func FuzzSweepDecode(f *testing.F) {
+	f.Add([]byte(`{"base":{"cycles":2000},"loadScales":[0.5,1,2],"bandwidthSets":[1,2,3]}`))
+	f.Add([]byte(`{"base":{},"architectures":["firefly","d-hetpnoc"],"seeds":[1,2]}`))
+	f.Add([]byte(`{"base":{"traffic":{"kind":"realapp"}}}`))
+	f.Add([]byte(`{"loadScales":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		configs, err := DecodeSweepRequest(data)
+		if err != nil {
+			return
+		}
+		if len(configs) > MaxSweepPoints {
+			t.Fatalf("sweep expanded to %d points past the %d cap", len(configs), MaxSweepPoints)
+		}
+		for i, cfg := range configs {
+			if verr := cfg.Validate(); verr != nil {
+				t.Fatalf("sweep point %d fails Validate: %v\nbody: %q", i, verr, data)
+			}
+		}
+	})
+}

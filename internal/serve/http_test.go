@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHTTPRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/run", `{"cycles":1200,"warmupCycles":1000,"seed":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("bad response body: %v\n%s", err, body)
+	}
+	if len(rr.Key) != 64 || rr.Cached || rr.Result.PacketsDelivered == 0 {
+		t.Fatalf("unexpected response: key=%q cached=%v delivered=%d", rr.Key, rr.Cached, rr.Result.PacketsDelivered)
+	}
+
+	// The duplicate comes back cached with the same key.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/run", `{"cycles":1200,"warmupCycles":1000,"seed":5}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate status %d: %s", resp2.StatusCode, body2)
+	}
+	var rr2 RunResponse
+	if err := json.Unmarshal(body2, &rr2); err != nil {
+		t.Fatal(err)
+	}
+	if !rr2.Cached || rr2.Key != rr.Key {
+		t.Fatalf("duplicate not served from cache: %+v", rr2)
+	}
+}
+
+func TestHTTPRunRejectsBadBodies(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []string{
+		`{"cyclez":100}`,
+		`{"architecture":"hypercube"}`,
+		`not json`,
+		`{"cycles":100}{"cycles":200}`,
+	}
+	for _, body := range cases {
+		resp, _ := postJSON(t, ts.URL+"/v1/run", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", `{
+		"base": {"cycles": 1200, "warmupCycles": 1000, "seed": 6},
+		"architectures": ["firefly", "d-hetpnoc"],
+		"loadScales": [0.5, 1]
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != 4 {
+		t.Fatalf("sweep returned %d points, want 4", len(sr.Points))
+	}
+	keys := map[string]bool{}
+	for i, p := range sr.Points {
+		if p.Result.PacketsDelivered == 0 {
+			t.Errorf("point %d delivered an empty result", i)
+		}
+		keys[p.Key] = true
+	}
+	if len(keys) != 4 {
+		t.Fatalf("sweep points share keys: %d distinct of 4", len(keys))
+	}
+}
+
+func TestHTTPHealthzAndMetricsz(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers != 1 || m.QueueCapacity != 2 {
+		t.Fatalf("metrics = %+v, want 1 worker, queue capacity 2", m)
+	}
+
+	// Draining flips healthz to 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPMethodRouting(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET /v1/run should not succeed")
+	}
+}

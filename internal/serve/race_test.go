@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSoakConcurrentClients is the service's concurrency proof (run it
+// under -race via `make race`): 32 clients hammer /v1/run with a mix of
+// duplicate and distinct configs. Every request must come back 200 (or
+// 429, in which case the client honors Retry-After and retries), no
+// response may be lost, duplicates must be byte-identical and produce
+// cache hits, and the server must drain cleanly afterwards.
+func TestSoakConcurrentClients(t *testing.T) {
+	const (
+		clients     = 32
+		perClient   = 4
+		distinctCfg = 8 // seeds 0..7 → every config requested ~16 times
+	)
+	s := New(Config{Workers: 4, QueueDepth: 16})
+	ts := httptest.NewServer(s.Handler())
+
+	type reply struct {
+		seed int
+		body string
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		replies []reply
+	)
+	client := ts.Client()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				seed := (c*perClient + r) % distinctCfg
+				body := fmt.Sprintf(`{"cycles":1200,"warmupCycles":1000,"seed":%d}`, seed+1)
+				for attempt := 0; ; attempt++ {
+					resp, err := client.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Errorf("client %d: %v", c, err)
+						return
+					}
+					data, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						t.Errorf("client %d: read: %v", c, err)
+						return
+					}
+					switch resp.StatusCode {
+					case http.StatusOK:
+						mu.Lock()
+						replies = append(replies, reply{seed: seed, body: string(data)})
+						mu.Unlock()
+					case http.StatusTooManyRequests:
+						if resp.Header.Get("Retry-After") == "" {
+							t.Errorf("429 without Retry-After")
+							return
+						}
+						if attempt > 50 {
+							t.Errorf("client %d: still busy after %d retries", c, attempt)
+							return
+						}
+						time.Sleep(10 * time.Millisecond)
+						continue
+					default:
+						t.Errorf("client %d: status %d: %s", c, resp.StatusCode, data)
+						return
+					}
+					break
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if len(replies) != clients*perClient {
+		t.Fatalf("lost responses: got %d, want %d", len(replies), clients*perClient)
+	}
+	// Duplicates are byte-identical end to end — same key, same result
+	// bytes — which is the canonical-encoding determinism guarantee
+	// observed through the whole HTTP/cache/pool stack.
+	bySeed := map[int]map[string]bool{}
+	for _, r := range replies {
+		var rr RunResponse
+		if err := json.Unmarshal([]byte(r.body), &rr); err != nil {
+			t.Fatalf("bad body: %v", err)
+		}
+		res, err := json.Marshal(rr.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bySeed[r.seed] == nil {
+			bySeed[r.seed] = map[string]bool{}
+		}
+		bySeed[r.seed][rr.Key+"|"+string(res)] = true
+	}
+	for seed, variants := range bySeed {
+		if len(variants) != 1 {
+			t.Errorf("seed %d produced %d distinct responses, want 1", seed, len(variants))
+		}
+	}
+
+	m := s.Metrics()
+	if m.CacheHits < 1 {
+		t.Errorf("soak produced no cache hits: %+v", m)
+	}
+	// Every distinct config simulates at most once per flight; duplicates
+	// resolve via the cache or coalescing, never by redundant runs beyond
+	// the races inherent in concurrent first arrivals.
+	if m.Completed < distinctCfg {
+		t.Errorf("completed %d runs, want at least %d", m.Completed, distinctCfg)
+	}
+	if m.Completed+m.CacheHits+m.Coalesced < clients*perClient {
+		t.Errorf("accounting hole: completed=%d hits=%d coalesced=%d for %d requests",
+			m.Completed, m.CacheHits, m.Coalesced, clients*perClient)
+	}
+
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+	if got := s.Metrics().InFlight; got != 0 {
+		t.Fatalf("in-flight after drain: %d", got)
+	}
+}
+
+// TestSoakClientCancellation: a client that disconnects mid-run aborts
+// its simulation within the fabric's cancellation check interval and
+// hands the worker back.
+func TestSoakClientCancellation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run",
+		strings.NewReader(`{"cycles":2000000,"warmupCycles":1000,"seed":42}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Metrics().InFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("big run never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled request returned %v", err)
+	}
+
+	// The worker must be reclaimed promptly: a small follow-up run
+	// completes instead of queueing behind a zombie simulation.
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"cycles":1200,"warmupCycles":1000,"seed":43}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel run status %d", resp.StatusCode)
+	}
+	if m := s.Metrics(); m.Canceled < 1 {
+		t.Fatalf("no cancellation recorded: %+v", m)
+	}
+}
+
+// TestSoakSaturation429: with one worker and a one-slot queue, a third
+// concurrent distinct request must be answered 429 with a Retry-After
+// hint while the first two are still running/queued.
+func TestSoakSaturation429(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	slow := func(seed int) (context.CancelFunc, chan struct{}) {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		body := fmt.Sprintf(`{"cycles":2000000,"warmupCycles":1000,"seed":%d}`, seed)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			defer close(done)
+			resp, err := ts.Client().Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		return cancel, done
+	}
+
+	stop1, done1 := slow(1)
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Metrics().InFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first slow run never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop2, done2 := slow(2)
+	for s.Metrics().QueueDepth != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second slow run never queued")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"cycles":2000000,"warmupCycles":1000,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+	if m := s.Metrics(); m.Rejected < 1 {
+		t.Fatalf("no rejection recorded: %+v", m)
+	}
+
+	stop1()
+	stop2()
+	<-done1
+	<-done2
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"hetpnoc"
+)
+
+// RunRequest is the wire form of one simulation request (POST /v1/run).
+// Field names mirror hetpnoc.Config; enums travel as strings. Every
+// field is optional — the zero value selects the thesis's Table 3-3
+// default, exactly as in the Go API.
+type RunRequest struct {
+	Architecture    string          `json:"architecture,omitempty"` // "firefly", "d-hetpnoc", "torus-pnoc"
+	BandwidthSet    int             `json:"bandwidthSet,omitempty"` // 1-3
+	Traffic         *TrafficRequest `json:"traffic,omitempty"`
+	LoadScale       float64         `json:"loadScale,omitempty"`
+	Cycles          int             `json:"cycles,omitempty"`
+	WarmupCycles    int             `json:"warmupCycles,omitempty"`
+	Seed            uint64          `json:"seed,omitempty"`
+	Concentrated    bool            `json:"concentrated,omitempty"`
+	ProportionalDBA bool            `json:"proportionalDBA,omitempty"`
+}
+
+// TrafficRequest is the wire form of hetpnoc.Traffic.
+type TrafficRequest struct {
+	Kind            string            `json:"kind,omitempty"` // "uniform", "skewed", "hotspot", "realapp", "permutation", "custom"
+	SkewLevel       int               `json:"skewLevel,omitempty"`
+	HotspotFraction float64           `json:"hotspotFraction,omitempty"`
+	Permutation     string            `json:"permutation,omitempty"`
+	Burstiness      float64           `json:"burstiness,omitempty"`
+	Custom          []CoreSpecRequest `json:"custom,omitempty"`
+}
+
+// CoreSpecRequest is the wire form of hetpnoc.CoreSpec.
+type CoreSpecRequest struct {
+	RateGbps   float64 `json:"rateGbps,omitempty"`
+	DemandGbps float64 `json:"demandGbps,omitempty"`
+	Dests      []int   `json:"dests,omitempty"`
+}
+
+// SweepRequest (POST /v1/sweep) expands into the cross product of the
+// base request and every listed axis value; empty axes keep the base
+// value. Each point runs through the same pool and cache as /v1/run.
+type SweepRequest struct {
+	Base          RunRequest `json:"base"`
+	LoadScales    []float64  `json:"loadScales,omitempty"`
+	BandwidthSets []int      `json:"bandwidthSets,omitempty"`
+	Architectures []string   `json:"architectures,omitempty"`
+	Seeds         []uint64   `json:"seeds,omitempty"`
+}
+
+// architectures maps the wire names onto the config enum. The empty
+// string keeps the Config zero value (d-HetPNoC, per Normalized).
+func architectureOf(name string) (hetpnoc.Architecture, error) {
+	switch name {
+	case "":
+		return 0, nil
+	case "firefly":
+		return hetpnoc.Firefly, nil
+	case "d-hetpnoc", "dhetpnoc":
+		return hetpnoc.DHetPNoC, nil
+	case "torus-pnoc", "torus":
+		return hetpnoc.TorusPNoC, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown architecture %q", name)
+	}
+}
+
+func trafficOf(t *TrafficRequest) (hetpnoc.Traffic, error) {
+	if t == nil {
+		return hetpnoc.Traffic{}, nil
+	}
+	out := hetpnoc.Traffic{
+		SkewLevel:       t.SkewLevel,
+		HotspotFraction: t.HotspotFraction,
+		Permutation:     t.Permutation,
+		Burstiness:      t.Burstiness,
+	}
+	switch t.Kind {
+	case "":
+		// Leave the kind zero: Normalized resolves it to uniform.
+	case "uniform":
+		out.Kind = hetpnoc.UniformRandom
+	case "skewed":
+		out.Kind = hetpnoc.SkewedKind
+	case "hotspot":
+		out.Kind = hetpnoc.SkewedHotspotKind
+	case "realapp":
+		out.Kind = hetpnoc.RealApplication
+	case "permutation":
+		out.Kind = hetpnoc.PermutationKind
+	case "custom":
+		out.Kind = hetpnoc.CustomKind
+	default:
+		return hetpnoc.Traffic{}, fmt.Errorf("serve: unknown traffic kind %q", t.Kind)
+	}
+	if len(t.Custom) > 0 {
+		out.Custom = make([]hetpnoc.CoreSpec, len(t.Custom))
+		for i, c := range t.Custom {
+			out.Custom[i] = hetpnoc.CoreSpec{RateGbps: c.RateGbps, DemandGbps: c.DemandGbps, Dests: c.Dests}
+		}
+	}
+	return out, nil
+}
+
+// ToConfig lowers the wire request onto the public Config.
+func (r RunRequest) ToConfig() (hetpnoc.Config, error) {
+	arch, err := architectureOf(r.Architecture)
+	if err != nil {
+		return hetpnoc.Config{}, err
+	}
+	tr, err := trafficOf(r.Traffic)
+	if err != nil {
+		return hetpnoc.Config{}, err
+	}
+	return hetpnoc.Config{
+		Architecture:    arch,
+		BandwidthSet:    r.BandwidthSet,
+		Traffic:         tr,
+		LoadScale:       r.LoadScale,
+		Cycles:          r.Cycles,
+		WarmupCycles:    r.WarmupCycles,
+		Seed:            r.Seed,
+		Concentrated:    r.Concentrated,
+		ProportionalDBA: r.ProportionalDBA,
+	}, nil
+}
+
+// strictDecode unmarshals data into v, rejecting unknown fields and
+// trailing garbage — a mistyped field name must fail loudly, not
+// silently select a default simulation.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil || len(extra) > 0 {
+		return fmt.Errorf("serve: bad request: trailing data after JSON body")
+	}
+	return nil
+}
+
+// DecodeRunRequest parses and fully validates one /v1/run body. On a nil
+// error the returned config is runnable: it has passed
+// hetpnoc.Config.Validate. The fuzz suite holds the decoder to a
+// no-panic guarantee on arbitrary bytes.
+func DecodeRunRequest(data []byte) (hetpnoc.Config, error) {
+	var req RunRequest
+	if err := strictDecode(data, &req); err != nil {
+		return hetpnoc.Config{}, err
+	}
+	cfg, err := req.ToConfig()
+	if err != nil {
+		return hetpnoc.Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return hetpnoc.Config{}, err
+	}
+	return cfg, nil
+}
+
+// MaxSweepPoints bounds one sweep's cross-product size.
+const MaxSweepPoints = 256
+
+// DecodeSweepRequest parses one /v1/sweep body and expands it into the
+// per-point configs, each fully validated.
+func DecodeSweepRequest(data []byte) ([]hetpnoc.Config, error) {
+	var req SweepRequest
+	if err := strictDecode(data, &req); err != nil {
+		return nil, err
+	}
+	return req.Expand()
+}
+
+// Expand materializes the sweep's cross product in deterministic order
+// (load scale outermost, seed innermost).
+func (r SweepRequest) Expand() ([]hetpnoc.Config, error) {
+	base, err := r.Base.ToConfig()
+	if err != nil {
+		return nil, err
+	}
+	loads := r.LoadScales
+	if len(loads) == 0 {
+		loads = []float64{base.LoadScale}
+	}
+	sets := r.BandwidthSets
+	if len(sets) == 0 {
+		sets = []int{base.BandwidthSet}
+	}
+	archNames := r.Architectures
+	if len(archNames) == 0 {
+		archNames = []string{r.Base.Architecture}
+	}
+	seeds := r.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{base.Seed}
+	}
+	for _, k := range [...]int{len(loads), len(sets), len(archNames), len(seeds)} {
+		if k > MaxSweepPoints {
+			return nil, fmt.Errorf("serve: sweep axis has %d values, limit is %d", k, MaxSweepPoints)
+		}
+	}
+	// Each axis is capped at MaxSweepPoints, so the product fits in an
+	// int64-sized int without overflow.
+	n := len(loads) * len(sets) * len(archNames) * len(seeds)
+	if n > MaxSweepPoints {
+		return nil, fmt.Errorf("serve: sweep expands to %d points, limit is %d", n, MaxSweepPoints)
+	}
+	archs := make([]hetpnoc.Architecture, len(archNames))
+	for i, name := range archNames {
+		if archs[i], err = architectureOf(name); err != nil {
+			return nil, err
+		}
+	}
+	configs := make([]hetpnoc.Config, 0, n)
+	for _, load := range loads {
+		for _, set := range sets {
+			for _, arch := range archs {
+				for _, seed := range seeds {
+					cfg := base
+					cfg.LoadScale = load
+					cfg.BandwidthSet = set
+					cfg.Architecture = arch
+					cfg.Seed = seed
+					if err := cfg.Validate(); err != nil {
+						return nil, err
+					}
+					configs = append(configs, cfg)
+				}
+			}
+		}
+	}
+	return configs, nil
+}

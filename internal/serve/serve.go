@@ -1,0 +1,386 @@
+// Package serve turns the simulator into a concurrent service: a
+// bounded worker pool executes hetpnoc runs, a content-addressed LRU
+// cache (internal/serve/cache) deduplicates identical configs, and
+// identical in-flight requests coalesce onto a single simulation. The
+// robustness semantics are explicit — per-request context cancellation
+// threaded into the cycle loop, per-job timeouts, bounded-queue
+// backpressure surfaced as ErrBusy (HTTP 429), and graceful drain on
+// shutdown. See docs/SERVING.md.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetpnoc"
+	"hetpnoc/internal/serve/cache"
+)
+
+// ErrBusy reports that both the worker pool and the admission queue are
+// full; the caller should retry after backing off (HTTP maps it to 429
+// with a Retry-After hint).
+var ErrBusy = errors.New("serve: worker pool and queue are full")
+
+// ErrDraining reports that the server is shutting down and no longer
+// admits work.
+var ErrDraining = errors.New("serve: server is draining")
+
+// ErrSimulation wraps a simulator-side failure of an admitted run — the
+// config validated but the run still errored (HTTP maps it to 500).
+var ErrSimulation = errors.New("serve: simulation failed")
+
+// Config parameterizes a Server. The zero value serves with
+// GOMAXPROCS workers, a queue twice that deep, a 1024-entry cache and a
+// 2-minute per-job timeout.
+type Config struct {
+	// Workers is the number of concurrent simulations (default
+	// GOMAXPROCS).
+	Workers int
+
+	// QueueDepth bounds the jobs admitted but not yet running; beyond
+	// it Submit fails fast with ErrBusy (default 2×Workers).
+	QueueDepth int
+
+	// CacheCapacity bounds the result cache entries (default 1024).
+	CacheCapacity int
+
+	// JobTimeout caps one simulation's lifetime from admission to
+	// completion; 0 means no limit (default 2 minutes).
+	JobTimeout time.Duration
+
+	// MaxCycles rejects configs asking for more simulated cycles than
+	// the service is willing to spend on one request; 0 means no limit
+	// (default 10,000,000).
+	MaxCycles int
+
+	// RetryAfter is the backoff hint returned with ErrBusy responses
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 1024
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 10_000_000
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// flight is one admitted simulation and the set of requests subscribed
+// to its outcome. The job context is refcounted: it is canceled only
+// when every subscriber has gone away (or the job timeout fires), so one
+// impatient client cannot abort a simulation another still wants.
+type flight struct {
+	cfg    hetpnoc.Config
+	key    cache.Key
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	res    hetpnoc.Result
+	err    error
+
+	subs int // guarded by Server.mu
+}
+
+// Server executes simulation requests on a bounded worker pool with
+// result caching and request coalescing.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	queue chan *flight
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	started    time.Time
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	pending  map[cache.Key]*flight
+	draining bool
+
+	inFlight        atomic.Int64
+	queued          atomic.Int64
+	completed       atomic.Int64
+	canceled        atomic.Int64
+	failed          atomic.Int64
+	rejected        atomic.Int64
+	coalesced       atomic.Int64
+	cyclesSimulated atomic.Int64
+}
+
+// New starts a server: cfg.Workers goroutines consuming the admission
+// queue. Stop it with Close.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      cache.New(cfg.CacheCapacity),
+		queue:      make(chan *flight, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		started:    time.Now(),
+		pending:    make(map[cache.Key]*flight),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Outcome is one Submit's result and how it was obtained.
+type Outcome struct {
+	Result hetpnoc.Result
+	// Key is the content address the result is cached under.
+	Key cache.Key
+	// Cached reports a completed-cache hit: no simulation ran.
+	Cached bool
+	// Coalesced reports the request joined an identical in-flight
+	// simulation instead of starting its own.
+	Coalesced bool
+}
+
+// Submit validates, normalizes and executes cfg, deduplicating against
+// the cache and identical in-flight runs. It blocks until the result is
+// available, ctx is done, or admission fails with ErrBusy/ErrDraining.
+func (s *Server) Submit(ctx context.Context, cfg hetpnoc.Config) (Outcome, error) {
+	cfg = cfg.Normalized()
+	if err := cfg.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if s.cfg.MaxCycles > 0 && cfg.Cycles > s.cfg.MaxCycles {
+		return Outcome{}, fmt.Errorf("serve: %d cycles exceeds the per-request limit of %d", cfg.Cycles, s.cfg.MaxCycles)
+	}
+	canonical, err := cfg.CanonicalJSON()
+	if err != nil {
+		return Outcome{}, err
+	}
+	key := cache.KeyOf(canonical)
+	if res, ok := s.cache.Get(key); ok {
+		return Outcome{Result: res, Key: key, Cached: true}, nil
+	}
+
+	fl, joined, err := s.admit(cfg, key)
+	if err != nil {
+		return Outcome{}, err
+	}
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			return Outcome{}, fl.err
+		}
+		return Outcome{Result: fl.res, Key: key, Coalesced: joined}, nil
+	case <-ctx.Done():
+		s.unsubscribe(fl)
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// admit registers the caller on an existing identical flight or creates
+// and enqueues a new one. joined reports the former.
+func (s *Server) admit(cfg hetpnoc.Config, key cache.Key) (fl *flight, joined bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	if fl, ok := s.pending[key]; ok {
+		fl.subs++
+		s.coalesced.Add(1)
+		return fl, true, nil
+	}
+	jobCtx, cancel := s.jobContext()
+	fl = &flight{cfg: cfg, key: key, ctx: jobCtx, cancel: cancel, done: make(chan struct{}), subs: 1}
+	select {
+	case s.queue <- fl:
+		s.queued.Add(1)
+		s.pending[key] = fl
+		return fl, false, nil
+	default:
+		cancel()
+		s.rejected.Add(1)
+		return nil, false, ErrBusy
+	}
+}
+
+// jobContext derives one flight's context from the server's base
+// context, applying the job timeout.
+func (s *Server) jobContext() (context.Context, context.CancelFunc) {
+	if s.cfg.JobTimeout > 0 {
+		return context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
+// unsubscribe removes one waiter from fl; the last one out cancels the
+// job so its worker (or queue slot) is reclaimed promptly.
+func (s *Server) unsubscribe(fl *flight) {
+	s.mu.Lock()
+	fl.subs--
+	last := fl.subs == 0
+	s.mu.Unlock()
+	if last {
+		fl.cancel()
+	}
+}
+
+// worker executes flights until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for fl := range s.queue {
+		s.queued.Add(-1)
+		s.runFlight(fl)
+	}
+}
+
+// runFlight executes one admitted simulation and publishes its outcome.
+func (s *Server) runFlight(fl *flight) {
+	if err := fl.ctx.Err(); err != nil {
+		// Every subscriber left (or the timeout fired) while the job
+		// was still queued; skip the run entirely.
+		fl.err = err
+		s.canceled.Add(1)
+		s.finish(fl)
+		return
+	}
+	s.inFlight.Add(1)
+	res, err := hetpnoc.RunContext(fl.ctx, fl.cfg)
+	s.inFlight.Add(-1)
+	fl.res, fl.err = res, err
+	switch {
+	case err == nil:
+		s.cache.Put(fl.key, res)
+		s.completed.Add(1)
+		s.cyclesSimulated.Add(int64(fl.cfg.Cycles))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.canceled.Add(1)
+	default:
+		fl.err = fmt.Errorf("%w: %v", ErrSimulation, err)
+		s.failed.Add(1)
+	}
+	s.finish(fl)
+}
+
+// finish retires fl from the pending set and wakes its subscribers. The
+// delete happens before the done broadcast so a duplicate arriving
+// afterwards starts fresh instead of adopting a dead flight.
+func (s *Server) finish(fl *flight) {
+	s.mu.Lock()
+	delete(s.pending, fl.key)
+	s.mu.Unlock()
+	fl.cancel()
+	close(fl.done)
+}
+
+// Close drains the server: no new admissions, queued and in-flight jobs
+// run to completion until ctx expires, at which point they are canceled.
+// It returns ctx.Err() if the drain was cut short.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // hard-cancel stragglers, then wait for them
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// RetryAfter returns the configured backoff hint for ErrBusy.
+func (s *Server) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// MaxCycles returns the per-request cycle limit (0 = unlimited).
+func (s *Server) MaxCycles() int { return s.cfg.MaxCycles }
+
+// Metrics is the /metricsz read-out.
+type Metrics struct {
+	Workers       int `json:"workers"`
+	QueueCapacity int `json:"queueCapacity"`
+
+	QueueDepth int64 `json:"queueDepth"`
+	InFlight   int64 `json:"inFlight"`
+
+	Completed int64 `json:"completed"`
+	Canceled  int64 `json:"canceled"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+	Coalesced int64 `json:"coalesced"`
+
+	CacheEntries  int     `json:"cacheEntries"`
+	CacheCapacity int     `json:"cacheCapacity"`
+	CacheHits     int64   `json:"cacheHits"`
+	CacheMisses   int64   `json:"cacheMisses"`
+	CacheHitRate  float64 `json:"cacheHitRate"`
+
+	CyclesSimulated int64   `json:"cyclesSimulated"`
+	CyclesPerSecond float64 `json:"cyclesPerSecond"`
+	UptimeSeconds   float64 `json:"uptimeSeconds"`
+}
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() Metrics {
+	cs := s.cache.Stats()
+	uptime := time.Since(s.started).Seconds()
+	m := Metrics{
+		Workers:         s.cfg.Workers,
+		QueueCapacity:   s.cfg.QueueDepth,
+		QueueDepth:      s.queued.Load(),
+		InFlight:        s.inFlight.Load(),
+		Completed:       s.completed.Load(),
+		Canceled:        s.canceled.Load(),
+		Failed:          s.failed.Load(),
+		Rejected:        s.rejected.Load(),
+		Coalesced:       s.coalesced.Load(),
+		CacheEntries:    cs.Entries,
+		CacheCapacity:   cs.Capacity,
+		CacheHits:       cs.Hits,
+		CacheMisses:     cs.Misses,
+		CacheHitRate:    cs.HitRate(),
+		CyclesSimulated: s.cyclesSimulated.Load(),
+		UptimeSeconds:   uptime,
+	}
+	if uptime > 0 {
+		m.CyclesPerSecond = float64(m.CyclesSimulated) / uptime
+	}
+	return m
+}
