@@ -2,8 +2,10 @@
 #
 #   make check   — build, vet, lint (hetpnoclint), full test suite, and a
 #                  race-enabled run of everything (the CI gate)
-#   make lint    — run the determinism/hot-path analyzer suite
-#                  (cmd/hetpnoclint, see docs/ANALYSIS.md)
+#   make lint    — run the analyzer suite (cmd/hetpnoclint, see
+#                  docs/ANALYSIS.md)
+#   make lint-fix — apply the suite's machine-applicable fixes in place
+#                  (run `make lint-dry` first to preview)
 #   make test    — fast test pass only
 #   make fuzz-smoke — 10s-per-target native fuzz pass (CI smoke gate)
 #   make bench   — perf snapshot: writes BENCH_<date>.json via cmd/benchjson
@@ -12,7 +14,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint test race race-quick fuzz-smoke bench sweep
+.PHONY: check build vet lint lint-fix lint-dry lint-update test race race-quick fuzz-smoke bench sweep
 
 check: build vet lint test race
 
@@ -22,11 +24,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-# hetpnoclint enforces the simulator's determinism and hot-path
-# invariants (detrand, maprange, hotpathalloc, globalstate); any
-# undirected violation exits non-zero. See docs/ANALYSIS.md.
+# hetpnoclint enforces the simulator's determinism, hot-path,
+# concurrency-safety and API-stability invariants (detrand, maprange,
+# hotpathalloc, globalstate, lockguard, ctxflow, errsink, apistable);
+# any undirected violation exits non-zero. See docs/ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/hetpnoclint ./...
+
+# Apply the suite's machine-applicable SuggestedFix rewrites in place.
+# Conflicting fixes are dropped, not merged; re-run after reviewing.
+lint-fix:
+	$(GO) run ./cmd/hetpnoclint -fix ./...
+
+# Preview what lint-fix would rewrite without touching files.
+lint-dry:
+	$(GO) run ./cmd/hetpnoclint -fix -dry ./...
+
+# Regenerate the apistable API golden snapshots (testdata/api/*.golden)
+# after an intentional exported-API change, then review the diff.
+lint-update:
+	$(GO) run ./cmd/hetpnoclint -update ./...
 
 test:
 	$(GO) test ./...

@@ -46,6 +46,10 @@ func serverConfig(workers, queue, cacheCap, maxCycles int, jobTimeout, retryAfte
 	}
 }
 
+// run is the daemon body: flag parsing, server construction, signal
+// handling and graceful drain.
+//
+//hetpnoc:ctxroot process entry point; signal and drain contexts are minted here
 func run(args []string) error {
 	fs := flag.NewFlagSet("hetpnocd", flag.ContinueOnError)
 	var (

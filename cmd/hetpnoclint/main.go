@@ -1,34 +1,44 @@
-// Command hetpnoclint runs the repo's determinism and hot-path
-// analyzers (internal/analysis/...) over module packages and fails on
-// any undirected violation. `make lint` wires it into the tier-1 gate.
+// Command hetpnoclint runs the repo's determinism, hot-path,
+// concurrency-safety and API-stability analyzers (internal/analysis/...)
+// over module packages and fails on any undirected violation.
+// `make lint` wires it into the tier-1 gate.
 //
 // Usage:
 //
-//	hetpnoclint [-json] [-tests=false] [packages ...]
+//	hetpnoclint [-json] [-tests=false] [-fix [-dry]] [-update] [packages ...]
 //
 // Packages default to ./... . Each diagnostic carries a -fix-style
 // suggestion: either the directive that would silence it (with its
 // required justification placeholder) or the mechanical rewrite that
-// removes the violation. -json emits machine-readable diagnostics for
-// CI annotation.
+// removes the violation. Diagnostics with machine-applicable rewrites
+// are applied in place by -fix (atomically per fix, conflicting fixes
+// dropped); -fix -dry reports what would change without writing.
+// -update regenerates the API golden snapshots checked by apistable.
+// -json emits machine-readable diagnostics for CI annotation.
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 load or internal
-// failure.
+// Exit status: 0 clean (or, with -fix, every diagnostic fixed), 1
+// diagnostics reported, 2 load or internal failure.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"hetpnoc/internal/analysis"
+	"hetpnoc/internal/analysis/apistable"
+	"hetpnoc/internal/analysis/ctxflow"
 	"hetpnoc/internal/analysis/detrand"
+	"hetpnoc/internal/analysis/errsink"
+	"hetpnoc/internal/analysis/fix"
 	"hetpnoc/internal/analysis/globalstate"
 	"hetpnoc/internal/analysis/hotpathalloc"
 	"hetpnoc/internal/analysis/load"
+	"hetpnoc/internal/analysis/lockguard"
 	"hetpnoc/internal/analysis/maprange"
 )
 
@@ -38,6 +48,10 @@ var analyzers = []*analysis.Analyzer{
 	maprange.Analyzer,
 	hotpathalloc.Analyzer,
 	globalstate.Analyzer,
+	lockguard.Analyzer,
+	ctxflow.Analyzer,
+	errsink.Analyzer,
+	apistable.Analyzer,
 }
 
 // diagnostic is one resolved violation, shaped for both output modes.
@@ -48,11 +62,15 @@ type diagnostic struct {
 	Col        int    `json:"col"`
 	Message    string `json:"message"`
 	Suggestion string `json:"suggestion,omitempty"`
+	Fixable    bool   `json:"fixable,omitempty"`
 }
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON for CI annotation")
 	tests := flag.Bool("tests", true, "also lint _test.go files and external test packages")
+	applyFix := flag.Bool("fix", false, "apply machine-applicable suggested fixes in place")
+	dry := flag.Bool("dry", false, "with -fix: report what would change without writing files")
+	update := flag.Bool("update", false, "regenerate apistable API golden snapshots")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -60,7 +78,8 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := lint("", *tests, patterns)
+	apistable.Update = *update
+	diags, fileFixes, err := lint("", *tests, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hetpnoclint: %v\n", err)
 		os.Exit(2)
@@ -81,6 +100,33 @@ func main() {
 			}
 		}
 	}
+
+	if *applyFix {
+		applied, dropped, files, err := applyFixes(fileFixes, *dry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetpnoclint: %v\n", err)
+			os.Exit(2)
+		}
+		verb := "applied"
+		if *dry {
+			verb = "would apply"
+		}
+		fmt.Fprintf(os.Stderr, "hetpnoclint: %s %d fix(es) in %d file(s), %d dropped as conflicting\n",
+			verb, applied, files, dropped)
+		// With fixes written, only diagnostics a human must resolve keep
+		// the non-zero exit; in -dry mode nothing was resolved.
+		unfixed := 0
+		for _, d := range diags {
+			if !d.Fixable || *dry {
+				unfixed++
+			}
+		}
+		if unfixed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if len(diags) > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(os.Stderr, "hetpnoclint: %d violation(s)\n", len(diags))
@@ -90,16 +136,18 @@ func main() {
 }
 
 // lint loads patterns from the module containing dir and applies every
-// analyzer, returning position-sorted diagnostics.
-func lint(dir string, tests bool, patterns []string) ([]diagnostic, error) {
+// analyzer, returning position-sorted diagnostics plus the
+// machine-applicable fixes grouped by absolute file path.
+func lint(dir string, tests bool, patterns []string) ([]diagnostic, map[string][]fix.Fix, error) {
 	loader := &load.Loader{Dir: dir, Tests: tests}
 	fset, pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	cwd, _ := os.Getwd()
 	diags := []diagnostic{}
+	fileFixes := map[string][]fix.Fix{}
 	for _, p := range pkgs {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
@@ -116,6 +164,13 @@ func lint(dir string, tests bool, patterns []string) ([]diagnostic, error) {
 							file = rel
 						}
 					}
+					fixable := false
+					for _, sf := range d.Fixes {
+						if f, target, ok := resolveFix(fset, sf); ok {
+							fileFixes[target] = append(fileFixes[target], f)
+							fixable = true
+						}
+					}
 					diags = append(diags, diagnostic{
 						Analyzer:   a.Name,
 						File:       file,
@@ -123,11 +178,12 @@ func lint(dir string, tests bool, patterns []string) ([]diagnostic, error) {
 						Col:        pos.Column,
 						Message:    d.Message,
 						Suggestion: d.Suggestion,
+						Fixable:    fixable,
 					})
 				},
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, p.Path, err)
+				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, p.Path, err)
 			}
 		}
 	}
@@ -140,5 +196,60 @@ func lint(dir string, tests bool, patterns []string) ([]diagnostic, error) {
 		}
 		return diags[i].Col < diags[j].Col
 	})
-	return diags, nil
+	return diags, fileFixes, nil
+}
+
+// resolveFix turns a SuggestedFix's token positions into byte offsets.
+// A fix whose edits span multiple files is not applicable.
+func resolveFix(fset *token.FileSet, sf analysis.SuggestedFix) (fix.Fix, string, bool) {
+	out := fix.Fix{Message: sf.Message}
+	target := ""
+	for _, e := range sf.TextEdits {
+		start := fset.Position(e.Pos)
+		end := fset.Position(e.End)
+		if start.Filename == "" || start.Filename != end.Filename {
+			return fix.Fix{}, "", false
+		}
+		if target == "" {
+			target = start.Filename
+		} else if target != start.Filename {
+			return fix.Fix{}, "", false
+		}
+		out.Edits = append(out.Edits, fix.Edit{Start: start.Offset, End: end.Offset, New: e.NewText})
+	}
+	if target == "" {
+		return fix.Fix{}, "", false
+	}
+	return out, target, true
+}
+
+// applyFixes rewrites (or, in dry mode, only reports) each file with its
+// accumulated fixes.
+func applyFixes(fileFixes map[string][]fix.Fix, dry bool) (applied, dropped, files int, err error) {
+	paths := make([]string, 0, len(fileFixes))
+	for p := range fileFixes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return applied, dropped, files, err
+		}
+		res := fix.Apply(src, fileFixes[path])
+		applied += res.Applied
+		dropped += res.Dropped
+		if res.Applied == 0 {
+			continue
+		}
+		files++
+		if dry {
+			fmt.Fprintf(os.Stderr, "hetpnoclint: would rewrite %s (%d fixes)\n", path, res.Applied)
+			continue
+		}
+		if err := os.WriteFile(path, res.Src, 0o644); err != nil {
+			return applied, dropped, files, err
+		}
+	}
+	return applied, dropped, files, nil
 }

@@ -14,7 +14,7 @@ func TestRepoLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
 	}
-	diags, err := lint("", true, []string{"hetpnoc/..."})
+	diags, _, err := lint("", true, []string{"hetpnoc/..."})
 	if err != nil {
 		t.Fatalf("lint failed: %v", err)
 	}
@@ -63,8 +63,49 @@ func Hot(n int) string {
 	return fmt.Sprintf("%d", n)
 }
 `)
+	write("internal/sim/ctx.go", `package sim
 
-	diags, err := lint(dir, true, []string{"./..."})
+import "context"
+
+func StepContext(ctx context.Context) error { return ctx.Err() }
+
+func Step() error { return nil }
+
+func Use(ctx context.Context) {
+	Step()
+	_ = context.Background()
+}
+
+func Drop() {
+	Step()
+}
+`)
+	write("internal/sim/guard.go", `package sim
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int //hetpnoc:guardedby mu
+}
+
+func (c *Counter) Bump() {
+	c.n++
+}
+`)
+	// Stale API golden: lists one symbol that no longer exists, knows
+	// the rest.
+	write("internal/sim/testdata/api/sim.golden", "Counter\ttype struct\n"+
+		"Counter.Bump\tmethod func()\n"+
+		"Draw\tfunc func(m map[string]int) int64\n"+
+		"Drop\tfunc func()\n"+
+		"Gone\tfunc func()\n"+
+		"Hot\tfunc func(n int) string\n"+
+		"Step\tfunc func() error\n"+
+		"StepContext\tfunc func(ctx context.Context) error\n"+
+		"Use\tfunc func(ctx context.Context)\n")
+
+	diags, _, err := lint(dir, true, []string{"./..."})
 	if err != nil {
 		t.Fatalf("lint failed: %v", err)
 	}
@@ -80,6 +121,10 @@ func Hot(n int) string {
 		"maprange":     1, // undirected range over m
 		"globalstate":  1, // package-level var hits
 		"hotpathalloc": 1, // fmt.Sprintf in a hotpath function
+		"ctxflow":      2, // Step() with ctx in scope + context.Background mint
+		"errsink":      2, // Step() dropped error in Use and in Drop
+		"lockguard":    1, // Counter.n written without Counter.mu
+		"apistable":    1, // Gone removed relative to the golden
 	}
 	for a, n := range want {
 		if got[a] != n {
@@ -88,5 +133,54 @@ func Hot(n int) string {
 	}
 	if len(diags) == 0 {
 		t.Fatal("expected diagnostics from the scratch module, got none")
+	}
+}
+
+// TestFixProducesGoldenTree drives the whole -fix pipeline: lint the
+// deliberately broken fixture tree, apply every machine-applicable fix,
+// and byte-compare each rewritten file against its want/ twin.
+func TestFixProducesGoldenTree(t *testing.T) {
+	broken := filepath.Join("testdata", "fixtree", "broken")
+	wantDir := filepath.Join("testdata", "fixtree", "want")
+
+	dir := t.TempDir()
+	entries, err := os.ReadDir(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(broken, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, fileFixes, err := lint(dir, true, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint failed: %v", err)
+	}
+	applied, dropped, files, err := applyFixes(fileFixes, false)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if applied != 4 || dropped != 0 || files != 2 {
+		t.Errorf("applied=%d dropped=%d files=%d, want 4/0/2", applied, dropped, files)
+	}
+
+	for _, name := range []string{"fixme.go", "errs.go"} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(wantDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s after -fix differs from want:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+		}
 	}
 }

@@ -1,0 +1,9 @@
+package fixtree
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func cleanup() {
+	mayFail()
+}

@@ -1,0 +1,22 @@
+// Package fixtree is a deliberately broken tree: every violation below
+// carries a machine-applicable fix, and the want/ twin of this tree is
+// the byte-exact output `hetpnoclint -fix` must produce.
+package fixtree
+
+import "context"
+
+// Fab has a Step / StepContext method pair.
+type Fab struct{}
+
+// StepContext is the cancellable variant.
+func (f *Fab) StepContext(ctx context.Context, n int) error { return ctx.Err() }
+
+// Step is the context-less variant.
+func (f *Fab) Step(n int) error { return nil }
+
+// Run drops an error, drops the in-scope context, and mints a fresh
+// Background inside a non-root function.
+func Run(ctx context.Context, f *Fab) error {
+	f.Step(1)
+	return f.StepContext(context.Background(), 2)
+}

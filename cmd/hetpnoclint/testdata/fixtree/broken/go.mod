@@ -1,0 +1,3 @@
+module fixtree
+
+go 1.22

@@ -21,7 +21,6 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -59,8 +58,10 @@ func run(args []string) error {
 		return err
 	}
 	if *tables {
-		printTables(os.Stdout)
-		return nil
+		var buf bytes.Buffer
+		printTables(&buf)
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
 	}
 
 	opts := experiments.Options{Cycles: *cycles, WarmupCycles: *warmup, Seed: *seed, Parallelism: *parallel}
@@ -69,55 +70,61 @@ func run(args []string) error {
 		opts.WarmupCycles = 800
 	}
 
-	var figures []func(io.Writer) error
-	add := func(fn func(io.Writer) error) { figures = append(figures, fn) }
+	var figures []func(*bytes.Buffer) error
+	add := func(fn func(*bytes.Buffer) error) { figures = append(figures, fn) }
 
 	all := *fig == ""
 	if all || *fig == "1-1" {
 		add(printFig1_1)
 	}
 	if all || *fig == "3-3" || *fig == "3-4" {
-		add(func(w io.Writer) error { return printFig3_3(w, opts, *csvDir) })
+		add(func(w *bytes.Buffer) error { return printFig3_3(w, opts, *csvDir) })
 	}
 	if all || *fig == "3-5" {
-		add(func(w io.Writer) error { return printFig3_5(w, opts, *csvDir) })
+		add(func(w *bytes.Buffer) error { return printFig3_5(w, opts, *csvDir) })
 	}
 	if all || *fig == "3-6" {
-		add(func(w io.Writer) error { printFig3_6(w); return nil })
+		add(func(w *bytes.Buffer) error { printFig3_6(w); return nil })
 	}
 	if all || *fig == "3-7" {
-		add(func(w io.Writer) error { return printScaling(w, opts, fabric.DHetPNoC, "3-7") })
+		add(func(w *bytes.Buffer) error { return printScaling(w, opts, fabric.DHetPNoC, "3-7") })
 	}
 	if all || *fig == "3-8" || *fig == "3-9" {
-		add(func(w io.Writer) error { return printFig3_8(w, opts) })
+		add(func(w *bytes.Buffer) error { return printFig3_8(w, opts) })
 	}
 	if all || *fig == "3-10" {
-		add(func(w io.Writer) error { return printScaling(w, opts, fabric.Firefly, "3-10") })
+		add(func(w *bytes.Buffer) error { return printScaling(w, opts, fabric.Firefly, "3-10") })
 	}
 	if *ablations {
-		add(func(w io.Writer) error { return printAblations(w, opts) })
+		add(func(w *bytes.Buffer) error { return printAblations(w, opts) })
 	}
 	if *latency {
-		add(func(w io.Writer) error { return printLatencyCurves(w, opts) })
+		add(func(w *bytes.Buffer) error { return printLatencyCurves(w, opts) })
 	}
 	if *sensitivity {
-		add(func(w io.Writer) error { return printSensitivity(w, opts) })
+		add(func(w *bytes.Buffer) error { return printSensitivity(w, opts) })
 	}
 
 	return runFigures(figures, *parallel)
 }
 
 // runFigures executes every figure, concurrently up to parallel when more
-// than one is selected. Each concurrent figure writes into its own buffer;
-// the buffers are flushed to stdout in figure order so the report reads
-// the same regardless of parallelism.
-func runFigures(figures []func(io.Writer) error, parallel int) error {
+// than one is selected. Every figure writes into its own buffer — an
+// in-memory sink that cannot fail, so table rendering needs no
+// per-line error handling — and the buffers are flushed to stdout in
+// figure order so the report reads the same regardless of parallelism.
+func runFigures(figures []func(*bytes.Buffer) error, parallel int) error {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	if len(figures) <= 1 || parallel == 1 {
 		for _, fn := range figures {
-			if err := fn(os.Stdout); err != nil {
+			var buf bytes.Buffer
+			err := fn(&buf)
+			if _, werr := os.Stdout.Write(buf.Bytes()); werr != nil {
+				return werr
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -131,7 +138,7 @@ func runFigures(figures []func(io.Writer) error, parallel int) error {
 	for i, fn := range figures {
 		sem <- struct{}{}
 		wg.Add(1)
-		go func(i int, fn func(io.Writer) error) {
+		go func(i int, fn func(*bytes.Buffer) error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			errs[i] = fn(&bufs[i])
@@ -139,7 +146,9 @@ func runFigures(figures []func(io.Writer) error, parallel int) error {
 	}
 	wg.Wait()
 	for i := range figures {
-		os.Stdout.Write(bufs[i].Bytes())
+		if _, err := os.Stdout.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -149,7 +158,7 @@ func runFigures(figures []func(io.Writer) error, parallel int) error {
 	return nil
 }
 
-func printSensitivity(w io.Writer, opts experiments.Options) error {
+func printSensitivity(w *bytes.Buffer, opts experiments.Options) error {
 	rows, err := experiments.EnergySensitivity(opts, nil)
 	if err != nil {
 		return err
@@ -164,7 +173,7 @@ func printSensitivity(w io.Writer, opts experiments.Options) error {
 	return nil
 }
 
-func printLatencyCurves(w io.Writer, opts experiments.Options) error {
+func printLatencyCurves(w *bytes.Buffer, opts experiments.Options) error {
 	fmt.Fprintln(w, "== Load-latency curves (extension), BW set 1, skewed 2 ==")
 	fmt.Fprintf(w, "%-10s %6s %12s %14s %12s\n", "arch", "load", "offered", "delivered", "avg latency")
 	for _, arch := range []fabric.Arch{fabric.Firefly, fabric.DHetPNoC} {
@@ -181,7 +190,7 @@ func printLatencyCurves(w io.Writer, opts experiments.Options) error {
 	return nil
 }
 
-func printAblations(w io.Writer, opts experiments.Options) error {
+func printAblations(w *bytes.Buffer, opts experiments.Options) error {
 	rows, err := experiments.AllAblations(opts)
 	if err != nil {
 		return err
@@ -202,7 +211,7 @@ func printAblations(w io.Writer, opts experiments.Options) error {
 	return nil
 }
 
-func printFig1_1(w io.Writer) error {
+func printFig1_1(w *bytes.Buffer) error {
 	points, err := experiments.Figure1_1()
 	if err != nil {
 		return err
@@ -216,7 +225,7 @@ func printFig1_1(w io.Writer) error {
 	return nil
 }
 
-func printFig3_3(w io.Writer, opts experiments.Options, csvDir string) error {
+func printFig3_3(w *bytes.Buffer, opts experiments.Options, csvDir string) error {
 	rows, err := experiments.PeakBandwidth(opts, traffic.BandwidthSets())
 	if err != nil {
 		return err
@@ -236,7 +245,7 @@ func printFig3_3(w io.Writer, opts experiments.Options, csvDir string) error {
 }
 
 // writeRowsCSV writes rows into dir/name when dir is set.
-func writeRowsCSV(w io.Writer, dir, name string, rows []experiments.Row) error {
+func writeRowsCSV(w *bytes.Buffer, dir, name string, rows []experiments.Row) error {
 	if dir == "" {
 		return nil
 	}
@@ -246,7 +255,7 @@ func writeRowsCSV(w io.Writer, dir, name string, rows []experiments.Row) error {
 		return err
 	}
 	if err := experiments.WriteRowsCSV(f, rows); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth returning
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -256,7 +265,7 @@ func writeRowsCSV(w io.Writer, dir, name string, rows []experiments.Row) error {
 	return nil
 }
 
-func printFig3_5(w io.Writer, opts experiments.Options, csvDir string) error {
+func printFig3_5(w *bytes.Buffer, opts experiments.Options, csvDir string) error {
 	rows, err := experiments.CaseStudies(opts, traffic.BWSet1)
 	if err != nil {
 		return err
@@ -275,7 +284,7 @@ func printFig3_5(w io.Writer, opts experiments.Options, csvDir string) error {
 	return nil
 }
 
-func printFig3_6(w io.Writer) {
+func printFig3_6(w *bytes.Buffer) {
 	fmt.Fprintln(w, "== Figure 3-6: total electro-optic device area vs aggregate bandwidth ==")
 	fmt.Fprintf(w, "%12s %15s %13s %10s\n", "wavelengths", "d-HetPNoC mm^2", "Firefly mm^2", "overhead")
 	for _, p := range experiments.AreaSweep(nil) {
@@ -284,7 +293,7 @@ func printFig3_6(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-func printScaling(w io.Writer, opts experiments.Options, arch fabric.Arch, figName string) error {
+func printScaling(w *bytes.Buffer, opts experiments.Options, arch fabric.Arch, figName string) error {
 	rows, err := experiments.ScalingSeries(opts, arch)
 	if err != nil {
 		return err
@@ -299,7 +308,7 @@ func printScaling(w io.Writer, opts experiments.Options, arch fabric.Arch, figNa
 	return nil
 }
 
-func printFig3_8(w io.Writer, opts experiments.Options) error {
+func printFig3_8(w *bytes.Buffer, opts experiments.Options) error {
 	points, err := experiments.WavelengthScaling(opts, fabric.DHetPNoC)
 	if err != nil {
 		return err
@@ -318,7 +327,7 @@ func printFig3_8(w io.Writer, opts experiments.Options) error {
 
 // printPairGains prints the d-HetPNoC-over-Firefly deltas for rows that
 // come in (Firefly, d-HetPNoC) pairs.
-func printPairGains(w io.Writer, rows []experiments.Row) {
+func printPairGains(w *bytes.Buffer, rows []experiments.Row) {
 	for i := 0; i+1 < len(rows); i += 2 {
 		ff, dh := rows[i], rows[i+1]
 		if ff.Arch == dh.Arch || ff.Set != dh.Set || ff.Pattern != dh.Pattern {
@@ -334,7 +343,7 @@ func printPairGains(w io.Writer, rows []experiments.Row) {
 	}
 }
 
-func printTables(w io.Writer) {
+func printTables(w *bytes.Buffer) {
 	fmt.Fprintln(w, "== Table 3-1: bandwidth sets ==")
 	for _, s := range traffic.BandwidthSets() {
 		fmt.Fprintf(w, "%s: classes %v Gb/s, %d wavelengths, packets %dx%d b\n",

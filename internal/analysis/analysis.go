@@ -63,6 +63,32 @@ type Diagnostic struct {
 	// justification placeholder) or the mechanical rewrite that removes
 	// the violation.
 	Suggestion string
+
+	// Fixes are machine-applicable rewrites that remove the violation.
+	// cmd/hetpnoclint -fix applies them across the repo; a diagnostic
+	// without fixes needs a human (restructure the code or add a
+	// justified directive).
+	Fixes []SuggestedFix
+}
+
+// SuggestedFix is one coherent mechanical rewrite: all of its edits are
+// applied together or not at all (the fix engine drops the whole fix on
+// a conflict with another fix's edits).
+type SuggestedFix struct {
+	// Message describes the rewrite, e.g. "thread ctx into RunContext".
+	Message string
+
+	// TextEdits are the byte-range replacements. Ranges within one fix
+	// must not overlap.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. Pos == End
+// inserts before Pos.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Reportf reports a formatted diagnostic at pos. It keeps analyzer

@@ -1,0 +1,232 @@
+// Package apistable freezes the exported API of designated packages
+// against golden snapshots. The repo's public surface — the root
+// hetpnoc package and internal/experiments, which downstream scripts
+// drive — must not drift silently: removing or changing an exported
+// declaration breaks callers, and *adding* one is a commitment that
+// deserves an explicit snapshot update in the same diff.
+//
+// The golden for package P lives at <P's dir>/testdata/api/<last import
+// path segment>.golden and holds one sorted "key\tdescriptor" line per
+// exported declaration, method and struct field. Running
+// `hetpnoclint -update` (or `make lint -- -update` equivalents)
+// regenerates the snapshots; the diff then shows the API change for
+// review, exactly like any other golden in this repo.
+//
+// Packages checked: every package listed in Required (missing golden is
+// itself a diagnostic), plus any package that already has a golden —
+// which is how fixture packages opt in.
+package apistable
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hetpnoc/internal/analysis"
+)
+
+// Update, when set (by cmd/hetpnoclint -update), rewrites the golden
+// snapshots instead of diffing against them.
+var Update bool
+
+// Required lists import paths whose API must have a snapshot; a missing
+// golden for these is an error, not a skip.
+var Required = []string{
+	"hetpnoc",
+	"hetpnoc/internal/experiments",
+}
+
+// Analyzer is the apistable check.
+var Analyzer = &analysis.Analyzer{
+	Name: "apistable",
+	Doc: "diff exported package API against a golden snapshot\n\n" +
+		"removed, changed or added exported declarations must be\n" +
+		"accompanied by a regenerated testdata/api/*.golden (run with\n" +
+		"-update); silent API drift is how downstream experiment scripts\n" +
+		"break.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if strings.HasSuffix(path, "_test") || strings.HasSuffix(path, ".test") {
+		return nil
+	}
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	pkgPos := pass.Files[0].Package
+	dir := filepath.Dir(pass.Fset.Position(pkgPos).Filename)
+	segments := strings.Split(path, "/")
+	golden := filepath.Join(dir, "testdata", "api", segments[len(segments)-1]+".golden")
+
+	required := false
+	for _, r := range Required {
+		if path == r {
+			required = true
+		}
+	}
+	existing, err := os.ReadFile(golden)
+	if err != nil && !required {
+		return nil // package has not opted in
+	}
+
+	got := render(pass)
+	if Update {
+		if mkErr := os.MkdirAll(filepath.Dir(golden), 0o755); mkErr != nil {
+			return mkErr
+		}
+		return os.WriteFile(golden, []byte(strings.Join(got.lines(), "\n")+"\n"), 0o644)
+	}
+	if err != nil {
+		pass.Reportf(pkgPos,
+			fmt.Sprintf("package %s has no API snapshot at %s", path, golden),
+			"run `go run ./cmd/hetpnoclint -update ./...` to create it")
+		return nil
+	}
+
+	want := parseGolden(string(existing))
+	diff(pass, pkgPos, got, want, golden)
+	return nil
+}
+
+// api maps snapshot key -> descriptor, plus the position of each key's
+// declaration for diagnostics.
+type api struct {
+	desc map[string]string
+	pos  map[string]token.Pos
+}
+
+func (a *api) lines() []string {
+	out := make([]string, 0, len(a.desc))
+	for k, d := range a.desc {
+		out = append(out, k+"\t"+d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func parseGolden(s string) *api {
+	a := &api{desc: map[string]string{}, pos: map[string]token.Pos{}}
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if line == "" {
+			continue
+		}
+		key, desc, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		a.desc[key] = desc
+	}
+	return a
+}
+
+// render snapshots the exported API of the package under analysis.
+// Objects declared in _test.go files are not API and are excluded.
+func render(pass *analysis.Pass) *api {
+	a := &api{desc: map[string]string{}, pos: map[string]token.Pos{}}
+	qual := types.RelativeTo(pass.Pkg)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() || fromTestFile(pass, obj.Pos()) {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Const:
+			a.put(name, "const "+types.TypeString(obj.Type(), qual), obj.Pos())
+		case *types.Var:
+			a.put(name, "var "+types.TypeString(obj.Type(), qual), obj.Pos())
+		case *types.Func:
+			a.put(name, "func "+types.TypeString(obj.Type(), qual), obj.Pos())
+		case *types.TypeName:
+			renderType(a, obj, qual, pass)
+		}
+	}
+	return a
+}
+
+func renderType(a *api, obj *types.TypeName, qual types.Qualifier, pass *analysis.Pass) {
+	name := obj.Name()
+	if obj.IsAlias() {
+		a.put(name, "type = "+types.TypeString(obj.Type(), qual), obj.Pos())
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		a.put(name, "type "+types.TypeString(obj.Type().Underlying(), qual), obj.Pos())
+		return
+	}
+	under := named.Underlying()
+	if st, ok := under.(*types.Struct); ok {
+		a.put(name, "type struct", obj.Pos())
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			a.put(name+"."+f.Name(), "field "+types.TypeString(f.Type(), qual), f.Pos())
+		}
+	} else {
+		a.put(name, "type "+types.TypeString(under, qual), obj.Pos())
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if !m.Exported() || fromTestFile(pass, m.Pos()) {
+			continue
+		}
+		a.put(name+"."+m.Name(), "method "+types.TypeString(m.Type(), qual), m.Pos())
+	}
+}
+
+func (a *api) put(key, desc string, pos token.Pos) {
+	a.desc[key] = desc
+	a.pos[key] = pos
+}
+
+func fromTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// diff reports removed, changed and added API relative to the golden.
+func diff(pass *analysis.Pass, pkgPos token.Pos, got, want *api, golden string) {
+	hint := "if the change is intended, regenerate the snapshot with " +
+		"`go run ./cmd/hetpnoclint -update ./...` and review the diff of " + golden
+
+	var removed []string
+	for key := range want.desc {
+		if _, ok := got.desc[key]; !ok {
+			removed = append(removed, key)
+		}
+	}
+	sort.Strings(removed)
+	for _, key := range removed {
+		pass.Reportf(pkgPos,
+			fmt.Sprintf("exported %s (%s) was removed from the API snapshot", key, want.desc[key]),
+			hint)
+	}
+
+	var keys []string
+	for key := range got.desc {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		w, inWant := want.desc[key]
+		switch {
+		case !inWant:
+			pass.Reportf(got.pos[key],
+				fmt.Sprintf("exported %s (%s) is not in the API snapshot", key, got.desc[key]),
+				hint)
+		case w != got.desc[key]:
+			pass.Reportf(got.pos[key],
+				fmt.Sprintf("exported %s changed: snapshot has %q, code has %q", key, w, got.desc[key]),
+				hint)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package apfix exercises apistable against a deliberately stale
+// golden: one entry removed, one changed, one missing.
+package apfix // want "exported Gone .*was removed from the API snapshot"
+
+// Kept matches the snapshot exactly.
+func Kept(n int) int { return n }
+
+// Changed has a different signature than the snapshot records.
+func Changed(s string) int { return len(s) } // want "exported Changed changed"
+
+// Added is absent from the snapshot.
+func Added() {} // want "exported Added .*is not in the API snapshot"
+
+// Box matches, including its exported field and method; the unexported
+// field is not part of the surface.
+type Box struct {
+	Size   int
+	hidden bool
+}
+
+// Grow matches the snapshot.
+func (b *Box) Grow(by int) { b.Size += by; _ = b.hidden }

@@ -1,0 +1,424 @@
+// Package cfg builds intraprocedural control-flow graphs over Go
+// function bodies and runs forward dataflow over them. It is the layer
+// that lifts the hetpnoclint suite from AST pattern-matching to
+// path-sensitive facts: lockguard asks "is this mutex held on *every*
+// path reaching this field access?", which no syntactic check can
+// answer across branches, loops and early returns.
+//
+// Like the rest of internal/analysis, the package is a deliberately
+// small stdlib-only mirror of its x/tools counterpart
+// (golang.org/x/tools/go/cfg): blocks hold statements plus the control
+// expressions that guard them, edges follow Go's structured control
+// flow (if/for/range/switch/select, break/continue/goto/fallthrough,
+// labels), and a path that returns or panics simply ends. Function
+// literals are *not* inlined — a closure runs at an unknown time (go,
+// defer, callback), so each literal gets its own graph with its own
+// entry facts.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body. Blocks[0] is
+// the entry block.
+type Graph struct {
+	Blocks []*Block
+}
+
+// Block is a straight-line run of AST nodes: no jump lands in its
+// middle and control leaves only after its last node, along Succs.
+// Nodes holds statements in execution order; for control statements the
+// governing expression (if/switch condition, range operand) appears as
+// its own node so dataflow sees it evaluated before the branch.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// New builds the graph of body. The zero-statement body yields a single
+// empty entry block.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	entry := b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	b.g.wire()
+	return b.g
+}
+
+// wire fills Preds from Succs and freezes block indices.
+func (g *Graph) wire() {
+	for i, b := range g.Blocks {
+		b.Index = i
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// String renders the graph for tests and debugging: one line per block,
+// "b<i> [node kinds] -> succs".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.Index)
+		for _, n := range b.Nodes {
+			fmt.Fprintf(&sb, " %T", n)
+		}
+		sb.WriteString(" ->")
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// builder carries the construction state. cur == nil means the current
+// point is unreachable (after return/panic/branch); statements there
+// still get blocks when they are labeled jump targets.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// loops is the stack of enclosing breakable/continuable constructs.
+	loops []loopFrame
+
+	// labels maps a label name to its pre-created target block (for
+	// goto) and, once known, its loop frame (for labeled
+	// break/continue).
+	labels map[string]*labelInfo
+
+	// pendingLabel is the label of the labeled statement currently
+	// being built, consumed by the next loop/switch/select frame so
+	// `break L` / `continue L` resolve to it.
+	pendingLabel string
+
+	// fallthroughTo is the next case clause's body block while building
+	// a switch clause.
+	fallthroughTo *Block
+}
+
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil when the construct only supports break
+}
+
+type labelInfo struct {
+	target *Block // the block the labeled statement starts
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur -> to and ends the current path.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+	b.cur = nil
+}
+
+// startBlock begins blk, linking it from cur when reachable.
+func (b *builder) startBlock(blk *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, blk)
+	}
+	b.cur = blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil || n == nil {
+		return
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		head := b.cur
+		b.startBlock(thenBlk) // head -> then
+		b.stmt(s.Body)
+		b.jump(after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			if head != nil {
+				head.Succs = append(head.Succs, elseBlk)
+			}
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.jump(after)
+		} else if head != nil {
+			head.Succs = append(head.Succs, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.startBlock(head)
+		b.add(s.Cond)
+		head.Succs = append(head.Succs, body)
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, after)
+		}
+		b.pushLoop(after, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		if s.Post != nil {
+			b.jump(post)
+			b.cur = post
+			b.add(s.Post)
+			b.jump(head)
+		} else {
+			b.jump(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.startBlock(head)
+		b.add(s.X) // the ranged operand, not the statement: the body
+		// belongs to its own blocks, so analyzers never walk it twice
+		head.Succs = append(head.Succs, body, after)
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.caseClauses(s, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.caseClauses(s, s.Body.List)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			if head != nil {
+				head.Succs = append(head.Succs, blk)
+			}
+			b.cur = blk
+			b.add(cc.Comm)
+			b.pushBreakOnly(after)
+			b.stmtList(cc.Body)
+			b.popLoop()
+			b.jump(after)
+		}
+		// Control leaves a select only through a clause (`select {}`
+		// blocks forever), so `after` is reachable solely via clause
+		// exits — with zero clauses it simply has no predecessors.
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		li := b.labelInfo(s.Label.Name)
+		b.startBlock(li.target)
+		// Let the labeled construct register itself under this label so
+		// `break L` / `continue L` resolve.
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.cur = nil
+		}
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.AssignStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		// Unknown statement kinds flow straight through.
+		b.add(s)
+	}
+}
+
+// caseClauses builds switch / type-switch clause flow, including
+// fallthrough edges between adjacent clause bodies.
+func (b *builder) caseClauses(sw ast.Stmt, clauses []ast.Stmt) {
+	head := b.cur
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	prevFT := b.fallthroughTo // nested switches must not clobber the outer clause's target
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if head != nil {
+			head.Succs = append(head.Succs, blocks[i])
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var next *Block
+		if i+1 < len(clauses) {
+			next = blocks[i+1]
+		}
+		b.pushBreakOnly(after)
+		b.fallthroughTo = next
+		b.stmtList(cc.Body)
+		b.fallthroughTo = prevFT
+		b.popLoop()
+		b.jump(after)
+	}
+	if head != nil && !hasDefault {
+		head.Succs = append(head.Succs, after)
+	}
+	b.cur = after
+}
+
+// branch resolves break / continue / goto / fallthrough.
+func (b *builder) branch(s *ast.BranchStmt) {
+	if b.cur == nil {
+		return
+	}
+	switch s.Tok.String() {
+	case "break":
+		if f := b.findFrame(s.Label, true); f != nil {
+			b.jump(f.breakTo)
+			return
+		}
+	case "continue":
+		if f := b.findFrame(s.Label, false); f != nil {
+			b.jump(f.continueTo)
+			return
+		}
+	case "goto":
+		if s.Label != nil {
+			b.jump(b.labelInfo(s.Label.Name).target)
+			return
+		}
+	case "fallthrough":
+		if b.fallthroughTo != nil {
+			b.jump(b.fallthroughTo)
+			return
+		}
+	}
+	// Unresolvable branch (malformed source): end the path
+	// conservatively.
+	b.cur = nil
+}
+
+func (b *builder) findFrame(label *ast.Ident, forBreak bool) *loopFrame {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := &b.loops[i]
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if !forBreak && f.continueTo == nil {
+			continue // break-only frame (switch/select) can't continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (b *builder) labelInfo(name string) *labelInfo {
+	if b.labels == nil {
+		b.labels = make(map[string]*labelInfo)
+	}
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{target: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) pushLoop(breakTo, continueTo *Block) {
+	b.loops = append(b.loops, loopFrame{label: b.pendingLabel, breakTo: breakTo, continueTo: continueTo})
+	b.pendingLabel = ""
+}
+
+func (b *builder) pushBreakOnly(breakTo *Block) {
+	b.loops = append(b.loops, loopFrame{label: b.pendingLabel, breakTo: breakTo})
+	b.pendingLabel = ""
+}
+
+func (b *builder) popLoop() {
+	b.loops = b.loops[:len(b.loops)-1]
+}
+
+// isTerminalCall reports whether expr is a call that never returns:
+// panic(...) or os.Exit / log.Fatal* by name. The check is syntactic —
+// the cfg package has no type information — which is fine for a
+// must-analysis: missing a terminator only makes facts more
+// conservative.
+func isTerminalCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		name := fun.Sel.Name
+		return (pkg.Name == "os" && name == "Exit") ||
+			(pkg.Name == "log" && strings.HasPrefix(name, "Fatal")) ||
+			(pkg.Name == "runtime" && name == "Goexit")
+	}
+	return false
+}

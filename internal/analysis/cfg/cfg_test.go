@@ -1,0 +1,319 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// factsAt interprets src (a package with one function F), running a toy
+// must-analysis over F's body: lock() adds fact L, unlock() removes it,
+// and probe("name") records the facts holding when control reaches it.
+// The result maps probe names to sorted fact lists — nil when the probe
+// is unreachable.
+func factsAt(t *testing.T, src string) map[string][]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body *ast.BlockStmt
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "F" {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		t.Fatal("no function F in source")
+	}
+
+	call := func(n ast.Node) (string, string) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return "", ""
+		}
+		c, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return "", ""
+		}
+		id, ok := c.Fun.(*ast.Ident)
+		if !ok {
+			return "", ""
+		}
+		arg := ""
+		if len(c.Args) == 1 {
+			if lit, ok := c.Args[0].(*ast.BasicLit); ok {
+				arg, _ = strconv.Unquote(lit.Value)
+			}
+		}
+		return id.Name, arg
+	}
+	transfer := func(n ast.Node, facts FactSet) {
+		switch name, _ := call(n); name {
+		case "lock":
+			facts.Add("L")
+		case "unlock":
+			facts.Remove("L")
+		}
+	}
+
+	g := New(body)
+	in := g.ForwardMust(NewFactSet(), transfer)
+	probes := make(map[string][]string)
+	for _, b := range g.Blocks {
+		entry, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		facts := entry.Clone()
+		for _, n := range b.Nodes {
+			if name, arg := call(n); name == "probe" {
+				probes[arg] = append([]string{}, facts.Sorted()...)
+			}
+			transfer(n, facts)
+		}
+	}
+	return probes
+}
+
+func expect(t *testing.T, probes map[string][]string, name, want string) {
+	t.Helper()
+	got, ok := probes[name]
+	if !ok {
+		t.Errorf("probe %q never reached", name)
+		return
+	}
+	if s := strings.Join(got, ","); s != want {
+		t.Errorf("probe %q: facts = %q, want %q", name, s, want)
+	}
+}
+
+func TestStraightLineAndBranchJoin(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(c bool) {
+	lock()
+	probe("held")
+	if c {
+		unlock()
+		probe("branch")
+	}
+	probe("join")
+}`)
+	expect(t, probes, "held", "L")
+	expect(t, probes, "branch", "")
+	expect(t, probes, "join", "") // unlocked on one path: must-facts drop L
+}
+
+func TestEarlyReturnKeepsFact(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(c bool) {
+	lock()
+	if c {
+		unlock()
+		return
+	}
+	probe("held")
+}`)
+	// The unlocking path returned; every path reaching the probe holds L.
+	expect(t, probes, "held", "L")
+}
+
+func TestPanicEndsPath(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(c bool) {
+	lock()
+	if c {
+		unlock()
+		panic("bad")
+	}
+	probe("held")
+}`)
+	expect(t, probes, "held", "L")
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	probes := factsAt(t, `package p
+func F() {
+	lock()
+	for i := 0; i < 9; i++ {
+		probe("top")
+		unlock()
+	}
+}`)
+	// Iteration 2 reaches the loop top without the lock; must-facts are
+	// the intersection over the back edge.
+	expect(t, probes, "top", "")
+}
+
+func TestLoopRelock(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(c bool) {
+	for c {
+		lock()
+		probe("in")
+		unlock()
+	}
+	probe("after")
+}`)
+	expect(t, probes, "in", "L")
+	expect(t, probes, "after", "")
+}
+
+func TestRangeBody(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(m []int) {
+	lock()
+	for range m {
+		probe("body")
+	}
+	probe("after")
+	for range m {
+		unlock()
+	}
+	probe("end")
+}`)
+	expect(t, probes, "body", "L")
+	expect(t, probes, "after", "L")
+	expect(t, probes, "end", "") // the range may have iterated and unlocked
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(x int) {
+	lock()
+	switch x {
+	case 1:
+		unlock()
+		fallthrough
+	case 2:
+		probe("ft")
+	case 3:
+		probe("l")
+	}
+	probe("after")
+}`)
+	expect(t, probes, "ft", "") // reachable locked (case 2) and unlocked (fallthrough)
+	expect(t, probes, "l", "L")
+	expect(t, probes, "after", "")
+}
+
+func TestSwitchWithDefaultAllUnlock(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(x int) {
+	lock()
+	switch x {
+	case 1:
+		unlock()
+	default:
+		unlock()
+	}
+	probe("after")
+}`)
+	// With a default clause there is no locked fall-past path.
+	expect(t, probes, "after", "")
+}
+
+func TestSelectClauses(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(a, b chan int) {
+	lock()
+	select {
+	case <-a:
+		unlock()
+	case <-b:
+		probe("clause")
+	}
+	probe("after")
+}`)
+	expect(t, probes, "clause", "L")
+	expect(t, probes, "after", "")
+}
+
+func TestLabeledBreak(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(c bool) {
+	lock()
+loop:
+	for {
+		for {
+			break loop
+		}
+	}
+	probe("after")
+}`)
+	// The only exit is `break loop` with the lock held.
+	expect(t, probes, "after", "L")
+}
+
+func TestLabeledContinueSkipsUnlock(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(c bool) {
+outer:
+	for {
+		lock()
+		if c {
+			continue outer
+		}
+		unlock()
+		probe("bottom")
+	}
+}`)
+	// continue outer re-enters the loop head with L held, the normal
+	// path with L released — head facts intersect to nothing, but the
+	// bottom probe always follows its own unlock.
+	expect(t, probes, "bottom", "")
+}
+
+func TestGotoSkipsUnreachableUnlock(t *testing.T) {
+	probes := factsAt(t, `package p
+func F() {
+	lock()
+	goto done
+	unlock()
+done:
+	probe("g")
+}`)
+	expect(t, probes, "g", "L")
+}
+
+func TestDeferredNodeIsNotExecutedInline(t *testing.T) {
+	probes := factsAt(t, `package p
+func F() {
+	lock()
+	defer unlock()
+	probe("d")
+}`)
+	// The transfer only interprets plain call statements; the deferred
+	// unlock stays wrapped in its DeferStmt and does not kill the fact —
+	// exactly the Lock/defer-Unlock idiom lockguard must accept.
+	expect(t, probes, "d", "L")
+}
+
+func TestUnreachableProbeNotRecorded(t *testing.T) {
+	probes := factsAt(t, `package p
+func F() {
+	return
+	probe("dead")
+}`)
+	if _, ok := probes["dead"]; ok {
+		t.Error("probe after return should be unreachable")
+	}
+}
+
+func TestGraphStringSmoke(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", `package p
+func F(c bool) { if c { x() } }`, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(f.Decls[0].(*ast.FuncDecl).Body)
+	s := g.String()
+	if !strings.Contains(s, "b0:") || !strings.Contains(s, "->") {
+		t.Errorf("unexpected String() output:\n%s", s)
+	}
+}

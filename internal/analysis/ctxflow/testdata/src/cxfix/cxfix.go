@@ -1,0 +1,110 @@
+// Package cxfix exercises ctxflow: minting roots, context threading and
+// XContext sibling detection.
+package cxfix
+
+import "context"
+
+// RunContext is the canonical cancellable entry point.
+func RunContext(ctx context.Context, n int) error { return ctx.Err() }
+
+// Run is a deliberate synchronous wrapper, annotated as a root.
+//
+//hetpnoc:ctxroot synchronous public wrapper over RunContext
+func Run(n int) error { return RunContext(context.Background(), n) }
+
+func badRoot(n int) error {
+	return RunContext(context.Background(), n) // want "context.Background\\(\\) severs cancellation"
+}
+
+func badTODO(n int) error {
+	return RunContext(context.TODO(), n) // want "context.TODO\\(\\) severs cancellation"
+}
+
+func badMintWithCtxInScope(ctx context.Context, n int) error {
+	return RunContext(context.Background(), n) // want "context.Background\\(\\) severs cancellation"
+}
+
+func goodThread(ctx context.Context, n int) error {
+	return RunContext(ctx, n)
+}
+
+// Fab mirrors the fabric's Run/RunContext method pair.
+type Fab struct{}
+
+func (f *Fab) Step(n int) {}
+
+// StepContext is the wrapper pattern: the Context variant implements
+// itself by calling the raw variant between ctx polls. The definitional
+// site is exempt from the variant rule.
+func (f *Fab) StepContext(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		f.Step(1)
+	}
+}
+
+func badVariant(ctx context.Context, f *Fab) {
+	f.Step(1) // want "call to Step drops the in-scope context ctx; call StepContext"
+}
+
+func goodVariant(ctx context.Context, f *Fab) {
+	f.StepContext(ctx, 1)
+}
+
+func goodNoCtxInScope(f *Fab) {
+	f.Step(1) // no context in scope: nothing to thread
+}
+
+func badVariantPackageFunc(ctx context.Context, n int) error {
+	return run(n) // want "call to run drops the in-scope context ctx; call runContext"
+}
+
+func run(n int) error { return nil }
+
+func runContext(ctx context.Context, n int) error { return ctx.Err() }
+
+func badClosureCapture(ctx context.Context, f *Fab) {
+	go func() {
+		f.Step(2) // want "call to Step drops the in-scope context ctx; call StepContext"
+	}()
+}
+
+func goodBlankCtx(_ context.Context, f *Fab) {
+	f.Step(3) // blank context param: nothing usable to thread
+}
+
+// nearest wins: the literal's own context parameter shadows the outer one.
+func goodInnerCtx(outer context.Context, f *Fab) {
+	fn := func(ctx context.Context) {
+		f.StepContext(ctx, 4)
+	}
+	fn(outer)
+}
+
+//hetpnoc:ctxroot
+func missingWhy(n int) error { // want "needs a justification"
+	return RunContext(context.Background(), n)
+}
+
+// argless sibling: the fix inserts just "ctx".
+type Pinger struct{}
+
+func (p *Pinger) Ping() {}
+
+func (p *Pinger) PingContext(ctx context.Context) { _ = ctx }
+
+func badArgless(ctx context.Context, p *Pinger) {
+	p.Ping() // want "call to Ping drops the in-scope context ctx; call PingContext"
+}
+
+// A callee that already takes a context elsewhere in its signature is
+// not a dropped edge.
+func tail(n int, ctx context.Context) error { return ctx.Err() }
+
+func tailContext(ctx context.Context, n int) error { return ctx.Err() }
+
+func goodAlreadyThreaded(ctx context.Context, n int) error {
+	return tail(n, ctx)
+}

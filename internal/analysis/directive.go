@@ -7,8 +7,9 @@ import (
 )
 
 // The simulator's lint directives. A directive is a //hetpnoc:<name>
-// comment; orderfree and immutable additionally require a justification
-// after the name, so every suppression records why it is safe.
+// comment; most additionally require an argument after the name — a
+// justification or a mutex name — so every suppression records why it is
+// safe (or what it is tied to).
 const (
 	// DirectiveOrderfree marks a range-over-map statement whose body is
 	// insensitive to iteration order.
@@ -21,6 +22,20 @@ const (
 	// DirectiveImmutable marks a package-level var that is a write-once
 	// constant table (Go has no const for composite values).
 	DirectiveImmutable = "immutable"
+
+	// DirectiveGuardedBy marks a struct field as protected by a mutex:
+	// //hetpnoc:guardedby mu names a sibling field, Server.mu names a
+	// field of another struct. lockguard checks every access.
+	DirectiveGuardedBy = "guardedby"
+
+	// DirectiveCtxRoot marks a function that legitimately mints a fresh
+	// context (process entry points, compatibility wrappers); ctxflow
+	// flags context.Background/TODO everywhere else.
+	DirectiveCtxRoot = "ctxroot"
+
+	// DirectiveLocked marks a function whose contract is "caller holds
+	// <mu>"; lockguard seeds the named locks as held at entry.
+	DirectiveLocked = "locked"
 )
 
 const directivePrefix = "//hetpnoc:"
@@ -28,66 +43,137 @@ const directivePrefix = "//hetpnoc:"
 // Directive is one parsed //hetpnoc: comment.
 type Directive struct {
 	Pos  token.Pos
-	Name string // "orderfree", "hotpath", "immutable"
-	// Arg is the justification text after the name, trimmed.
+	Name string // e.g. "orderfree", "hotpath", "guardedby"
+	// Arg is the text after the name, trimmed: a justification
+	// (orderfree, immutable, ctxroot) or a mutex name (guardedby,
+	// locked).
 	Arg string
+
+	// Trailing reports that the comment follows code on its own line
+	// (`x int //hetpnoc:guardedby mu`). A trailing directive covers only
+	// that line — it never leaks onto the declaration below it the way
+	// an own-line comment covers the line underneath.
+	Trailing bool
+}
+
+// parseDirective parses one comment's text as a directive. It tolerates
+// CRLF sources: the parser keeps the carriage return in //-comment text,
+// which would otherwise leak into the name or argument.
+func parseDirective(pos token.Pos, text string) (Directive, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return Directive{}, false
+	}
+	rest = strings.TrimRight(rest, "\r")
+	name, arg, _ := strings.Cut(rest, " ")
+	return Directive{Pos: pos, Name: name, Arg: strings.TrimSpace(arg)}, true
 }
 
 // Directives indexes a file's //hetpnoc: comments by line so analyzers
-// can ask "is statement S covered?" in O(1).
+// can ask "is statement S covered?" in O(1). A line can carry several
+// directives (one per comment).
 type Directives struct {
 	fset   *token.FileSet
-	byLine map[int]Directive
+	byLine map[int][]Directive
 }
 
 // ParseDirectives collects every //hetpnoc: comment of file.
 func ParseDirectives(fset *token.FileSet, file *ast.File) *Directives {
-	d := &Directives{fset: fset, byLine: make(map[int]Directive)}
+	// First pass: the leftmost column of real code per line, so a
+	// directive can tell whether it trails a declaration or owns its
+	// line.
+	codeCol := make(map[int]int)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return true
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		p := fset.Position(n.Pos())
+		if c, ok := codeCol[p.Line]; !ok || p.Column < c {
+			codeCol[p.Line] = p.Column
+		}
+		return true
+	})
+
+	d := &Directives{fset: fset, byLine: make(map[int][]Directive)}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, directivePrefix) {
+			dir, ok := parseDirective(c.Pos(), c.Text)
+			if !ok {
 				continue
 			}
-			rest := strings.TrimPrefix(c.Text, directivePrefix)
-			name, arg, _ := strings.Cut(rest, " ")
-			d.byLine[fset.Position(c.Pos()).Line] = Directive{
-				Pos:  c.Pos(),
-				Name: name,
-				Arg:  strings.TrimSpace(arg),
+			pos := fset.Position(c.Pos())
+			if col, ok := codeCol[pos.Line]; ok && col < pos.Column {
+				dir.Trailing = true
 			}
+			d.byLine[pos.Line] = append(d.byLine[pos.Line], dir)
 		}
 	}
 	return d
 }
 
 // Covering returns the directive named name that covers node n: either a
-// trailing comment on n's first line or a comment on the line directly
-// above it. The bool reports whether one was found.
+// comment on n's first line or an own-line comment on the line directly
+// above it (a directive trailing the *previous* declaration does not
+// leak down). The bool reports whether one was found.
 func (d *Directives) Covering(n ast.Node, name string) (Directive, bool) {
-	line := d.fset.Position(n.Pos()).Line
-	if dir, ok := d.byLine[line]; ok && dir.Name == name {
-		return dir, true
+	if all := d.CoveringAll(n, name); len(all) > 0 {
+		return all[0], true
 	}
-	if dir, ok := d.byLine[line-1]; ok && dir.Name == name {
-		return dir, true
+	return Directive{}, false
+}
+
+// CoveringAll returns every directive named name covering node n, same
+// placement rules as Covering. Fields and functions may stack several
+// directives of one kind (e.g. two //hetpnoc:locked lines for a function
+// whose caller holds two mutexes).
+func (d *Directives) CoveringAll(n ast.Node, name string) []Directive {
+	line := d.fset.Position(n.Pos()).Line
+	var out []Directive
+	for _, dir := range d.byLine[line] {
+		if dir.Name == name {
+			out = append(out, dir)
+		}
+	}
+	for _, dir := range d.byLine[line-1] {
+		if dir.Name == name && !dir.Trailing {
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+// FuncDirectives returns every //hetpnoc: directive in fn's doc comment,
+// in source order. A declaration can stack multiple directives — e.g.
+// //hetpnoc:hotpath above //hetpnoc:locked mu.
+func FuncDirectives(fn *ast.FuncDecl) []Directive {
+	if fn.Doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range fn.Doc.List {
+		if dir, ok := parseDirective(c.Pos(), c.Text); ok {
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+// FuncDirective returns the first directive named name in fn's doc
+// comment. The bool reports whether one was found.
+func FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	for _, dir := range FuncDirectives(fn) {
+		if dir.Name == name {
+			return dir, true
+		}
 	}
 	return Directive{}, false
 }
 
 // HasHotpath reports whether fn's doc comment carries //hetpnoc:hotpath.
 func HasHotpath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
-		return false
-	}
-	for _, c := range fn.Doc.List {
-		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
-		if !ok {
-			continue
-		}
-		name, _, _ := strings.Cut(rest, " ")
-		if name == DirectiveHotpath {
-			return true
-		}
-	}
-	return false
+	_, ok := FuncDirective(fn, DirectiveHotpath)
+	return ok
 }

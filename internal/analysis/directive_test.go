@@ -61,6 +61,153 @@ func TestDirectives(t *testing.T) {
 	}
 }
 
+// parse is a test helper compiling src with comments attached.
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestFuncDirectivesStacked(t *testing.T) {
+	// One declaration carrying several directives: all must surface, in
+	// source order, and each must be findable by name.
+	_, f := parse(t, `package p
+
+//hetpnoc:hotpath
+//hetpnoc:locked mu
+//hetpnoc:locked Server.mu
+func F() {}
+`)
+	fn := f.Decls[0].(*ast.FuncDecl)
+	all := FuncDirectives(fn)
+	if len(all) != 3 {
+		t.Fatalf("got %d directives, want 3: %+v", len(all), all)
+	}
+	if !HasHotpath(fn) {
+		t.Error("stacked decl should still report hotpath")
+	}
+	var locked []string
+	for _, d := range all {
+		if d.Name == DirectiveLocked {
+			locked = append(locked, d.Arg)
+		}
+	}
+	if len(locked) != 2 || locked[0] != "mu" || locked[1] != "Server.mu" {
+		t.Errorf("locked args = %v, want [mu Server.mu]", locked)
+	}
+	if d, ok := FuncDirective(fn, DirectiveLocked); !ok || d.Arg != "mu" {
+		t.Errorf("FuncDirective(locked) = %+v, %v; want first (mu)", d, ok)
+	}
+	if _, ok := FuncDirective(fn, DirectiveCtxRoot); ok {
+		t.Error("ctxroot should not be found on F")
+	}
+}
+
+func TestDirectiveMissingReason(t *testing.T) {
+	// A directive without its required argument parses with Arg == "" —
+	// the analyzers turn that into a "needs a justification" diagnostic.
+	fset, f := parse(t, `package p
+
+func Body(m map[int]int) {
+	//hetpnoc:orderfree
+	for range m {
+	}
+}
+`)
+	dirs := ParseDirectives(fset, f)
+	var rs *ast.RangeStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			rs = r
+		}
+		return true
+	})
+	d, ok := dirs.Covering(rs, DirectiveOrderfree)
+	if !ok {
+		t.Fatal("bare orderfree directive should still cover the range")
+	}
+	if d.Arg != "" {
+		t.Errorf("Arg = %q, want empty (missing reason)", d.Arg)
+	}
+}
+
+func TestDirectiveTrailingSameLine(t *testing.T) {
+	// A trailing same-line comment covers the statement it trails, and a
+	// second directive on the same line is not lost.
+	fset, f := parse(t, `package p
+
+type S struct {
+	n int //hetpnoc:guardedby mu
+	mu int
+}
+`)
+	dirs := ParseDirectives(fset, f)
+	st := f.Decls[0].(*ast.GenDecl).Specs[0].(*ast.TypeSpec).Type.(*ast.StructType)
+	field := st.Fields.List[0]
+	d, ok := dirs.Covering(field, DirectiveGuardedBy)
+	if !ok || d.Arg != "mu" {
+		t.Errorf("guardedby on trailing comment: ok=%v arg=%q, want mu", ok, d.Arg)
+	}
+	// The directive trails field n; it must not leak down onto mu via
+	// the line-above rule.
+	if _, ok := dirs.Covering(st.Fields.List[1], DirectiveGuardedBy); ok {
+		t.Error("trailing directive on field n leaked onto the next field")
+	}
+}
+
+func TestDirectiveSameLineMultiple(t *testing.T) {
+	// Two directive comments on one line (block-comment form cannot
+	// occur for //, but a trailing directive after a leading one on the
+	// same source line can, via CoveringAll).
+	fset, f := parse(t, `package p
+
+func Body(m map[int]int) {
+	//hetpnoc:orderfree fills a set
+	//hetpnoc:orderfree duplicate
+	for range m {
+	}
+}
+`)
+	dirs := ParseDirectives(fset, f)
+	var rs *ast.RangeStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			rs = r
+		}
+		return true
+	})
+	// Only the directive directly above (line-1) covers; the one two
+	// lines up does not.
+	all := dirs.CoveringAll(rs, DirectiveOrderfree)
+	if len(all) != 1 || all[0].Arg != "duplicate" {
+		t.Errorf("CoveringAll = %+v, want the adjacent directive only", all)
+	}
+}
+
+func TestDirectiveCRLF(t *testing.T) {
+	// In a CRLF source the parser keeps the \r in //-comment text; the
+	// directive name and argument must come out clean anyway.
+	src := "package p\r\n\r\n//hetpnoc:ctxroot process entry point\r\nfunc Root() {}\r\n\r\n//hetpnoc:hotpath\r\nfunc Hot() {}\r\n"
+	_, f := parse(t, src)
+	root := f.Decls[0].(*ast.FuncDecl)
+	d, ok := FuncDirective(root, DirectiveCtxRoot)
+	if !ok {
+		t.Fatal("ctxroot directive lost in CRLF source")
+	}
+	if d.Arg != "process entry point" {
+		t.Errorf("Arg = %q, want %q", d.Arg, "process entry point")
+	}
+	// The argless form is the sharper edge: without trimming, the name
+	// itself would be "hotpath\r".
+	if !HasHotpath(f.Decls[1].(*ast.FuncDecl)) {
+		t.Error("argless hotpath directive lost in CRLF source")
+	}
+}
+
 func TestIsSimPackage(t *testing.T) {
 	for path, want := range map[string]bool{
 		"hetpnoc/internal/sim":    true,

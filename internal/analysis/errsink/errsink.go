@@ -1,0 +1,183 @@
+// Package errsink flags expression statements that silently drop an
+// error result. A simulator that swallows an error keeps producing
+// numbers — wrong ones — so every dropped error in non-test code is a
+// candidate silent-corruption bug.
+//
+// Scope is deliberately narrower than errcheck:
+//
+//   - only bare expression statements are flagged: `f()` where f
+//     returns an error. Assignments, even `_ = f()`, are explicit
+//     decisions and pass; the blank assignment is exactly the
+//     mechanical fix this analyzer suggests.
+//   - test files are exempt.
+//   - `defer f()` and `go f()` are exempt: cleanup- and
+//     fire-and-forget-path error handling is a design choice the
+//     analyzer cannot adjudicate mechanically.
+//   - writes that cannot fail are allowlisted: fmt.Print* to stdout,
+//     fmt.Fprint* to os.Stdout / os.Stderr / *bytes.Buffer /
+//     *strings.Builder, and the Write* methods of bytes.Buffer and
+//     strings.Builder themselves (their error results are
+//     documentation-guaranteed nil).
+package errsink
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hetpnoc/internal/analysis"
+)
+
+// Analyzer is the errsink check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc: "flag expression statements that drop an error result\n\n" +
+		"a call whose error result is neither assigned nor checked is a\n" +
+		"silent-corruption bug in a simulator; discard explicitly with\n" +
+		"`_ =` when the drop is intended.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return
+	}
+	results := 1
+	errAt := -1
+	if tup, ok := t.(*types.Tuple); ok {
+		results = tup.Len()
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				errAt = i
+			}
+		}
+	} else if isErrorType(t) {
+		errAt = 0
+	}
+	if errAt < 0 || allowlisted(pass, call) {
+		return
+	}
+	name := calleeName(call)
+	// The mechanical fix is the explicit blank assignment, with one
+	// blank per result so multi-value calls still compile.
+	blanks := strings.Repeat("_, ", results-1) + "_ = "
+	pass.Report(analysis.Diagnostic{
+		Pos:     call.Pos(),
+		Message: fmt.Sprintf("error result of %s is silently dropped", name),
+		Suggestion: "handle the error, or make the drop explicit with a blank " +
+			"assignment so readers know it is intentional",
+		Fixes: []analysis.SuggestedFix{{
+			Message:   fmt.Sprintf("discard explicitly: %s%s(...)", blanks, name),
+			TextEdits: []analysis.TextEdit{{Pos: call.Pos(), End: call.Pos(), NewText: blanks}},
+		}},
+	})
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeName renders the called expression for the diagnostic message.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// allowlisted reports whether call is a write that cannot fail.
+func allowlisted(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		// Methods of bytes.Buffer and strings.Builder never return a
+		// non-nil error (documented guarantee).
+		return isNeverFailWriter(recv.Type())
+	}
+	if fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	if strings.HasPrefix(name, "Print") {
+		return true // stdout: nothing actionable on failure
+	}
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		return isNeverFailDest(pass, call.Args[0])
+	}
+	return false
+}
+
+// isNeverFailDest reports whether the fmt.Fprint* destination cannot
+// produce an actionable error: the process std streams or an in-memory
+// buffer/builder.
+func isNeverFailDest(pass *analysis.Pass, dest ast.Expr) bool {
+	if sel, ok := dest.(*ast.SelectorExpr); ok {
+		if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok &&
+			v.Pkg() != nil && v.Pkg().Path() == "os" &&
+			(v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	t := pass.TypeOf(dest)
+	return t != nil && isNeverFailWriter(t)
+}
+
+func isNeverFailWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer":
+		return true
+	case obj.Pkg().Path() == "strings" && obj.Name() == "Builder":
+		return true
+	}
+	return false
+}

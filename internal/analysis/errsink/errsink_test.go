@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errsink.Analyzer, "eefix")
+}

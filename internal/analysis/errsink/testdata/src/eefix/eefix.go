@@ -1,0 +1,57 @@
+// Package eefix exercises errsink: dropped errors, explicit discards
+// and the never-fail writer allowlist.
+package eefix
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func failPair() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 1 }
+
+type dev struct{}
+
+func (dev) Flush() error { return nil }
+
+func bad(d dev) {
+	fail()     // want "error result of fail is silently dropped"
+	failPair() // want "error result of failPair is silently dropped"
+	d.Flush()  // want "error result of d.Flush is silently dropped"
+}
+
+func badWriter(w io.Writer) {
+	fmt.Fprintf(w, "x") // want "error result of fmt.Fprintf is silently dropped"
+}
+
+func good(w io.Writer) error {
+	if err := fail(); err != nil {
+		return err
+	}
+	_ = fail() // explicit discard: allowed
+	_, _ = failPair()
+	pure()       // no error result
+	defer fail() // cleanup path: exempt
+	go fail()    // fire-and-forget: exempt
+
+	fmt.Println("stdout never actionable")
+	fmt.Fprintln(os.Stderr, "std streams allowlisted")
+	fmt.Fprint(os.Stdout, "likewise")
+
+	var buf bytes.Buffer
+	buf.WriteString("in-memory writes cannot fail")
+	fmt.Fprintf(&buf, "nor via fmt")
+
+	var sb strings.Builder
+	sb.WriteByte('x')
+	fmt.Fprintf(&sb, "same for Builder")
+
+	return fail()
+}

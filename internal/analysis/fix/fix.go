@@ -1,0 +1,139 @@
+// Package fix applies SuggestedFix edits to source bytes with
+// conflict detection. It is the engine behind `hetpnoclint -fix`:
+// analyzers emit token.Pos-addressed TextEdits, the driver resolves
+// them to byte offsets per file, and Apply splices them in — whole
+// fixes atomically, duplicates collapsed, overlapping fixes dropped
+// deterministically rather than producing garbled output.
+package fix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edit replaces src[Start:End] with New. Start == End inserts.
+type Edit struct {
+	Start, End int
+	New        string
+}
+
+// Fix is one coherent rewrite: all edits apply together or not at all.
+type Fix struct {
+	Message string
+	Edits   []Edit
+}
+
+// Result reports what Apply did.
+type Result struct {
+	// Src is the rewritten source (equal to the input when nothing
+	// applied).
+	Src []byte
+
+	// Applied counts fixes spliced in; Dropped counts fixes skipped
+	// because they were invalid (out of bounds, internally overlapping)
+	// or conflicted with an already-accepted fix. Duplicates of an
+	// accepted fix are neither.
+	Applied, Dropped int
+}
+
+// Apply splices fixes into src. Fixes are considered in deterministic
+// order (first edit offset, then message); a fix whose edits overlap an
+// already-accepted fix's edits is dropped whole. Two edits conflict when
+// their ranges intersect or start at the same offset — the latter makes
+// double-insertions at one point (after deduplication, necessarily with
+// different text) a conflict instead of an ordering gamble.
+func Apply(src []byte, fixes []Fix) Result {
+	res := Result{Src: src}
+
+	// Normalize: sort each fix's edits, drop invalid fixes outright.
+	var valid []Fix
+	for _, f := range fixes {
+		if len(f.Edits) == 0 {
+			continue
+		}
+		edits := append([]Edit(nil), f.Edits...)
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start < edits[j].Start })
+		if !wellFormed(edits, len(src)) {
+			res.Dropped++
+			continue
+		}
+		valid = append(valid, Fix{Message: f.Message, Edits: edits})
+	}
+
+	sort.SliceStable(valid, func(i, j int) bool {
+		if valid[i].Edits[0].Start != valid[j].Edits[0].Start {
+			return valid[i].Edits[0].Start < valid[j].Edits[0].Start
+		}
+		return valid[i].Message < valid[j].Message
+	})
+
+	var accepted []Edit
+	seen := map[string]bool{}
+	for _, f := range valid {
+		key := fingerprint(f.Edits)
+		if seen[key] {
+			continue // duplicate of an accepted fix: already covered
+		}
+		if conflicts(f.Edits, accepted) {
+			res.Dropped++
+			continue
+		}
+		seen[key] = true
+		accepted = append(accepted, f.Edits...)
+		res.Applied++
+	}
+	if len(accepted) == 0 {
+		return res
+	}
+
+	// Splice back-to-front so earlier offsets stay valid.
+	sort.Slice(accepted, func(i, j int) bool { return accepted[i].Start > accepted[j].Start })
+	out := append([]byte(nil), src...)
+	for _, e := range accepted {
+		out = append(out[:e.Start], append([]byte(e.New), out[e.End:]...)...)
+	}
+	res.Src = out
+	return res
+}
+
+// wellFormed reports whether sorted edits stay in bounds and do not
+// overlap each other. Adjacent edits ([0,5) then [5,8)) are fine; two
+// edits starting at the same offset are not — their splice order would
+// be ambiguous.
+func wellFormed(edits []Edit, n int) bool {
+	prevEnd := 0
+	for i, e := range edits {
+		if e.Start < 0 || e.End < e.Start || e.End > n {
+			return false
+		}
+		if i > 0 && (e.Start < prevEnd || e.Start == edits[i-1].Start) {
+			return false
+		}
+		prevEnd = e.End
+	}
+	return true
+}
+
+// conflicts reports whether any candidate edit collides with an
+// accepted edit.
+func conflicts(cand, accepted []Edit) bool {
+	for _, c := range cand {
+		for _, a := range accepted {
+			if c.Start == a.Start {
+				return true
+			}
+			if c.Start < a.End && a.Start < c.End {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fingerprint(edits []Edit) string {
+	s := ""
+	for _, e := range edits {
+		s += fmt.Sprintf("%d:%d:%q;", e.Start, e.End, e.New)
+	}
+	return s
+}

@@ -1,0 +1,459 @@
+// Package lockguard checks mutex discipline for annotated struct
+// fields. A field carrying //hetpnoc:guardedby <mu> may only be read
+// while <mu> is held (Lock or RLock) and only written under the
+// exclusive Lock — and "held" means held on *every* control-flow path
+// reaching the access, which the analyzer decides with a must-dataflow
+// over the internal/analysis/cfg graph rather than by pattern-matching.
+//
+// The annotation grammar:
+//
+//	mu    sync.Mutex
+//	state int //hetpnoc:guardedby mu            (sibling field)
+//	subs  int //hetpnoc:guardedby Server.mu     (another struct's mutex)
+//
+// A function whose contract is "caller holds the lock" declares it:
+//
+//	//hetpnoc:locked Server.mu
+//	func (s *Server) finishLocked() { ... }
+//
+// and the named locks are seeded as held at entry. Function literals
+// are analyzed separately with *no* held locks: a closure runs at an
+// unknown time (go statement, defer, stored callback), so accesses
+// inside one must take the lock themselves.
+//
+// The analysis guards the field word itself. A method call through a
+// guarded field (c.ll.MoveToFront(...)) counts as a read of the field;
+// writes are assignments, ++/--, and &-address-taking, each requiring
+// the exclusive lock.
+package lockguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hetpnoc/internal/analysis"
+	"hetpnoc/internal/analysis/cfg"
+)
+
+// Analyzer is the lockguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "check //hetpnoc:guardedby mutex discipline with must-dataflow\n\n" +
+		"Every access to a guarded field must be dominated by Lock (writes)\n" +
+		"or Lock/RLock (reads) of the named mutex on all paths; annotate\n" +
+		"caller-holds-the-lock helpers //hetpnoc:locked <mu>.",
+	Run: run,
+}
+
+// guard describes one annotated field.
+type guard struct {
+	key   string // normalized lock name, e.g. "Server.mu"
+	field string // qualified field name for diagnostics, e.g. "Server.pending"
+}
+
+func run(pass *analysis.Pass) error {
+	g := &checker{
+		pass:   pass,
+		guards: make(map[*types.Var]guard),
+	}
+	for _, file := range pass.Files {
+		g.dirs = analysis.ParseDirectives(pass.Fset, file)
+		g.collectGuards(file)
+	}
+	if len(g.guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g.checkFunc(fd.Body, g.entryFacts(fd))
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	dirs   *analysis.Directives
+	guards map[*types.Var]guard
+}
+
+// collectGuards records every //hetpnoc:guardedby-annotated struct
+// field of file.
+func (c *checker) collectGuards(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			dir, ok := c.dirs.Covering(field, analysis.DirectiveGuardedBy)
+			if !ok {
+				continue
+			}
+			if dir.Arg == "" {
+				c.pass.Reportf(field.Pos(),
+					"//hetpnoc:guardedby needs the mutex name (a sibling field, or Type.field for another struct's mutex)",
+					"//hetpnoc:guardedby <mu>")
+				continue
+			}
+			key, err := c.resolveGuardKey(ts, st, dir.Arg)
+			if err != "" {
+				c.pass.Reportf(field.Pos(), err, "//hetpnoc:guardedby <sibling mutex field, or Type.field>")
+				continue
+			}
+			for _, name := range field.Names {
+				v, ok := c.pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				c.guards[v] = guard{key: key, field: ts.Name.Name + "." + name.Name}
+			}
+		}
+		return true
+	})
+}
+
+// resolveGuardKey normalizes a guardedby argument: "mu" names a sibling
+// field (or a package-level mutex) and becomes "Type.mu"; "Server.mu"
+// is already qualified and taken verbatim. The string return is a
+// diagnostic message when resolution fails.
+func (c *checker) resolveGuardKey(ts *ast.TypeSpec, st *ast.StructType, arg string) (string, string) {
+	if strings.Contains(arg, ".") {
+		return arg, ""
+	}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if name.Name == arg {
+				return ts.Name.Name + "." + arg, ""
+			}
+		}
+		// Embedded mutex: the field name is the type name.
+		if len(f.Names) == 0 && embeddedName(f.Type) == arg {
+			return ts.Name.Name + "." + arg, ""
+		}
+	}
+	if obj := c.pass.Pkg.Scope().Lookup(arg); obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return arg, ""
+		}
+	}
+	return "", fmt.Sprintf("//hetpnoc:guardedby %s: no sibling field or package-level mutex of that name in %s", arg, ts.Name.Name)
+}
+
+func embeddedName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+// entryFacts seeds held locks from fd's //hetpnoc:locked directives.
+func (c *checker) entryFacts(fd *ast.FuncDecl) cfg.FactSet {
+	entry := cfg.NewFactSet()
+	for _, dir := range analysis.FuncDirectives(fd) {
+		if dir.Name != analysis.DirectiveLocked {
+			continue
+		}
+		if dir.Arg == "" {
+			c.pass.Reportf(fd.Name.Pos(),
+				"//hetpnoc:locked needs the mutex the caller holds",
+				"//hetpnoc:locked <mu>")
+			continue
+		}
+		key := dir.Arg
+		if !strings.Contains(key, ".") {
+			if recv := receiverTypeName(c.pass, fd); recv != "" {
+				key = recv + "." + key
+			}
+		}
+		entry.Add("w:" + key)
+		entry.Add("r:" + key)
+	}
+	return entry
+}
+
+func receiverTypeName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := pass.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// checkFunc runs the must-dataflow over one body and reports unguarded
+// accesses; nested function literals are queued and checked with empty
+// entry facts.
+func (c *checker) checkFunc(body *ast.BlockStmt, entry cfg.FactSet) {
+	var lits []*ast.FuncLit
+	g := cfg.New(body)
+	in := g.ForwardMust(entry, c.transfer)
+	for _, b := range g.Blocks {
+		facts, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		facts = facts.Clone()
+		for _, n := range b.Nodes {
+			c.transfer(n, facts)
+			lits = c.checkAccesses(n, facts, lits)
+		}
+	}
+	for _, lit := range lits {
+		c.checkFunc(lit.Body, cfg.NewFactSet())
+	}
+}
+
+// transfer applies one node's Lock/Unlock effects to facts. Deferred
+// calls are skipped (they run at return) and function literal bodies
+// belong to their own analysis.
+func (c *checker) transfer(n ast.Node, facts cfg.FactSet) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			c.applyLockCall(n, facts)
+		}
+		return true
+	})
+}
+
+// applyLockCall mutates facts when call is sync.Mutex/RWMutex
+// Lock/RLock/Unlock/RUnlock, directly or through an embedded mutex.
+func (c *checker) applyLockCall(call *ast.CallExpr, facts cfg.FactSet) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return
+	}
+	obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return
+	}
+	key := c.lockKey(sel.X, obj)
+	if key == "" {
+		return
+	}
+	switch name {
+	case "Lock":
+		facts.Add("w:" + key)
+		facts.Add("r:" + key)
+	case "RLock":
+		facts.Add("r:" + key)
+	case "Unlock":
+		facts.Remove("w:" + key)
+		facts.Remove("r:" + key)
+	case "RUnlock":
+		facts.Remove("r:" + key)
+	}
+}
+
+// lockKey names the mutex behind recv in the same vocabulary guardedby
+// annotations resolve to: "Owner.mu" for a struct field, the bare name
+// for a local or package-level mutex.
+func (c *checker) lockKey(recv ast.Expr, method *types.Func) string {
+	t := c.pass.TypeOf(recv)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" {
+		// recv *is* the mutex: x.mu.Lock() or mu.Lock().
+		switch e := recv.(type) {
+		case *ast.SelectorExpr:
+			ot := c.pass.TypeOf(e.X)
+			if ot != nil {
+				if p, ok := ot.(*types.Pointer); ok {
+					ot = p.Elem()
+				}
+				if on, ok := ot.(*types.Named); ok {
+					return on.Obj().Name() + "." + e.Sel.Name
+				}
+			}
+			return types.ExprString(e)
+		case *ast.Ident:
+			return e.Name
+		default:
+			return types.ExprString(recv)
+		}
+	}
+	// Promoted call through an embedded mutex: s.Lock() where S embeds
+	// sync.Mutex. The guard key is "S.<MutexTypeName>".
+	if n, ok := t.(*types.Named); ok {
+		if recvType := method.Type().(*types.Signature).Recv().Type(); recvType != nil {
+			rt := recvType
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if rn, ok := rt.(*types.Named); ok {
+				return n.Obj().Name() + "." + rn.Obj().Name()
+			}
+		}
+	}
+	return ""
+}
+
+// checkAccesses walks one node's expressions (in write/read context) and
+// reports guarded-field accesses the current facts do not license.
+// Encountered function literals are appended to lits for separate
+// analysis.
+func (c *checker) checkAccesses(n ast.Node, facts cfg.FactSet, lits []*ast.FuncLit) []*ast.FuncLit {
+	var walk func(n ast.Node, write bool)
+	walkAll := func(write bool, nodes ...ast.Node) {
+		for _, n := range nodes {
+			if n != nil {
+				walk(n, write)
+			}
+		}
+	}
+	walk = func(n ast.Node, write bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				walk(l, true)
+			}
+			walkAll(false, exprNodes(n.Rhs)...)
+		case *ast.IncDecStmt:
+			walk(n.X, true)
+		case *ast.UnaryExpr:
+			walk(n.X, write || n.Op == token.AND)
+		case *ast.SelectorExpr:
+			c.checkSelector(n, write, facts)
+			walk(n.X, write)
+		case *ast.IndexExpr:
+			walk(n.X, write)
+			walk(n.Index, false)
+		case *ast.SliceExpr:
+			walk(n.X, write)
+			walkAll(false, n.Low, n.High, n.Max)
+		case *ast.StarExpr:
+			walk(n.X, write)
+		case *ast.ParenExpr:
+			walk(n.X, write)
+		case *ast.CallExpr:
+			// delete(s.pending, k) mutates its map argument.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					walk(n.Args[0], true)
+					walk(n.Args[1], false)
+					return
+				}
+			}
+			walk(n.Fun, false)
+			walkAll(false, exprNodes(n.Args)...)
+		default:
+			// Generic traversal in read context for everything else.
+			ast.Inspect(n, func(ch ast.Node) bool {
+				if ch == n {
+					return true
+				}
+				switch ch := ch.(type) {
+				case *ast.FuncLit:
+					lits = append(lits, ch)
+					return false
+				case *ast.AssignStmt, *ast.IncDecStmt, *ast.UnaryExpr,
+					*ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr,
+					*ast.StarExpr, *ast.ParenExpr, *ast.CallExpr:
+					walk(ch, false)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walk(n, false)
+	return lits
+}
+
+func exprNodes(exprs []ast.Expr) []ast.Node {
+	out := make([]ast.Node, len(exprs))
+	for i, e := range exprs {
+		out[i] = e
+	}
+	return out
+}
+
+// checkSelector reports sel when it names a guarded field the facts do
+// not cover.
+func (c *checker) checkSelector(sel *ast.SelectorExpr, write bool, facts cfg.FactSet) {
+	v, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return
+	}
+	gd, ok := c.guards[v]
+	if !ok {
+		return
+	}
+	mode, need := "read", "r:"
+	if write {
+		mode, need = "write", "w:"
+	}
+	if facts.Has(need + gd.key) {
+		return
+	}
+	held := "none"
+	if hs := heldLocks(facts); len(hs) > 0 {
+		held = strings.Join(hs, ", ")
+	}
+	verb := "Lock"
+	if !write {
+		verb = "Lock or RLock"
+	}
+	c.pass.Reportf(sel.Sel.Pos(),
+		fmt.Sprintf("%s of %s is not guarded by %s on every path (held: %s)", mode, gd.field, gd.key, held),
+		fmt.Sprintf("hold %s.%s() across this access, or annotate the function //hetpnoc:locked %s if its contract is that the caller holds it", gd.key, verb, gd.key))
+}
+
+// heldLocks renders facts for diagnostics: "Server.mu" when exclusively
+// held, "Server.mu (read)" under RLock only.
+func heldLocks(facts cfg.FactSet) []string {
+	var out []string
+	for _, f := range facts.Sorted() {
+		if strings.HasPrefix(f, "w:") {
+			out = append(out, strings.TrimPrefix(f, "w:"))
+		} else if k := strings.TrimPrefix(f, "r:"); k != f && !facts.Has("w:"+k) {
+			out = append(out, k+" (read)")
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockguard.Analyzer, "lgfix")
+}

@@ -1,0 +1,179 @@
+// Package lgfix exercises lockguard: guarded-field accesses on every
+// shape of control flow the CFG layer distinguishes.
+package lgfix
+
+import "sync"
+
+// Server mirrors the serving layer's shape: a mutex guarding a map and
+// a flag, plus atomically-managed fields lockguard ignores.
+type Server struct {
+	mu sync.Mutex
+
+	pending  map[string]int //hetpnoc:guardedby mu
+	draining bool           //hetpnoc:guardedby mu
+
+	queue chan int // unguarded on purpose
+}
+
+// flight mirrors the refcounted coalescing flight: its counter is
+// guarded by another struct's mutex.
+type flight struct {
+	subs int //hetpnoc:guardedby Server.mu
+}
+
+func (s *Server) goodLockUnlock(k string) int {
+	s.mu.Lock()
+	v := s.pending[k]
+	s.mu.Unlock()
+	return v
+}
+
+func (s *Server) goodDeferUnlock(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending[k]
+}
+
+func (s *Server) badUnlocked(k string) int {
+	return s.pending[k] // want "read of Server.pending is not guarded by Server.mu"
+}
+
+func (s *Server) badAfterUnlock(k string) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.pending[k] = 1 // want "write of Server.pending is not guarded by Server.mu"
+}
+
+func (s *Server) badOnOnePath(c bool, k string) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+	}
+	s.pending[k] = 1 // want "write of Server.pending is not guarded by Server.mu"
+	if !c {
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) goodEarlyReturn(c bool, k string) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		return
+	}
+	s.pending[k] = 1 // fine: the unlocking path returned
+	s.mu.Unlock()
+}
+
+func (s *Server) goodDelete(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, k)
+}
+
+func (s *Server) badDelete(k string) {
+	delete(s.pending, k) // want "write of Server.pending is not guarded by Server.mu"
+}
+
+func (s *Server) badLoopUnlockInside(ks []string) {
+	s.mu.Lock()
+	for _, k := range ks {
+		s.pending[k] = 1 // want "write of Server.pending is not guarded by Server.mu"
+		s.mu.Unlock()
+	}
+}
+
+// finishLocked documents that its caller holds the lock.
+//
+//hetpnoc:locked mu
+func (s *Server) finishLocked(k string) {
+	delete(s.pending, k)
+	s.draining = true
+}
+
+// crossLocked holds another struct's mutex by contract.
+//
+//hetpnoc:locked Server.mu
+func (f *flight) crossLocked() {
+	f.subs++
+}
+
+func (s *Server) goodCrossStruct(f *flight) {
+	s.mu.Lock()
+	f.subs-- // Server.mu guards flight.subs
+	s.mu.Unlock()
+}
+
+func (f *flight) badCrossStruct() {
+	f.subs++ // want "write of flight.subs is not guarded by Server.mu"
+}
+
+func (s *Server) badClosureEscapesLock() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.draining = false // want "write of Server.draining is not guarded by Server.mu"
+	}
+}
+
+func (s *Server) badAddressTaken() *bool {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return &s.draining // want "write of Server.draining is not guarded by Server.mu"
+}
+
+// RWGuarded exercises the shared/exclusive split.
+type RWGuarded struct {
+	rw    sync.RWMutex
+	stats int //hetpnoc:guardedby rw
+}
+
+func (g *RWGuarded) goodReadUnderRLock() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.stats
+}
+
+func (g *RWGuarded) badWriteUnderRLock() {
+	g.rw.RLock()
+	g.stats++ // want "write of RWGuarded.stats is not guarded by RWGuarded.rw"
+	g.rw.RUnlock()
+}
+
+func (g *RWGuarded) goodWriteUnderLock() {
+	g.rw.Lock()
+	g.stats++
+	g.rw.Unlock()
+}
+
+// Embedded exercises the promoted-method form.
+type Embedded struct {
+	sync.Mutex
+	n int //hetpnoc:guardedby Mutex
+}
+
+func (e *Embedded) goodPromoted() {
+	e.Lock()
+	e.n++
+	e.Unlock()
+}
+
+func (e *Embedded) badPromoted() {
+	e.n++ // want "write of Embedded.n is not guarded by Embedded.Mutex"
+}
+
+// Malformed annotations are themselves diagnosed.
+type Malformed struct {
+	mu sync.Mutex
+
+	//hetpnoc:guardedby
+	a int // want "needs the mutex name"
+
+	//hetpnoc:guardedby nosuch
+	b int // want "no sibling field or package-level mutex"
+}
+
+//hetpnoc:locked
+func (m *Malformed) missingLockName() { // want "needs the mutex the caller holds"
+	m.a = 1
+}

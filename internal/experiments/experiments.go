@@ -144,6 +144,8 @@ func runPoint(ctx context.Context, opts Options, p Point) (Row, error) {
 
 // RunMatrix executes every point, in parallel up to opts.Parallelism, and
 // returns rows in point order.
+//
+//hetpnoc:ctxroot synchronous public wrapper over RunMatrixContext
 func RunMatrix(opts Options, points []Point) ([]Row, error) {
 	return RunMatrixContext(context.Background(), opts, points)
 }

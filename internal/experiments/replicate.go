@@ -28,7 +28,16 @@ type Replicated struct {
 
 // RunReplicated executes the point once per seed (opts.Seed, opts.Seed+1,
 // ...) and aggregates the results.
+//
+//hetpnoc:ctxroot synchronous public wrapper over RunReplicatedContext, mirrors RunMatrix
 func RunReplicated(opts Options, p Point, seeds int) (Replicated, error) {
+	return RunReplicatedContext(context.Background(), opts, p, seeds)
+}
+
+// RunReplicatedContext is RunReplicated with cancellation: ctx reaches
+// every replicate's fabric via runPoint, so canceling aborts the whole
+// replication at the next cancellation check instead of leaking seeds.
+func RunReplicatedContext(ctx context.Context, opts Options, p Point, seeds int) (Replicated, error) {
 	if seeds < 2 {
 		return Replicated{}, fmt.Errorf("experiments: replication needs >= 2 seeds, got %d", seeds)
 	}
@@ -56,7 +65,7 @@ func RunReplicated(opts Options, p Point, seeds int) (Replicated, error) {
 			defer func() { <-sem }()
 			o := opts
 			o.Seed = opts.Seed + uint64(i)
-			rows[i], errs[i] = runPoint(context.Background(), o, p)
+			rows[i], errs[i] = runPoint(ctx, o, p)
 		}(i)
 	}
 	wg.Wait()

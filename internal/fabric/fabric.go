@@ -506,6 +506,8 @@ func (f *Fabric) RunContext(ctx context.Context) (Result, error) {
 }
 
 // Run simulates the configured number of cycles and returns the result.
+//
+//hetpnoc:ctxroot synchronous wrapper over RunContext for tests and CLI sweeps
 func (f *Fabric) Run() (Result, error) {
 	return f.RunContext(context.Background())
 }

@@ -27,12 +27,15 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // Cache is a thread-safe LRU map from Key to hetpnoc.Result.
 type Cache struct {
 	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	entries  map[Key]*list.Element
+	capacity int // immutable after New
 
-	hits   int64
-	misses int64
+	//hetpnoc:guardedby mu
+	ll *list.List // front = most recently used
+	//hetpnoc:guardedby mu
+	entries map[Key]*list.Element
+
+	hits   int64 //hetpnoc:guardedby mu
+	misses int64 //hetpnoc:guardedby mu
 }
 
 type entry struct {

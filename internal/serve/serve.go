@@ -98,7 +98,7 @@ type flight struct {
 	res    hetpnoc.Result
 	err    error
 
-	subs int // guarded by Server.mu
+	subs int //hetpnoc:guardedby Server.mu
 }
 
 // Server executes simulation requests on a bounded worker pool with
@@ -114,8 +114,8 @@ type Server struct {
 	wg         sync.WaitGroup
 
 	mu       sync.Mutex
-	pending  map[cache.Key]*flight
-	draining bool
+	pending  map[cache.Key]*flight //hetpnoc:guardedby mu
+	draining bool                  //hetpnoc:guardedby mu
 
 	inFlight        atomic.Int64
 	queued          atomic.Int64
@@ -129,6 +129,8 @@ type Server struct {
 
 // New starts a server: cfg.Workers goroutines consuming the admission
 // queue. Stop it with Close.
+//
+//hetpnoc:ctxroot baseCtx is the server's lifetime root; per-request contexts derive from it
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
