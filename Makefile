@@ -25,9 +25,11 @@ vet:
 	$(GO) vet ./...
 
 # hetpnoclint enforces the simulator's determinism, hot-path,
-# concurrency-safety and API-stability invariants (detrand, maprange,
-# hotpathalloc, globalstate, lockguard, ctxflow, errsink, apistable);
-# any undirected violation exits non-zero. See docs/ANALYSIS.md.
+# concurrency-safety and API-stability invariants: the per-package
+# analyzers (detrand, maprange, hotpathalloc, globalstate, lockguard,
+# ctxflow, errsink) plus the whole-program layer (hotpathreach,
+# dettaint, lockorder) and apistable; any undirected violation exits
+# non-zero. See docs/ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/hetpnoclint ./...
 

@@ -8,6 +8,10 @@
 //	go run ./cmd/benchjson -bench . -pkg ./...   # everything (slow)
 //	go run ./cmd/benchjson -out bench.json
 //
+// A report that already exists at the output path is never clobbered by
+// accident: re-running on the same day fails unless -force is given, so
+// a committed daily snapshot survives a stray second run.
+//
 // The command shells out to `go test -bench -benchmem`, so it must run
 // from the module root with the go toolchain on PATH.
 package main
@@ -52,6 +56,7 @@ func run(args []string) error {
 		count     = fs.Int("count", 3, "runs per benchmark (go test -count)")
 		benchtime = fs.String("benchtime", "", "go test -benchtime (e.g. 1x, 100ms); empty = go default")
 		out       = fs.String("out", "", "output path (default BENCH_<date>.json)")
+		force     = fs.Bool("force", false, "overwrite an existing report at the output path")
 		verbose   = fs.Bool("v", false, "echo the raw go test output to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +67,11 @@ func run(args []string) error {
 	path := *out
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))
+	}
+	if !*force {
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("%s already exists; pass -force to overwrite it", path)
+		}
 	}
 
 	cmdArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", fmt.Sprint(*count)}

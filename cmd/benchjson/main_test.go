@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRefusesSameDayOverwrite: an existing report at the output path is
+// an error unless -force is given, so a committed daily snapshot is not
+// clobbered by a stray second run. The check fires before any benchmark
+// is run, which keeps this test fast.
+func TestRefusesSameDayOverwrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-01-01.json")
+	if err := os.WriteFile(path, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-out", path})
+	if err == nil || !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("run over an existing report = %v, want refusal mentioning -force", err)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hetpnoclint [-json] [-tests=false] [-fix [-dry]] [-update] [packages ...]
+//	hetpnoclint [-json] [-tests=false] [-fix [-dry]] [-update] [-timing] [packages ...]
 //
 // Packages default to ./... . Each diagnostic carries a -fix-style
 // suggestion: either the directive that would silence it (with its
@@ -14,7 +14,14 @@
 // are applied in place by -fix (atomically per fix, conflicting fixes
 // dropped); -fix -dry reports what would change without writing.
 // -update regenerates the API golden snapshots checked by apistable.
-// -json emits machine-readable diagnostics for CI annotation.
+// -json emits machine-readable diagnostics for CI annotation. -timing
+// prints load time and per-analyzer wall time to stderr (the CI lint
+// job budgets the whole suite).
+//
+// The suite loads and type-checks the module once; per-package
+// analyzers then run over each package, and the whole-program analyzers
+// (hotpathreach, dettaint, lockorder) run once over all packages,
+// sharing a single memoized call graph.
 //
 // Exit status: 0 clean (or, with -fix, every diagnostic fixed), 1
 // diagnostics reported, 2 load or internal failure.
@@ -28,21 +35,27 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"hetpnoc/internal/analysis"
 	"hetpnoc/internal/analysis/apistable"
 	"hetpnoc/internal/analysis/ctxflow"
 	"hetpnoc/internal/analysis/detrand"
+	"hetpnoc/internal/analysis/dettaint"
 	"hetpnoc/internal/analysis/errsink"
 	"hetpnoc/internal/analysis/fix"
 	"hetpnoc/internal/analysis/globalstate"
 	"hetpnoc/internal/analysis/hotpathalloc"
+	"hetpnoc/internal/analysis/hotpathreach"
 	"hetpnoc/internal/analysis/load"
 	"hetpnoc/internal/analysis/lockguard"
+	"hetpnoc/internal/analysis/lockorder"
 	"hetpnoc/internal/analysis/maprange"
 )
 
-// analyzers is the hetpnoclint suite, in reporting order.
+// analyzers is the hetpnoclint suite, in reporting order: the
+// per-package analyzers first, then the whole-program layer, with
+// apistable last (it only gates exported API goldens).
 var analyzers = []*analysis.Analyzer{
 	detrand.Analyzer,
 	maprange.Analyzer,
@@ -51,8 +64,18 @@ var analyzers = []*analysis.Analyzer{
 	lockguard.Analyzer,
 	ctxflow.Analyzer,
 	errsink.Analyzer,
+	hotpathreach.Analyzer,
+	dettaint.Analyzer,
+	lockorder.Analyzer,
 	apistable.Analyzer,
 }
+
+// timings collects -timing instrumentation: one load, then wall time
+// per analyzer (summed over packages for the per-package ones).
+var timings = struct {
+	load time.Duration
+	per  map[string]time.Duration
+}{per: make(map[string]time.Duration)}
 
 // diagnostic is one resolved violation, shaped for both output modes.
 type diagnostic struct {
@@ -71,6 +94,7 @@ func main() {
 	applyFix := flag.Bool("fix", false, "apply machine-applicable suggested fixes in place")
 	dry := flag.Bool("dry", false, "with -fix: report what would change without writing files")
 	update := flag.Bool("update", false, "regenerate apistable API golden snapshots")
+	timing := flag.Bool("timing", false, "print load time and per-analyzer wall time to stderr")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -83,6 +107,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hetpnoclint: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *timing {
+		total := timings.load
+		fmt.Fprintf(os.Stderr, "hetpnoclint: load %9.3fs\n", timings.load.Seconds())
+		for _, a := range analyzers {
+			d := timings.per[a.Name]
+			total += d
+			fmt.Fprintf(os.Stderr, "hetpnoclint: %-13s %8.3fs\n", a.Name, d.Seconds())
+		}
+		fmt.Fprintf(os.Stderr, "hetpnoclint: total %8.3fs\n", total.Seconds())
 	}
 
 	if *jsonOut {
@@ -140,7 +175,9 @@ func main() {
 // machine-applicable fixes grouped by absolute file path.
 func lint(dir string, tests bool, patterns []string) ([]diagnostic, map[string][]fix.Fix, error) {
 	loader := &load.Loader{Dir: dir, Tests: tests}
+	loadStart := time.Now()
 	fset, pkgs, err := loader.Load(patterns...)
+	timings.load = time.Since(loadStart)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -148,45 +185,82 @@ func lint(dir string, tests bool, patterns []string) ([]diagnostic, map[string][
 	cwd, _ := os.Getwd()
 	diags := []diagnostic{}
 	fileFixes := map[string][]fix.Fix{}
+	reporter := func(a *analysis.Analyzer) func(analysis.Diagnostic) {
+		return func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			file := pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
+					file = rel
+				}
+			}
+			fixable := false
+			for _, sf := range d.Fixes {
+				if f, target, ok := resolveFix(fset, sf); ok {
+					fileFixes[target] = append(fileFixes[target], f)
+					fixable = true
+				}
+			}
+			diags = append(diags, diagnostic{
+				Analyzer:   a.Name,
+				File:       file,
+				Line:       pos.Line,
+				Col:        pos.Column,
+				Message:    d.Message,
+				Suggestion: d.Suggestion,
+				Fixable:    fixable,
+			})
+		}
+	}
+
 	for _, p := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      fset,
 				Files:     p.Files,
 				Pkg:       p.Pkg,
 				TypesInfo: p.Info,
-				Report: func(d analysis.Diagnostic) {
-					pos := fset.Position(d.Pos)
-					file := pos.Filename
-					if cwd != "" {
-						if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
-							file = rel
-						}
-					}
-					fixable := false
-					for _, sf := range d.Fixes {
-						if f, target, ok := resolveFix(fset, sf); ok {
-							fileFixes[target] = append(fileFixes[target], f)
-							fixable = true
-						}
-					}
-					diags = append(diags, diagnostic{
-						Analyzer:   a.Name,
-						File:       file,
-						Line:       pos.Line,
-						Col:        pos.Column,
-						Message:    d.Message,
-						Suggestion: d.Suggestion,
-						Fixable:    fixable,
-					})
-				},
+				Report:    reporter(a),
 			}
-			if err := a.Run(pass); err != nil {
+			start := time.Now()
+			err := a.Run(pass)
+			timings.per[a.Name] += time.Since(start)
+			if err != nil {
 				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, p.Path, err)
 			}
 		}
 	}
+
+	// Whole-program layer: one pass over every loaded package, sharing
+	// one cache so the call graph is built once across analyzers.
+	units := make([]*analysis.PackageUnit, len(pkgs))
+	for i, p := range pkgs {
+		units[i] = &analysis.PackageUnit{Path: p.Path, Files: p.Files, Pkg: p.Pkg, TypesInfo: p.Info}
+	}
+	cache := make(map[string]any)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &analysis.ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkgs:     units,
+			Report:   reporter(a),
+			Cache:    cache,
+		}
+		start := time.Now()
+		err := a.RunModule(mp)
+		timings.per[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].File != diags[j].File {
 			return diags[i].File < diags[j].File

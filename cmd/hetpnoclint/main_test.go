@@ -93,6 +93,48 @@ func (c *Counter) Bump() {
 	c.n++
 }
 `)
+	// Whole-program layer bait. helper is a non-sim package whose
+	// Jitter launders time.Now; fabric is a sim package (suffix match)
+	// that calls it, and whose hotpath root reaches helper.Label's
+	// fmt.Sprintf two frames down. Both nests two mutexes with no
+	// declared order. Neither package has an API golden, so apistable
+	// ignores the exported surface here.
+	write("internal/helper/helper.go", `package helper
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+func Jitter() int64 { return time.Now().UnixNano() }
+
+func Label(n int) string { return fmt.Sprintf("h%d", n) }
+
+type Reg struct{ mu sync.Mutex }
+
+type Log struct{ mu sync.Mutex }
+
+func Both(r *Reg, l *Log) {
+	r.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	r.mu.Unlock()
+}
+`)
+	write("internal/fabric/fabric.go", `package fabric
+
+import "badmod/internal/helper"
+
+//hetpnoc:hotpath
+func Step(n int) int {
+	return len(helper.Label(n))
+}
+
+func Sync() int64 {
+	return helper.Jitter()
+}
+`)
 	// Stale API golden: lists one symbol that no longer exists, knows
 	// the rest.
 	write("internal/sim/testdata/api/sim.golden", "Counter\ttype struct\n"+
@@ -124,6 +166,9 @@ func (c *Counter) Bump() {
 		"ctxflow":      2, // Step() with ctx in scope + context.Background mint
 		"errsink":      2, // Step() dropped error in Use and in Drop
 		"lockguard":    1, // Counter.n written without Counter.mu
+		"hotpathreach": 1, // fabric.Step -> helper.Label reaches fmt.Sprintf
+		"dettaint":     1, // fabric.Sync calls helper.Jitter (taints to time.Now)
+		"lockorder":    1, // helper.Both nests Reg.mu and Log.mu undeclared
 		"apistable":    1, // Gone removed relative to the golden
 	}
 	for a, n := range want {

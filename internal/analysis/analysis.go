@@ -26,8 +26,15 @@ type Analyzer struct {
 	// detail.
 	Doc string
 
-	// Run applies the analyzer to one package.
+	// Run applies the analyzer to one package. Exactly one of Run and
+	// RunModule is set.
 	Run func(*Pass) error
+
+	// RunModule, when set, applies the analyzer once to the whole
+	// module instead of package-by-package. The three whole-program
+	// analyzers (hotpathreach, dettaint, lockorder) need every package
+	// at once to build and traverse the call graph.
+	RunModule func(*ModulePass) error
 }
 
 // Pass provides one analyzer run with the information about a single
@@ -89,6 +96,60 @@ type TextEdit struct {
 	Pos     token.Pos
 	End     token.Pos
 	NewText string
+}
+
+// PackageUnit is one type-checked package as seen by a module-level
+// analyzer: the same data a Pass carries, minus the per-analyzer
+// plumbing. The loader produces one unit per package (plus one per
+// external test package).
+type PackageUnit struct {
+	// Path is the import path; external test packages carry the
+	// "_test" suffix.
+	Path string
+
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// ModulePass hands a whole-program analyzer every package of the module
+// at once. Packages share one FileSet and one type-checker run, so a
+// *types.Func object is identical whether reached from its defining
+// package or through an importer — which is what makes a cross-package
+// call graph possible.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*PackageUnit
+
+	// Report delivers one diagnostic; positions may fall in any package.
+	Report func(Diagnostic)
+
+	// Cache, when non-nil, is shared by every module analyzer of one
+	// lint invocation so expensive derived structures (the call graph)
+	// are built once and reused. Keys are owned by the package that
+	// computes the value (e.g. "callgraph").
+	Cache map[string]any
+}
+
+// Reportf reports a formatted diagnostic at pos, mirroring
+// Pass.Reportf for module-level analyzers.
+func (mp *ModulePass) Reportf(pos token.Pos, msg, suggestion string) {
+	mp.Report(Diagnostic{Pos: pos, Message: msg, Suggestion: suggestion})
+}
+
+// PassFor builds a per-package Pass over unit u that shares mp's
+// reporter, so a module analyzer can reuse intraprocedural checkers
+// (hotpathreach reuses hotpathalloc's body checks this way).
+func (mp *ModulePass) PassFor(u *PackageUnit) *Pass {
+	return &Pass{
+		Analyzer:  mp.Analyzer,
+		Fset:      mp.Fset,
+		Files:     u.Files,
+		Pkg:       u.Pkg,
+		TypesInfo: u.TypesInfo,
+		Report:    mp.Report,
+	}
 }
 
 // Reportf reports a formatted diagnostic at pos. It keeps analyzer

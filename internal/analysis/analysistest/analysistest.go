@@ -70,6 +70,66 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 	}
 }
 
+// RunModule loads every fixture package in pkgPaths into one shared
+// type universe, applies module analyzer a once over all of them
+// (packages pulled in through fixture imports included), and matches
+// diagnostics against the want comments of every loaded file. This is
+// the fixture entry point for the whole-program analyzers, whose
+// findings span package boundaries.
+func RunModule(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	fx := &fixtures{root: filepath.Join(testdata, "src"), checked: make(map[string]*fixturePkg)}
+	for _, path := range pkgPaths {
+		if _, err := fx.load(path); err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			return
+		}
+	}
+
+	// Deterministic unit order: the explicit paths first, then any
+	// packages reached only through imports, sorted.
+	inUnits := make(map[string]bool)
+	var units []*analysis.PackageUnit
+	var files []*ast.File
+	add := func(path string) {
+		if inUnits[path] {
+			return
+		}
+		inUnits[path] = true
+		p := fx.checked[path]
+		units = append(units, &analysis.PackageUnit{Path: p.path, Files: p.files, Pkg: p.pkg, TypesInfo: p.info})
+		files = append(files, p.files...)
+	}
+	for _, path := range pkgPaths {
+		add(path)
+	}
+	var rest []string
+	for path := range fx.checked {
+		if !inUnits[path] {
+			rest = append(rest, path)
+		}
+	}
+	sort.Strings(rest)
+	for _, path := range rest {
+		add(path)
+	}
+
+	var diags []analysis.Diagnostic
+	mp := &analysis.ModulePass{
+		Analyzer: a,
+		Fset:     stdFset,
+		Pkgs:     units,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.RunModule(mp); err != nil {
+		t.Errorf("%s: module analyzer failed: %v", a.Name, err)
+		return
+	}
+	matchWants(t, diags, files)
+}
+
 type fixturePkg struct {
 	path  string
 	files []*ast.File
@@ -225,9 +285,16 @@ func runOne(t *testing.T, a *analysis.Analyzer, p *fixturePkg) {
 		t.Errorf("%s: analyzer failed on %s: %v", a.Name, p.path, err)
 		return
 	}
+	matchWants(t, diags, p.files)
+}
+
+// matchWants checks diags against the want comments of files: every
+// diagnostic must be wanted and every want matched.
+func matchWants(t *testing.T, diags []analysis.Diagnostic, files []*ast.File) {
+	t.Helper()
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 
-	wants := parseWants(t, p.files)
+	wants := parseWants(t, files)
 	for _, d := range diags {
 		pos := stdFset.Position(d.Pos)
 		found := false

@@ -1,0 +1,217 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"hetpnoc/internal/analysis"
+)
+
+// checkFixture type-checks the given sources (path → source) into one
+// shared FileSet and universe, mirroring what the loader guarantees,
+// and returns the units in the given order.
+func checkFixture(t *testing.T, fset *token.FileSet, order []string, srcs map[string]string) []*analysis.PackageUnit {
+	t.Helper()
+	std := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	checked := make(map[string]*types.Package)
+	var units []*analysis.PackageUnit
+	imp := &fixtureImporter{checked: checked, std: std}
+	for _, path := range order {
+		f, err := parser.ParseFile(fset, path+".go", srcs[path], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", path, err)
+		}
+		checked[path] = pkg
+		units = append(units, &analysis.PackageUnit{Path: path, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info})
+	}
+	return units
+}
+
+type fixtureImporter struct {
+	checked map[string]*types.Package
+	std     types.ImporterFrom
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.checked[path]; ok {
+		return p, nil
+	}
+	return fi.std.ImportFrom(path, "", 0)
+}
+
+const srcA = `package a
+
+type Doer interface{ Do() int }
+
+type Impl struct{}
+
+func (Impl) Do() int { return 1 }
+
+func Helper() int { return 2 }
+`
+
+const srcB = `package b
+
+import (
+	"strings"
+
+	"test/a"
+)
+
+func Use(d a.Doer) int { return d.Do() }
+
+func Static() int { return a.Helper() }
+
+func Local() int { return helper() }
+
+func helper() int { return 0 }
+
+type S struct{}
+
+func (s S) M() int { return 0 }
+
+func MethodCall() int {
+	var s S
+	return s.M()
+}
+
+func Ref() func() int {
+	var s S
+	return s.M
+}
+
+func UnknownCall(f func() int) int { return f() }
+
+func LitBody() {
+	f := func() { helper2() }
+	f()
+}
+
+func helper2() {}
+
+func External() string { return strings.ToUpper("x") }
+
+func Nested() int { return get().M() }
+
+func get() S { return S{} }
+`
+
+func buildTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	units := checkFixture(t, fset, []string{"test/a", "test/b"}, map[string]string{
+		"test/a": srcA,
+		"test/b": srcB,
+	})
+	return Build(fset, units)
+}
+
+func node(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Sorted {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+// out collects "kind callee" strings of n's edges, in order.
+func out(n *Node) []string {
+	var got []string
+	for _, e := range n.Out {
+		got = append(got, e.Kind.String()+" "+e.Callee.Name())
+	}
+	return got
+}
+
+func wantOut(t *testing.T, n *Node, want ...string) {
+	t.Helper()
+	got := out(n)
+	if len(got) != len(want) {
+		t.Fatalf("%s: edges = %v, want %v", n.Name(), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: edge %d = %q, want %q", n.Name(), i, got[i], want[i])
+		}
+	}
+}
+
+func TestStaticCalls(t *testing.T) {
+	g := buildTestGraph(t)
+	wantOut(t, node(t, g, "b.Static"), "static a.Helper")
+	wantOut(t, node(t, g, "b.Local"), "static b.helper")
+	wantOut(t, node(t, g, "b.MethodCall"), "static b.S.M")
+}
+
+func TestInterfaceCallResolvesToModuleImpl(t *testing.T) {
+	g := buildTestGraph(t)
+	n := node(t, g, "b.Use")
+	wantOut(t, n, "interface a.Impl.Do")
+	if len(n.Unknown) != 0 {
+		t.Errorf("b.Use: unexpected unknown sites %v", n.Unknown)
+	}
+}
+
+func TestMethodValueIsRefEdge(t *testing.T) {
+	g := buildTestGraph(t)
+	wantOut(t, node(t, g, "b.Ref"), "ref b.S.M")
+}
+
+func TestFunctionTypedCallIsUnknown(t *testing.T) {
+	g := buildTestGraph(t)
+	n := node(t, g, "b.UnknownCall")
+	wantOut(t, n)
+	if len(n.Unknown) != 1 {
+		t.Fatalf("b.UnknownCall: unknown sites = %d, want 1", len(n.Unknown))
+	}
+}
+
+func TestFuncLitBodyAttributedToEnclosingDecl(t *testing.T) {
+	g := buildTestGraph(t)
+	n := node(t, g, "b.LitBody")
+	// The literal's helper2 call belongs to LitBody; calling the
+	// function-typed local f is soundly unknown.
+	wantOut(t, n, "static b.helper2")
+	if len(n.Unknown) != 1 {
+		t.Fatalf("b.LitBody: unknown sites = %d, want 1", len(n.Unknown))
+	}
+	h := node(t, g, "b.helper2")
+	if len(h.In) != 1 || h.In[0].Caller != n {
+		t.Errorf("b.helper2: In = %v, want one edge from b.LitBody", out(h))
+	}
+}
+
+func TestExternalCallRecorded(t *testing.T) {
+	g := buildTestGraph(t)
+	n := node(t, g, "b.External")
+	wantOut(t, n)
+	if len(n.External) != 1 || n.External[0].Func.Name() != "ToUpper" {
+		t.Fatalf("b.External: external calls = %v, want strings.ToUpper", n.External)
+	}
+}
+
+func TestNestedReceiverCallKeepsBothEdges(t *testing.T) {
+	g := buildTestGraph(t)
+	// get().M(): the receiver expression's call must not be swallowed by
+	// the method call's traversal.
+	wantOut(t, node(t, g, "b.Nested"), "static b.S.M", "static b.get")
+}

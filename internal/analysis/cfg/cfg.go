@@ -233,6 +233,7 @@ func (b *builder) stmt(s ast.Stmt) {
 		b.caseClauses(s, s.Body.List)
 
 	case *ast.SelectStmt:
+		label := b.takeLabel()
 		head := b.cur
 		after := b.newBlock()
 		for _, c := range s.Body.List {
@@ -243,7 +244,7 @@ func (b *builder) stmt(s ast.Stmt) {
 			}
 			b.cur = blk
 			b.add(cc.Comm)
-			b.pushBreakOnly(after)
+			b.pushBreakOnly(label, after)
 			b.stmtList(cc.Body)
 			b.popLoop()
 			b.jump(after)
@@ -288,6 +289,7 @@ func (b *builder) stmt(s ast.Stmt) {
 // caseClauses builds switch / type-switch clause flow, including
 // fallthrough edges between adjacent clause bodies.
 func (b *builder) caseClauses(sw ast.Stmt, clauses []ast.Stmt) {
+	label := b.takeLabel()
 	head := b.cur
 	after := b.newBlock()
 	blocks := make([]*Block, len(clauses))
@@ -312,7 +314,7 @@ func (b *builder) caseClauses(sw ast.Stmt, clauses []ast.Stmt) {
 		if i+1 < len(clauses) {
 			next = blocks[i+1]
 		}
-		b.pushBreakOnly(after)
+		b.pushBreakOnly(label, after)
 		b.fallthroughTo = next
 		b.stmtList(cc.Body)
 		b.fallthroughTo = prevFT
@@ -388,9 +390,20 @@ func (b *builder) pushLoop(breakTo, continueTo *Block) {
 	b.pendingLabel = ""
 }
 
-func (b *builder) pushBreakOnly(breakTo *Block) {
-	b.loops = append(b.loops, loopFrame{label: b.pendingLabel, breakTo: breakTo})
+// pushBreakOnly takes the frame label explicitly: switch and select
+// push one frame per clause, and every clause must resolve `break L`,
+// not just the first — so the caller captures the construct's label
+// once with takeLabel and replays it per clause.
+func (b *builder) pushBreakOnly(label string, breakTo *Block) {
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: breakTo})
+}
+
+// takeLabel consumes the pending label of the construct being entered,
+// so nested constructs cannot capture it.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
 	b.pendingLabel = ""
+	return l
 }
 
 func (b *builder) popLoop() {

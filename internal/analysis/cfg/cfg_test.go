@@ -280,6 +280,92 @@ done:
 	expect(t, probes, "g", "L")
 }
 
+func TestGotoIntoLoopBody(t *testing.T) {
+	// The spec forbids jumping into a block, but the builder must stay
+	// structurally sound on such input (it only sees a parse tree, never
+	// a type-checked one). The goto enters the loop mid-body with L
+	// held; the loop-around path re-reaches the label after unlocking,
+	// so the must-facts at the label intersect to nothing.
+	probes := factsAt(t, `package p
+func F(c bool) {
+	lock()
+	goto mid
+	for {
+		unlock()
+	mid:
+		probe("mid")
+		if c {
+			return
+		}
+	}
+}`)
+	expect(t, probes, "mid", "")
+}
+
+func TestSelectNoDefaultHasNoFallPast(t *testing.T) {
+	// A select with no default blocks until a clause fires: unlike a
+	// switch, there is no edge that skips every clause. If the builder
+	// wrongly added a fall-past edge, the un-locked path would drop L
+	// from the join.
+	probes := factsAt(t, `package p
+func F(a chan int) {
+	select {
+	case <-a:
+		lock()
+	}
+	probe("after")
+}`)
+	expect(t, probes, "after", "L")
+}
+
+func TestLabeledSwitchFallthroughAdjacency(t *testing.T) {
+	// A labeled switch whose fallthrough-adjacent clause exits via
+	// `break sw`: case 2 is reachable both locked (direct dispatch) and
+	// unlocked (fallthrough from case 1), while case 3 stays locked and
+	// the join sees the intersection of all three exits.
+	probes := factsAt(t, `package p
+func F(x int) {
+	lock()
+sw:
+	switch x {
+	case 1:
+		unlock()
+		fallthrough
+	case 2:
+		probe("ft")
+		break sw
+	case 3:
+		probe("three")
+	}
+	probe("after")
+}`)
+	expect(t, probes, "ft", "")
+	expect(t, probes, "three", "L")
+	expect(t, probes, "after", "")
+}
+
+func TestSinglePanicBody(t *testing.T) {
+	// A body that is nothing but a panic has no normal exit: the graph
+	// still builds, and nothing downstream of the panic is reachable.
+	probes := factsAt(t, `package p
+func F() {
+	panic("always")
+}`)
+	if len(probes) != 0 {
+		t.Errorf("probes = %v, want none", probes)
+	}
+
+	probes = factsAt(t, `package p
+func F() {
+	lock()
+	panic("always")
+	probe("dead")
+}`)
+	if _, ok := probes["dead"]; ok {
+		t.Error("probe after an unconditional panic should be unreachable")
+	}
+}
+
 func TestDeferredNodeIsNotExecutedInline(t *testing.T) {
 	probes := factsAt(t, `package p
 func F() {

@@ -1,0 +1,245 @@
+// Package dettaint propagates nondeterminism through the call graph.
+// detrand polices direct use of wall-clock time and unseeded randomness
+// inside simulator packages, but says nothing about a sim package
+// calling a helper (internal/stats, internal/topology, ...) that reads
+// time.Now three frames down — the entropy still reaches simulator
+// state, just laundered through module code detrand never inspects.
+//
+// This analyzer computes, for every module function, whether its
+// execution can observe a nondeterminism source:
+//
+//   - calls into the standard library's entropy and wall-clock APIs
+//     (detrand's time/rand tables, plus testing/quick's unseeded
+//     driver, which detrand does not cover);
+//   - range statements over maps in non-sim module packages without an
+//     //hetpnoc:orderfree justification (maprange already covers sim
+//     packages).
+//
+// Taint propagates caller-ward over all call-graph edges until
+// fixpoint. A call from a simulator-package function to a tainted
+// helper is an error; the diagnostic carries the taint chain from the
+// call site down to the intrinsic source. Direct calls from sim
+// functions to sources outside detrand's tables (testing/quick.Check)
+// are reported too, so the two analyzers cover the source set exactly
+// once between them.
+//
+// //hetpnoc:detsafe <why> on a function's doc comment declares that
+// its nondeterminism never reaches simulator state — the canonical case
+// is a property test that deliberately samples random inputs and prints
+// any counterexample. A detsafe function is treated as clean and its
+// body's reports are suppressed.
+package dettaint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hetpnoc/internal/analysis"
+	"hetpnoc/internal/analysis/callgraph"
+	"hetpnoc/internal/analysis/maprange"
+)
+
+// Analyzer is the dettaint check.
+var Analyzer = &analysis.Analyzer{
+	Name: "dettaint",
+	Doc: "forbid calls from simulator packages to transitively nondeterministic module functions\n\n" +
+		"Interprocedural companion to detrand: taint from wall-clock time,\n" +
+		"unseeded randomness, testing/quick and order-sensitive map ranges\n" +
+		"propagates up the call graph; a sim-package call to a tainted\n" +
+		"helper is reported with the full taint chain. Declare deliberate\n" +
+		"sampling with //hetpnoc:detsafe <why>.",
+	RunModule: run,
+}
+
+// sourceHint matches one external *types.Func against the
+// nondeterminism-source tables, returning a display name and whether it
+// is already covered by detrand inside sim packages (and therefore not
+// re-reported there).
+func sourceHint(f *types.Func) (name string, detrandCovered, ok bool) {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return "", false, false
+	}
+	switch pkg.Path() {
+	case "time":
+		if _, bad := forbiddenTime[f.Name()]; bad {
+			return "time." + f.Name(), true, true
+		}
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		return pkg.Path() + "." + f.Name(), true, true
+	case "testing/quick":
+		// quick.Check / quick.CheckEqual draw from an unseeded
+		// rand.Source unless a Config supplies one.
+		if strings.HasPrefix(f.Name(), "Check") {
+			return "testing/quick." + f.Name(), false, true
+		}
+	}
+	return "", false, false
+}
+
+// forbiddenTime mirrors detrand's wall-clock member table.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// taint records how a function first became tainted: either an
+// intrinsic source inside its own body (next == nil) or a call to an
+// already-tainted module function.
+type taint struct {
+	source string          // intrinsic: display name of the source
+	pos    token.Pos       // source position / call-site position
+	next   *callgraph.Node // propagated: the tainted callee
+}
+
+func run(mp *analysis.ModulePass) error {
+	g := callgraph.FromPass(mp)
+	dirs := analysis.NewDirectiveCache(mp.Fset)
+
+	detsafe := make(map[*callgraph.Node]bool)
+	for _, n := range g.Sorted {
+		dir, ok := analysis.FuncDirective(n.Decl, analysis.DirectiveDetsafe)
+		if !ok {
+			continue
+		}
+		if dir.Arg == "" {
+			mp.Reportf(n.Decl.Name.Pos(),
+				"//hetpnoc:detsafe needs a justification for why the nondeterminism never reaches simulator state",
+				"//hetpnoc:detsafe <why sampling here is deliberate and contained>")
+		}
+		detsafe[n] = true
+	}
+
+	// Seed: intrinsic taint, in deterministic node order.
+	taints := make(map[*callgraph.Node]*taint)
+	var queue []*callgraph.Node
+	for _, n := range g.Sorted {
+		if detsafe[n] {
+			continue
+		}
+		if t := intrinsic(mp, dirs, n); t != nil {
+			taints[n] = t
+			queue = append(queue, n)
+		}
+	}
+
+	// Propagate caller-ward, BFS so recorded chains are shortest.
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.In {
+			c := e.Caller
+			if detsafe[c] {
+				continue
+			}
+			if _, done := taints[c]; done {
+				continue
+			}
+			taints[c] = &taint{pos: e.Pos(), next: n}
+			queue = append(queue, c)
+		}
+	}
+
+	// Report sim-package violations.
+	for _, n := range g.Sorted {
+		if !analysis.IsSimPackage(strings.TrimSuffix(n.Unit.Path, "_test")) || detsafe[n] {
+			continue
+		}
+		// Direct calls to sources detrand does not cover.
+		for _, ext := range n.External {
+			if name, covered, ok := sourceHint(ext.Func); ok && !covered {
+				mp.Reportf(ext.Pos,
+					fmt.Sprintf("%s draws unseeded randomness in a simulator package, which breaks run reproducibility", name),
+					"seed the source explicitly, or annotate the function //hetpnoc:detsafe <why>")
+			}
+		}
+		// Calls to tainted helpers outside the sim core. Tainted
+		// sim-package callees hold their own detrand/dettaint report at
+		// the source, so re-reporting every caller would be noise.
+		for _, e := range n.Out {
+			callee := e.Callee
+			t, bad := taints[callee]
+			if !bad || analysis.IsSimPackage(strings.TrimSuffix(callee.Unit.Path, "_test")) {
+				continue
+			}
+			mp.Reportf(e.Pos(),
+				fmt.Sprintf("call to %s is nondeterministic in a simulator package (taint: %s)",
+					callee.Name(), chainOf(callee, t, taints)),
+				"make the helper deterministic, thread a seeded source through it, or annotate //hetpnoc:detsafe <why>")
+		}
+	}
+	return nil
+}
+
+// intrinsic returns n's own-body taint, or nil: an external call into
+// the source tables, or an unjustified range over a map in a non-sim
+// package.
+func intrinsic(mp *analysis.ModulePass, dirs *analysis.DirectiveCache, n *callgraph.Node) *taint {
+	for _, ext := range n.External {
+		if name, _, ok := sourceHint(ext.Func); ok {
+			return &taint{source: name, pos: ext.Pos}
+		}
+	}
+	if !analysis.IsSimPackage(strings.TrimSuffix(n.Unit.Path, "_test")) {
+		if pos, ok := unorderedMapRange(mp, dirs, n); ok {
+			return &taint{source: "range over map", pos: pos}
+		}
+	}
+	return nil
+}
+
+// unorderedMapRange returns the position of the first range statement
+// over a map in n's body that carries no //hetpnoc:orderfree directive
+// and is not the sorted-iteration prologue maprange recognizes.
+func unorderedMapRange(mp *analysis.ModulePass, dirs *analysis.DirectiveCache, n *callgraph.Node) (token.Pos, bool) {
+	pass := mp.PassFor(n.Unit)
+	var pos token.Pos
+	found := false
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		rs, ok := nd.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if d := dirs.For(n.Unit, rs.Pos()); d != nil {
+			if _, covered := d.Covering(rs, analysis.DirectiveOrderfree); covered {
+				return true
+			}
+		}
+		if maprange.IsSortedCollect(pass, n.Decl.Body, rs) {
+			return true
+		}
+		pos, found = rs.Pos(), true
+		return false
+	})
+	return pos, found
+}
+
+// chainOf renders the taint chain from n down to its intrinsic source,
+// e.g. "stats.Summary -> stats.merge -> time.Now".
+func chainOf(n *callgraph.Node, t *taint, taints map[*callgraph.Node]*taint) string {
+	var parts []string
+	for {
+		parts = append(parts, n.Name())
+		if t.next == nil {
+			parts = append(parts, t.source)
+			break
+		}
+		n = t.next
+		t = taints[n]
+	}
+	return strings.Join(parts, " -> ")
+}

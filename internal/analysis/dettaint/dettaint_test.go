@@ -1,0 +1,14 @@
+package dettaint_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/dettaint"
+)
+
+func TestDettaint(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), dettaint.Analyzer,
+		"dt/internal/sim",
+	)
+}

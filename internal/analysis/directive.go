@@ -36,6 +36,25 @@ const (
 	// DirectiveLocked marks a function whose contract is "caller holds
 	// <mu>"; lockguard seeds the named locks as held at entry.
 	DirectiveLocked = "locked"
+
+	// DirectiveColdcall marks a call site inside hot-path-reachable
+	// code as a deliberate slow-path exit (error formatting, one-shot
+	// setup); hotpathreach does not traverse the edge and does not
+	// check the callee through it. Requires a justification.
+	DirectiveColdcall = "coldcall"
+
+	// DirectiveDetsafe marks a function whose nondeterminism never
+	// reaches simulator state (e.g. a property test that deliberately
+	// samples random inputs and prints any counterexample); dettaint
+	// treats it as clean. Requires a justification.
+	DirectiveDetsafe = "detsafe"
+
+	// DirectiveLockorder declares the acquisition order of two mutexes:
+	// //hetpnoc:lockorder <outer> <inner> <why> states that <outer> may
+	// be held while <inner> is acquired, never the reverse. lockorder
+	// feeds declared edges into its deadlock graph and requires a
+	// declaration for every lock pair that shares a call tree.
+	DirectiveLockorder = "lockorder"
 )
 
 const directivePrefix = "//hetpnoc:"
@@ -140,6 +159,51 @@ func (d *Directives) CoveringAll(n ast.Node, name string) []Directive {
 	for _, dir := range d.byLine[line-1] {
 		if dir.Name == name && !dir.Trailing {
 			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+// DirectiveCache lazily parses per-file directive indexes for the
+// module-level analyzers, which look directives up by arbitrary
+// positions across many packages and must not re-parse a file's
+// comments once per query.
+type DirectiveCache struct {
+	fset  *token.FileSet
+	files map[*ast.File]*Directives
+}
+
+// NewDirectiveCache returns an empty cache over fset.
+func NewDirectiveCache(fset *token.FileSet) *DirectiveCache {
+	return &DirectiveCache{fset: fset, files: make(map[*ast.File]*Directives)}
+}
+
+// For returns the directive index of the file of unit containing pos,
+// or nil when pos falls outside the unit's files.
+func (dc *DirectiveCache) For(unit *PackageUnit, pos token.Pos) *Directives {
+	for _, f := range unit.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			d, ok := dc.files[f]
+			if !ok {
+				d = ParseDirectives(dc.fset, f)
+				dc.files[f] = d
+			}
+			return d
+		}
+	}
+	return nil
+}
+
+// FileDirectives returns every //hetpnoc: directive in file, in source
+// order, regardless of placement. lockorder collects its module-wide
+// //hetpnoc:lockorder declarations this way.
+func FileDirectives(file *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if dir, ok := parseDirective(c.Pos(), c.Text); ok {
+				out = append(out, dir)
+			}
 		}
 	}
 	return out

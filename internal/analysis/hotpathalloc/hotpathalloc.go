@@ -47,13 +47,17 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil || !analysis.HasHotpath(fd) {
 				continue
 			}
-			checkFunc(pass, fd)
+			Check(pass, fd)
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+// Check applies the hot-path allocation rules to one function body,
+// reporting through pass. hotpathreach reuses it for functions that are
+// hot by reachability rather than by annotation, wrapping pass.Report
+// to append the root→callee call chain.
+func Check(pass *analysis.Pass, fd *ast.FuncDecl) {
 	// Appends already in the amortized-reuse form `x = append(x, ...)`
 	// (or `x = append(x[:0], ...)`): the backing array survives across
 	// calls, so growth is a one-time warm-up cost, not steady-state

@@ -1,0 +1,144 @@
+// Package hotpathreach extends hotpathalloc across the call graph:
+// every module function reachable from a //hetpnoc:hotpath root
+// inherits the zero-allocation rules without needing its own
+// annotation. The intraprocedural analyzer sees only annotated bodies,
+// so an allocation hidden one call deep — Fabric.Step calling an
+// unannotated helper that appends into a fresh slice — used to escape
+// the gate entirely; this analyzer closes that hole.
+//
+// Each diagnostic carries the shortest root→callee call chain, so a
+// report reads like a stack trace ending at the allocation site.
+//
+// Deliberate slow-path exits (error formatting, one-shot warm-up work)
+// are cut with a justified call-site directive:
+//
+//	//hetpnoc:coldcall error path, runs at most once per simulation
+//	return r.explainDeadlock(now)
+//
+// The directive severs the edge at that call site only; other calls to
+// the same function from hot code are still traversed.
+//
+// Soundness caveats (shared with the call graph): calls through
+// function-typed values resolve to no callee, so work dispatched via
+// stored closures (the fabric's hoisted ejection callbacks) must keep
+// its own //hetpnoc:hotpath annotation; interface calls resolve only to
+// in-module implementations.
+package hotpathreach
+
+import (
+	"hetpnoc/internal/analysis"
+	"hetpnoc/internal/analysis/callgraph"
+	"hetpnoc/internal/analysis/hotpathalloc"
+)
+
+// Analyzer is the hotpathreach check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathreach",
+	Doc: "apply hot-path allocation rules to every function reachable from a //hetpnoc:hotpath root\n\n" +
+		"The cycle loop's callees are as hot as the loop itself; this\n" +
+		"whole-program pass walks the call graph from every annotated root\n" +
+		"and runs hotpathalloc's checks on each reachable module function,\n" +
+		"reporting violations with the full root→callee call chain.\n" +
+		"Sever deliberate slow-path calls with //hetpnoc:coldcall <why>.",
+	RunModule: run,
+}
+
+// visit is one BFS tree entry: how node was first reached. via == nil
+// marks a //hetpnoc:hotpath root.
+type visit struct {
+	node *callgraph.Node
+	via  *callgraph.Edge
+}
+
+func run(mp *analysis.ModulePass) error {
+	g := callgraph.FromPass(mp)
+	dirs := analysis.NewDirectiveCache(mp.Fset)
+
+	// Multi-source BFS from the annotated roots. FIFO order over the
+	// deterministic edge order makes parent a shortest-path tree and the
+	// reported chains reproducible.
+	parent := make(map[*callgraph.Node]*visit)
+	var queue []*visit
+	for _, n := range g.Sorted {
+		if analysis.HasHotpath(n.Decl) {
+			v := &visit{node: n}
+			parent[n] = v
+			queue = append(queue, v)
+		}
+	}
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range v.node.Out {
+			cold, justified := coldCall(dirs, e)
+			if cold && !justified {
+				mp.Reportf(e.Pos(),
+					"//hetpnoc:coldcall needs a justification for leaving the hot path",
+					"//hetpnoc:coldcall <why this call never runs in steady state>")
+			}
+			if cold {
+				continue
+			}
+			if _, seen := parent[e.Callee]; seen {
+				continue
+			}
+			nv := &visit{node: e.Callee, via: e}
+			parent[e.Callee] = nv
+			queue = append(queue, nv)
+		}
+	}
+
+	// Check every reached function that is not itself annotated (those
+	// are hotpathalloc's job), chain appended to each diagnostic.
+	for _, n := range g.Sorted {
+		v, reached := parent[n]
+		if !reached || v.via == nil {
+			continue
+		}
+		chain := chainOf(parent, n)
+		pass := mp.PassFor(n.Unit)
+		inner := pass.Report
+		pass.Report = func(d analysis.Diagnostic) {
+			d.Message += " (hot path: " + chain + ")"
+			inner(d)
+		}
+		hotpathalloc.Check(pass, n.Decl)
+	}
+	return nil
+}
+
+// chainOf renders the shortest root→n call chain recorded by the BFS,
+// e.g. "fabric.Fabric.Step -> fabric.Fabric.pumpInject -> packet.Queue.Push".
+func chainOf(parent map[*callgraph.Node]*visit, n *callgraph.Node) string {
+	var names []string
+	for v := parent[n]; v != nil; {
+		names = append(names, v.node.Name())
+		if v.via == nil {
+			break
+		}
+		v = parent[v.via.Caller]
+	}
+	var sb []byte
+	for i := len(names) - 1; i >= 0; i-- {
+		sb = append(sb, names[i]...)
+		if i > 0 {
+			sb = append(sb, " -> "...)
+		}
+	}
+	return string(sb)
+}
+
+// coldCall reports whether edge e's call site carries a coldcall
+// directive, and whether that directive has the required justification.
+func coldCall(dirs *analysis.DirectiveCache, e *callgraph.Edge) (cold, justified bool) {
+	d := dirs.For(e.Caller.Unit, e.Site.Pos())
+	if d == nil {
+		return false, false
+	}
+	dir, ok := d.Covering(e.Site, analysis.DirectiveColdcall)
+	if !ok {
+		return false, false
+	}
+	return true, dir.Arg != ""
+}

@@ -1,0 +1,14 @@
+package hotpathreach_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/hotpathreach"
+)
+
+func TestHotpathreach(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), hotpathreach.Analyzer,
+		"reach/hot",
+	)
+}

@@ -1,0 +1,24 @@
+// Package helper is unannotated code pulled onto the hot path by its
+// callers in package hot.
+package helper
+
+// Sum is reached from hot.Step.
+func Sum(vals []int) int {
+	var out []int
+	out = grow(out, vals)
+	return len(out)
+}
+
+func grow(out, vals []int) []int {
+	for _, v := range vals {
+		out = append(out, v) // amortized reuse, clean
+	}
+	label(len(vals))
+	return out
+}
+
+func label(n int) {
+	s := "n="
+	s += "x" // want `string concatenation allocates in a hot-path function \(hot path: hot\.Step -> helper\.Sum -> helper\.grow -> helper\.label\)`
+	_, _ = s, n
+}

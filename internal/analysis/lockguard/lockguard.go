@@ -249,25 +249,11 @@ func (c *checker) transfer(n ast.Node, facts cfg.FactSet) {
 // applyLockCall mutates facts when call is sync.Mutex/RWMutex
 // Lock/RLock/Unlock/RUnlock, directly or through an embedded mutex.
 func (c *checker) applyLockCall(call *ast.CallExpr, facts cfg.FactSet) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+	key, op, ok := LockOp(c.pass, call)
 	if !ok {
 		return
 	}
-	name := sel.Sel.Name
-	switch name {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return
-	}
-	obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
-		return
-	}
-	key := c.lockKey(sel.X, obj)
-	if key == "" {
-		return
-	}
-	switch name {
+	switch op {
 	case "Lock":
 		facts.Add("w:" + key)
 		facts.Add("r:" + key)
@@ -281,11 +267,38 @@ func (c *checker) applyLockCall(call *ast.CallExpr, facts cfg.FactSet) {
 	}
 }
 
+// LockOp classifies call as a sync.Mutex/RWMutex operation. op is one
+// of Lock, RLock, Unlock, RUnlock; key names the mutex in the same
+// vocabulary //hetpnoc:guardedby annotations resolve to ("Owner.mu"
+// for a struct field, the bare name for a local or package-level
+// mutex). lockorder reuses it to trace acquisition order.
+func LockOp(pass *analysis.Pass, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj, objOK := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !objOK || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	key = lockKey(pass, sel.X, obj)
+	if key == "" {
+		return "", "", false
+	}
+	return key, op, true
+}
+
 // lockKey names the mutex behind recv in the same vocabulary guardedby
 // annotations resolve to: "Owner.mu" for a struct field, the bare name
 // for a local or package-level mutex.
-func (c *checker) lockKey(recv ast.Expr, method *types.Func) string {
-	t := c.pass.TypeOf(recv)
+func lockKey(pass *analysis.Pass, recv ast.Expr, method *types.Func) string {
+	t := pass.TypeOf(recv)
 	if t == nil {
 		return ""
 	}
@@ -296,7 +309,7 @@ func (c *checker) lockKey(recv ast.Expr, method *types.Func) string {
 		// recv *is* the mutex: x.mu.Lock() or mu.Lock().
 		switch e := recv.(type) {
 		case *ast.SelectorExpr:
-			ot := c.pass.TypeOf(e.X)
+			ot := pass.TypeOf(e.X)
 			if ot != nil {
 				if p, ok := ot.(*types.Pointer); ok {
 					ot = p.Elem()

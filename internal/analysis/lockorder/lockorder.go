@@ -1,0 +1,439 @@
+// Package lockorder enforces a declared, acyclic lock-acquisition
+// order across the module. Deadlocks are the one concurrency bug the
+// race detector cannot see: two goroutines acquiring the same two
+// mutexes in opposite orders run clean until the interleaving finally
+// bites in a soak test. This analyzer makes the order part of the
+// reviewed source instead:
+//
+//   - Every pair of struct-field mutexes ("Server.mu", "Cache.mu" — the
+//     //hetpnoc:guardedby vocabulary) that shares a call tree must have
+//     a declared order:
+//
+//	//hetpnoc:lockorder Server.mu Cache.mu cache eviction runs under the server lock
+//
+//     stating the left lock may be held while the right one is
+//     acquired, never the reverse. An undeclared pair is an error at
+//     the first function whose transitive acquisition set contains
+//     both.
+//
+//   - Acquisition edges are observed interprocedurally: CFG must-held
+//     state (seeded from //hetpnoc:locked contracts) gives the locks
+//     held at each Lock call and at each call into a function whose
+//     transitive set acquires more. Observed edges and declared edges
+//     feed one directed graph; any cycle — two code paths that nest the
+//     same locks in opposite orders, or a declaration contradicting
+//     observed code — is reported with the acquisition chain of every
+//     edge on the cycle.
+//
+// Scope: only qualified "Type.field" keys participate; local and
+// package-level mutexes (test scaffolding, one-off tools) are ignored.
+// Deferred calls and function literal bodies are skipped, matching
+// lockguard: a literal runs at an unknown time and must take its own
+// locks.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hetpnoc/internal/analysis"
+	"hetpnoc/internal/analysis/callgraph"
+	"hetpnoc/internal/analysis/cfg"
+	"hetpnoc/internal/analysis/lockguard"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "require a declared, acyclic acquisition order for every mutex pair sharing a call tree\n\n" +
+		"Observed nesting (CFG must-held state, propagated over the call\n" +
+		"graph) and //hetpnoc:lockorder declarations feed one directed\n" +
+		"graph; undeclared pairs and cycles are errors, cycles reported\n" +
+		"with every edge's acquisition chain.",
+	RunModule: run,
+}
+
+// prov is one piece of evidence for an edge outer→inner: where the
+// nesting was observed or declared.
+type prov struct {
+	desc string
+	pos  token.Pos
+}
+
+type analyzer struct {
+	mp    *analysis.ModulePass
+	g     *callgraph.Graph
+	trans map[*callgraph.Node]map[string]bool
+
+	// declared maps [outer, inner] to the declaration site.
+	declared map[[2]string]token.Pos
+
+	// edges is the combined order graph: edges[outer][inner] = evidence.
+	edges map[string]map[string][]prov
+}
+
+func run(mp *analysis.ModulePass) error {
+	lo := &analyzer{
+		mp:       mp,
+		g:        callgraph.FromPass(mp),
+		declared: make(map[[2]string]token.Pos),
+		edges:    make(map[string]map[string][]prov),
+	}
+	lo.collectDeclared()
+	lo.computeTransitive()
+	for _, n := range lo.g.Sorted {
+		lo.scanFunc(n)
+	}
+	lo.checkPairs()
+	lo.checkCycles()
+	return nil
+}
+
+// collectDeclared gathers //hetpnoc:lockorder declarations from every
+// file and validates their grammar.
+func (lo *analyzer) collectDeclared() {
+	for _, u := range lo.mp.Pkgs {
+		for _, f := range u.Files {
+			for _, dir := range analysis.FileDirectives(f) {
+				if dir.Name != analysis.DirectiveLockorder {
+					continue
+				}
+				fields := strings.Fields(dir.Arg)
+				if len(fields) < 3 {
+					lo.mp.Reportf(dir.Pos,
+						"//hetpnoc:lockorder needs <outer> <inner> <why>",
+						"//hetpnoc:lockorder Outer.mu Inner.mu <why this order is required>")
+					continue
+				}
+				outer, inner := fields[0], fields[1]
+				if !dotted(outer) || !dotted(inner) || outer == inner {
+					lo.mp.Reportf(dir.Pos,
+						"//hetpnoc:lockorder takes two distinct qualified lock names (Type.field)",
+						"//hetpnoc:lockorder Outer.mu Inner.mu <why>")
+					continue
+				}
+				lo.declared[[2]string{outer, inner}] = dir.Pos
+				lo.addEdge(outer, inner, prov{
+					desc: fmt.Sprintf("declared at %s", lo.at(dir.Pos)),
+					pos:  dir.Pos,
+				})
+			}
+		}
+	}
+}
+
+// computeTransitive fills trans: for each function, the qualified lock
+// keys its execution may acquire, directly or through static and
+// interface call edges (references excluded: taking a function value
+// does not run it).
+func (lo *analyzer) computeTransitive() {
+	lo.trans = make(map[*callgraph.Node]map[string]bool)
+	for _, n := range lo.g.Sorted {
+		own := make(map[string]bool)
+		pass := lo.mp.PassFor(n.Unit)
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, op, ok := lockguard.LockOp(pass, call); ok && (op == "Lock" || op == "RLock") && dotted(key) {
+				own[key] = true
+			}
+			return true
+		})
+		lo.trans[n] = own
+	}
+	// Propagate callee sets caller-ward to fixpoint.
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range lo.g.Sorted {
+			set := lo.trans[n]
+			for _, e := range n.Out {
+				if e.Kind == callgraph.KindRef {
+					continue
+				}
+				for k := range lo.trans[e.Callee] {
+					if !set[k] {
+						set[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanFunc records observed acquisition edges inside n: must-held facts
+// flow through the CFG; holding H at a Lock(K) or at a call whose
+// transitive set contains K yields edge H→K.
+func (lo *analyzer) scanFunc(n *callgraph.Node) {
+	pass := lo.mp.PassFor(n.Unit)
+	sites := make(map[ast.Node][]*callgraph.Edge)
+	for _, e := range n.Out {
+		if e.Kind != callgraph.KindRef {
+			sites[e.Site] = append(sites[e.Site], e)
+		}
+	}
+	transfer := func(nd ast.Node, facts cfg.FactSet) {
+		lo.walkNode(pass, n, nd, facts, nil)
+	}
+	g := cfg.New(n.Decl.Body)
+	in := g.ForwardMust(lo.entryFacts(pass, n.Decl), transfer)
+	for _, b := range g.Blocks {
+		facts, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		facts = facts.Clone()
+		for _, nd := range b.Nodes {
+			lo.walkNode(pass, n, nd, facts, sites)
+		}
+	}
+}
+
+// walkNode applies lock ops in stmt to facts; when sites is non-nil it
+// also records observed edges (the ForwardMust fixpoint passes nil so
+// evidence is collected exactly once). Deferred calls and function
+// literals are skipped, matching lockguard's transfer.
+func (lo *analyzer) walkNode(pass *analysis.Pass, n *callgraph.Node, stmt ast.Node, facts cfg.FactSet, sites map[ast.Node][]*callgraph.Edge) {
+	if _, ok := stmt.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(stmt, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := lockguard.LockOp(pass, nd); ok {
+				switch op {
+				case "Lock", "RLock":
+					if sites != nil && dotted(key) {
+						lo.observe(n, facts, key, nd.Pos())
+					}
+					facts.Add(key)
+				case "Unlock", "RUnlock":
+					facts.Remove(key)
+				}
+				return true
+			}
+			if sites == nil {
+				return true
+			}
+			seen := make(map[string]bool)
+			for _, e := range sites[nd] {
+				for _, k := range sortedKeys(lo.trans[e.Callee]) {
+					if !seen[k] {
+						seen[k] = true
+						lo.observe(n, facts, k, nd.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// observe records edge held→acquired for every qualified lock in facts.
+func (lo *analyzer) observe(n *callgraph.Node, facts cfg.FactSet, acquired string, pos token.Pos) {
+	for _, h := range facts.Sorted() {
+		if h == acquired || !dotted(h) {
+			continue
+		}
+		lo.addEdge(h, acquired, prov{
+			desc: fmt.Sprintf("observed in %s at %s", n.Name(), lo.at(pos)),
+			pos:  pos,
+		})
+	}
+}
+
+func (lo *analyzer) addEdge(outer, inner string, p prov) {
+	m := lo.edges[outer]
+	if m == nil {
+		m = make(map[string][]prov)
+		lo.edges[outer] = m
+	}
+	m[inner] = append(m[inner], p)
+}
+
+// entryFacts seeds held locks from //hetpnoc:locked contracts, the same
+// resolution lockguard applies (bare names qualify to the receiver).
+func (lo *analyzer) entryFacts(pass *analysis.Pass, fd *ast.FuncDecl) cfg.FactSet {
+	entry := cfg.NewFactSet()
+	for _, dir := range analysis.FuncDirectives(fd) {
+		if dir.Name != analysis.DirectiveLocked || dir.Arg == "" {
+			continue
+		}
+		key := dir.Arg
+		if !strings.Contains(key, ".") {
+			if recv := receiverTypeName(pass, fd); recv != "" {
+				key = recv + "." + key
+			}
+		}
+		entry.Add(key)
+	}
+	return entry
+}
+
+func receiverTypeName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := pass.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// checkPairs enforces the declaration rule: any function whose
+// transitive acquisition set holds two qualified locks is a call tree
+// those locks share, so the pair needs a //hetpnoc:lockorder in either
+// direction. Each undeclared pair is reported once, at the first such
+// function in deterministic order.
+func (lo *analyzer) checkPairs() {
+	reported := make(map[[2]string]bool)
+	for _, n := range lo.g.Sorted {
+		keys := sortedKeys(lo.trans[n])
+		if len(keys) < 2 {
+			continue
+		}
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				pair := [2]string{keys[i], keys[j]}
+				if reported[pair] {
+					continue
+				}
+				if _, ok := lo.declared[pair]; ok {
+					continue
+				}
+				if _, ok := lo.declared[[2]string{pair[1], pair[0]}]; ok {
+					continue
+				}
+				reported[pair] = true
+				lo.mp.Reportf(n.Decl.Name.Pos(),
+					fmt.Sprintf("%s reaches acquisitions of both %s and %s with no declared order between them",
+						n.Name(), pair[0], pair[1]),
+					fmt.Sprintf("declare //hetpnoc:lockorder %s %s <why> (outer first) near the outer lock's type", pair[0], pair[1]))
+			}
+		}
+	}
+}
+
+// checkCycles searches the combined declared∪observed graph for cycles
+// and reports each once with every edge's evidence.
+func (lo *analyzer) checkCycles() {
+	var keys []string
+	for k := range lo.edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	seen := make(map[string]bool)
+
+	report := func(cycle []string) {
+		canon := canonical(cycle)
+		if seen[canon] {
+			return
+		}
+		seen[canon] = true
+		var parts []string
+		var first prov
+		for i, k := range cycle {
+			next := cycle[(i+1)%len(cycle)]
+			ev := lo.edges[k][next][0]
+			if i == 0 {
+				first = ev
+			}
+			parts = append(parts, fmt.Sprintf("%s -> %s (%s)", k, next, ev.desc))
+		}
+		lo.mp.Reportf(first.pos,
+			"lock-order deadlock: "+strings.Join(parts, "; "),
+			"make every path acquire these locks in one declared order, or split the critical sections")
+	}
+
+	var dfs func(k string)
+	dfs = func(k string) {
+		color[k] = gray
+		stack = append(stack, k)
+		for _, next := range sortedKeys2(lo.edges[k]) {
+			switch color[next] {
+			case white:
+				dfs(next)
+			case gray:
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i] == next {
+						cycle := append([]string(nil), stack[i:]...)
+						report(cycle)
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[k] = black
+	}
+	for _, k := range keys {
+		if color[k] == white {
+			dfs(k)
+		}
+	}
+}
+
+// canonical rotates cycle to start at its smallest key, so one cycle
+// discovered from different entry points dedupes.
+func canonical(cycle []string) string {
+	min := 0
+	for i, k := range cycle {
+		if k < cycle[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	return strings.Join(rotated, "|")
+}
+
+// at renders pos as "file:line" with the file shortened to its base
+// name — stable across checkouts, precise enough to jump to.
+func (lo *analyzer) at(pos token.Pos) string {
+	p := lo.mp.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func dotted(key string) bool { return strings.Contains(key, ".") }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string][]prov) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,31 @@
+// Package pair exercises the declaration rule: two locks sharing a
+// call tree with no //hetpnoc:lockorder between them.
+package pair
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func Both(a *A, b *B) { // want `pair\.Both reaches acquisitions of both A\.mu and B\.mu with no declared order between them`
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Solo acquires one lock only: no pair, no report.
+func Solo(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// local mutexes are out of scope: bare keys never enter the graph.
+func Local(a *A) {
+	var mu sync.Mutex
+	mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	mu.Unlock()
+}

@@ -1,0 +1,55 @@
+// Package serve exercises lockorder's declared-order and cycle
+// checks over a two-mutex pair.
+package serve
+
+import "sync"
+
+//hetpnoc:lockorder Server.mu Cache.mu eviction runs under the server lock
+
+type Server struct {
+	mu sync.Mutex
+	c  Cache
+}
+
+type Cache struct {
+	mu sync.Mutex
+}
+
+// Declared nests in the declared direction: clean.
+func (s *Server) Declared() {
+	s.mu.Lock()
+	s.c.mu.Lock()
+	s.c.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// Submit nests interprocedurally: the callee's acquisition is observed
+// at the call site while Server.mu is held. Still the declared
+// direction: clean.
+func (s *Server) Submit() {
+	s.mu.Lock()
+	s.c.lockAndCount()
+	s.mu.Unlock()
+}
+
+func (c *Cache) lockAndCount() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// evictLocked's contract seeds Server.mu as held at entry; acquiring
+// Cache.mu under it matches the declaration: clean.
+//
+//hetpnoc:locked Server.mu
+func (s *Server) evictLocked() {
+	s.c.mu.Lock()
+	s.c.mu.Unlock()
+}
+
+// Reverse acquires against the declared order, closing a cycle.
+func (c *Cache) Reverse(s *Server) {
+	c.mu.Lock()
+	s.mu.Lock() // want `lock-order deadlock: Cache\.mu -> Server\.mu \(observed in serve\.Cache\.Reverse at serve\.go:\d+\); Server\.mu -> Cache\.mu \(declared at serve\.go:\d+\)`
+	s.mu.Unlock()
+	c.mu.Unlock()
+}

@@ -85,7 +85,7 @@ func check(pass *analysis.Pass, dirs *analysis.Directives, fn *ast.BlockStmt, rs
 		}
 		return
 	}
-	if isSortedCollect(pass, fn, rs) {
+	if IsSortedCollect(pass, fn, rs) {
 		return
 	}
 	pass.Reportf(rs.Pos(),
@@ -94,11 +94,12 @@ func check(pass *analysis.Pass, dirs *analysis.Directives, fn *ast.BlockStmt, rs
 		"//hetpnoc:orderfree <why> on the line above, if the body is order-insensitive")
 }
 
-// isSortedCollect recognizes the sorted-iteration prologue: the loop
+// IsSortedCollect recognizes the sorted-iteration prologue: the loop
 // body is exactly `keys = append(keys, k)` for the range key, and the
 // same function later hands keys to package sort or slices. The sort
-// erases the nondeterministic collection order.
-func isSortedCollect(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt) bool {
+// erases the nondeterministic collection order. dettaint reuses it so
+// the idiom stays taint-free in helper packages too.
+func IsSortedCollect(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt) bool {
 	if rs.Body == nil || len(rs.Body.List) != 1 {
 		return false
 	}

@@ -14,6 +14,8 @@ import (
 // circulation preserves the structural invariants — no wavelength is
 // double-owned, every cluster keeps its reserved minimum, caps and budget
 // hold, and the ID caches stay consistent.
+//
+//hetpnoc:detsafe property test samples random activity on purpose; quick prints the counterexample and no entropy reaches simulator state
 func TestInvariantsUnderRandomProtocolActivity(t *testing.T) {
 	topo := topology.Default()
 
@@ -86,6 +88,8 @@ func TestInvariantsUnderRandomProtocolActivity(t *testing.T) {
 // TestAllocationConservesWavelengths: after any demand pattern and full
 // convergence, the sum of allocations plus free wavelengths equals the
 // budget.
+//
+//hetpnoc:detsafe property test samples random demand patterns on purpose; quick prints the counterexample and no entropy reaches simulator state
 func TestAllocationConservesWavelengths(t *testing.T) {
 	topo := topology.Default()
 	f := func(seed uint64) bool {

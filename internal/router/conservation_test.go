@@ -60,6 +60,8 @@ func newChain(t testing.TB, vcs, depth int) *chainFabric {
 // in DESIGN.md: for arbitrary randomized packet workloads, every injected
 // flit is either still buffered or has arrived, per-packet FIFO order
 // survives two hops, and nothing is duplicated.
+//
+//hetpnoc:detsafe property test samples random workloads on purpose; each trial re-seeds from quick's seed argument, so any failure replays from the printed counterexample
 func TestChainConservesAndOrdersFlits(t *testing.T) {
 	run := func(seed uint64, nPackets uint8) bool {
 		f := newChain(t, 8, 32)

@@ -103,6 +103,16 @@ type flight struct {
 
 // Server executes simulation requests on a bounded worker pool with
 // result caching and request coalescing.
+//
+// Lock-order policy: Submit's call tree touches both the server mutex
+// (admission, coalescing) and the cache's internal mutex (Get/Put).
+// Today the two critical sections never nest — cache calls happen
+// before admit and after the worker finishes — but the declared order
+// below is the contract any future nesting must follow: the server
+// lock is the outer one, so cache methods must never call back into
+// the server.
+//
+//hetpnoc:lockorder Server.mu Cache.mu cache Get/Put may run under the server lock, never the reverse
 type Server struct {
 	cfg   Config
 	cache *cache.Cache

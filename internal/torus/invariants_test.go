@@ -54,6 +54,8 @@ func (e *invariantError) Error() string { return e.msg }
 
 // TestTorusInvariantsUnderRandomTraffic drives randomized packet
 // workloads and checks the circuit bookkeeping every cycle.
+//
+//hetpnoc:detsafe property test samples random workloads on purpose; each trial re-seeds from quick's seed argument, so any failure replays from the printed counterexample
 func TestTorusInvariantsUnderRandomTraffic(t *testing.T) {
 	run := func(seed uint64) bool {
 		r := newRig(t)

@@ -303,8 +303,8 @@ func (n *Network) trySetup(src int, now sim.Cycle) {
 				// release immediately in this atomic model).
 				n.setupsBlocked++
 				n.retryAt[src] = now + sim.Cycle(n.cfg.RetryBackoffCycles)
-				n.cfg.Events.Appendf(now, event.ReservationSent, src, int64(flit.Packet.ID),
-					"torus setup to %d BLOCKED at %v", dst, l)
+				n.cfg.Events.AppendInts(now, event.ReservationSent, src, int64(flit.Packet.ID),
+					"torus setup to %d BLOCKED at node %d dir %d", int64(dst), int64(l.node), int64(l.dir))
 				return
 			}
 		}

@@ -118,6 +118,8 @@ func TestRouteDimensionOrder(t *testing.T) {
 
 // TestRouteNeverExceedsDiameter: any route on a 4x4 torus is at most 4
 // hops (2 per dimension).
+//
+//hetpnoc:detsafe property test samples random node pairs on purpose; routing is pure and quick prints any counterexample
 func TestRouteNeverExceedsDiameter(t *testing.T) {
 	r := newRig(t)
 	f := func(rawSrc, rawDst uint8) bool {

@@ -118,6 +118,8 @@ func TestPermutationsAreInjective(t *testing.T) {
 
 // TestPermutationDestinationsStable: the destination is deterministic
 // regardless of the RNG stream.
+//
+//hetpnoc:detsafe property test samples random RNG streams on purpose, to prove the destination ignores them; quick prints any counterexample
 func TestPermutationDestinationsStable(t *testing.T) {
 	a := assignPermutation(t, BitComplement)
 	f := func(seed uint64, rawCore uint8) bool {
