@@ -9,12 +9,14 @@
 #   make test    — fast test pass only
 #   make fuzz-smoke — 10s-per-target native fuzz pass (CI smoke gate)
 #   make bench   — perf snapshot: writes BENCH_<date>.json via cmd/benchjson
+#   make bench-compare — fresh run diffed against the newest committed
+#                  BENCH_*.json; exits nonzero on a >20% throughput loss
 #   make sweep   — quick smoke sweep of every figure
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint lint-fix lint-dry lint-update test race race-quick fuzz-smoke bench sweep
+.PHONY: check build vet lint lint-fix lint-dry lint-update test race race-quick fuzz-smoke bench bench-compare sweep
 
 check: build vet lint test race
 
@@ -71,6 +73,9 @@ fuzz-smoke:
 
 bench:
 	./scripts/bench.sh
+
+bench-compare:
+	./scripts/bench.sh compare
 
 sweep:
 	$(GO) run ./cmd/sweep -quick

@@ -1,0 +1,185 @@
+package hetpnoc
+
+import (
+	"bytes"
+	"testing"
+
+	"hetpnoc/internal/fabric"
+	"hetpnoc/internal/sim"
+)
+
+// checkpointCase drives one configuration three ways — uninterrupted,
+// checkpointed-but-uninterrupted, and restored-and-re-stepped — and
+// requires all three to produce byte-identical canonical results.
+type checkpointCase struct {
+	name   string
+	cfg    Config
+	snapAt int
+	// remapAt, when positive, schedules a mid-run task remap AFTER the
+	// checkpoint, so the restore must replay the remap (new sources from
+	// the restored RNG) identically.
+	remapAt int64
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cases := []checkpointCase{
+		{
+			// The proposed architecture under its stressed workload:
+			// token DBA, selected-wavelength gating, RX drops and
+			// retransmission timers all live across the checkpoint.
+			name: "dhetpnoc-skewed",
+			cfg: Config{
+				Architecture:  DHetPNoC,
+				BandwidthSet:  1,
+				Traffic:       SkewedTraffic(3),
+				LoadScale:     2.0,
+				Cycles:        3000,
+				WarmupCycles:  500,
+				Seed:          7,
+				EventCapacity: 128,
+			},
+			snapAt:  1200,
+			remapAt: 2000,
+		},
+		{
+			// Checkpoint inside the warm-up window: the measurement
+			// transition must replay after the restore.
+			name: "firefly-uniform-prewarmup",
+			cfg: Config{
+				Architecture: Firefly,
+				BandwidthSet: 2,
+				Traffic:      UniformTraffic(),
+				LoadScale:    1.0,
+				Cycles:       2500,
+				WarmupCycles: 800,
+				Seed:         3,
+			},
+			snapAt: 400,
+		},
+		{
+			// Circuit-switched baseline: link ownership and in-flight
+			// path state cross the checkpoint.
+			name: "torus-uniform",
+			cfg: Config{
+				Architecture: TorusPNoC,
+				Traffic:      UniformTraffic(),
+				LoadScale:    1.5,
+				Cycles:       2500,
+				WarmupCycles: 500,
+				Seed:         11,
+			},
+			snapAt: 1300,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			checkpointRoundTrip(t, tc)
+		})
+	}
+}
+
+func checkpointRoundTrip(t *testing.T, tc checkpointCase) {
+	t.Helper()
+	fc, err := tc.cfg.toFabricConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.remapAt > 0 {
+		pattern, err := UniformTraffic().toPattern()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc.Remaps = append(fc.Remaps, fabric.Remap{At: sim.Cycle(tc.remapAt), Pattern: pattern})
+	}
+	fc = fc.WithDefaults()
+	if tc.snapAt <= 0 || tc.snapAt >= fc.Cycles {
+		t.Fatalf("snapshot cycle %d outside run of %d cycles", tc.snapAt, fc.Cycles)
+	}
+
+	// Reference: an uninterrupted run.
+	ref := buildFabric(t, fc)
+	stepN(t, ref, fc.Cycles)
+	refJSON, refEvents := finishCanonical(t, ref)
+
+	// Same run with a checkpoint taken mid-way: taking it must not
+	// perturb anything.
+	f := buildFabric(t, fc)
+	stepN(t, f, tc.snapAt)
+	cp := f.Checkpoint()
+	stepN(t, f, fc.Cycles-tc.snapAt)
+	gotJSON, gotEvents := finishCanonical(t, f)
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Fatalf("taking a checkpoint perturbed the run:\nref: %s\ngot: %s", refJSON, gotJSON)
+	}
+	if refEvents != gotEvents {
+		t.Fatal("taking a checkpoint perturbed the event log")
+	}
+
+	// Rewind the finished fabric and re-step the remainder: byte-identical
+	// to the uninterrupted run.
+	if err := f.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Now(), sim.Cycle(tc.snapAt); got != want {
+		t.Fatalf("restored fabric at cycle %d, checkpoint was at %d", got, want)
+	}
+	stepN(t, f, fc.Cycles-tc.snapAt)
+	redoJSON, redoEvents := finishCanonical(t, f)
+	if !bytes.Equal(refJSON, redoJSON) {
+		t.Fatalf("restored run diverged from uninterrupted run:\nref: %s\ngot: %s", refJSON, redoJSON)
+	}
+	if refEvents != redoEvents {
+		t.Fatalf("restored run's event log diverged:\nref:\n%s\ngot:\n%s", refEvents, redoEvents)
+	}
+
+	// The checkpoint survives its first use: restore a second time and
+	// replay again.
+	if err := f.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, f, fc.Cycles-tc.snapAt)
+	againJSON, _ := finishCanonical(t, f)
+	if !bytes.Equal(refJSON, againJSON) {
+		t.Fatal("second restore from the same checkpoint diverged")
+	}
+}
+
+func buildFabric(t *testing.T, fc fabric.Config) *fabric.Fabric {
+	t.Helper()
+	f, err := fabric.New(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func stepN(t *testing.T, f *fabric.Fabric, cycles int) {
+	t.Helper()
+	for i := 0; i < cycles; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// finishCanonical closes the run and returns the canonical result bytes
+// plus the formatted event log (empty when logging is disabled).
+func finishCanonical(t *testing.T, f *fabric.Fabric) ([]byte, string) {
+	t.Helper()
+	res, err := f.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := fromFabricResult(res).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events string
+	if log := f.Events(); log != nil {
+		for _, e := range log.Events() {
+			events += e.String() + "\n"
+		}
+	}
+	return enc, events
+}

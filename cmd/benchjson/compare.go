@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// regressionThreshold is the fractional throughput loss that fails a
+// comparison: a benchmark regressing by more than 20% in simulated
+// cycles/second (or, for benchmarks without a cycle mapping, ns/op)
+// is a perf regression.
+const regressionThreshold = 0.20
+
+// loadReport reads a benchjson report from disk.
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// delta is one benchmark's baseline-to-current comparison.
+type delta struct {
+	name       string
+	baseline   Result
+	current    Result
+	speedup    float64 // current throughput / baseline throughput
+	regression bool
+}
+
+// throughput returns the comparable rate of a result: simulated
+// cycles/second when derived, else inverted ns/op (ops/second).
+func throughput(r Result) float64 {
+	if r.SimCyclesPerSecond > 0 {
+		return r.SimCyclesPerSecond
+	}
+	if r.NsPerOp > 0 {
+		return 1e9 / r.NsPerOp
+	}
+	return 0
+}
+
+// matchResult finds the current result comparable to a baseline entry:
+// an exact name match when one exists, otherwise the fastest current
+// result sharing the benchmark's base name. The fallback bridges
+// renames that split a benchmark into sub-benchmarks (the committed
+// baseline keeps the old flat name until the next capture).
+func matchResult(baseline Result, current []Result) (Result, bool) {
+	for _, c := range current {
+		if c.Name == baseline.Name {
+			return c, true
+		}
+	}
+	var best Result
+	found := false
+	for _, c := range current {
+		if baseName(c.Name) != baseName(baseline.Name) {
+			continue
+		}
+		if !found || throughput(c) > throughput(best) {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// compareReports pairs up the two reports' results and flags
+// regressions beyond the threshold. Benchmarks present on only one side
+// are skipped: a comparison gates existing perf, not coverage.
+func compareReports(baseline, current Report) []delta {
+	var out []delta
+	for _, b := range baseline.Results {
+		c, ok := matchResult(b, current.Results)
+		if !ok {
+			continue
+		}
+		bt, ct := throughput(b), throughput(c)
+		if bt == 0 || ct == 0 {
+			continue
+		}
+		d := delta{
+			name:     b.Name,
+			baseline: b,
+			current:  c,
+			speedup:  ct / bt,
+		}
+		d.regression = d.speedup < 1-regressionThreshold
+		out = append(out, d)
+	}
+	return out
+}
+
+// runCompare prints the per-benchmark deltas and returns an error when
+// any benchmark regressed beyond the threshold.
+func runCompare(baselinePath, currentPath string) error {
+	baseline, err := loadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := loadReport(currentPath)
+	if err != nil {
+		return err
+	}
+	deltas := compareReports(baseline, current)
+	if len(deltas) == 0 {
+		return fmt.Errorf("no comparable benchmarks between %s and %s", baselinePath, currentPath)
+	}
+
+	fmt.Printf("comparing %s (baseline) -> %s\n", baselinePath, currentPath)
+	var regressed []string
+	for _, d := range deltas {
+		label := d.name
+		if d.current.Name != d.name {
+			label = fmt.Sprintf("%s -> %s", d.name, d.current.Name)
+		}
+		status := "ok"
+		if d.regression {
+			status = "REGRESSION"
+			regressed = append(regressed, label)
+		}
+		fmt.Printf("  %-55s %8.0f -> %8.0f ns/op  %+6.1f%%  %s\n",
+			label, d.baseline.NsPerOp, d.current.NsPerOp, (d.speedup-1)*100, status)
+		if d.current.AllocsPerOp > d.baseline.AllocsPerOp {
+			fmt.Printf("  %-55s allocs/op rose %.1f -> %.1f\n", "", d.baseline.AllocsPerOp, d.current.AllocsPerOp)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("throughput regressed >%.0f%% on: %s",
+			regressionThreshold*100, strings.Join(regressed, ", "))
+	}
+	fmt.Println("no throughput regression beyond", fmt.Sprintf("%.0f%%", regressionThreshold*100))
+	return nil
+}

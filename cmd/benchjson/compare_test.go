@@ -1,0 +1,71 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func result(name string, nsPerOp, cyclesPerSec float64) Result {
+	return Result{Name: name, Runs: 1, NsPerOp: nsPerOp, SimCyclesPerSecond: cyclesPerSec}
+}
+
+func TestCompareReports(t *testing.T) {
+	baseline := Report{Results: []Result{
+		result("BenchmarkFabricStep", 70000, 1e9/70000),
+		result("BenchmarkSimulationThroughput", 20e6, 1e5),
+		result("BenchmarkOnlyInBaseline", 100, 0),
+	}}
+	current := Report{Results: []Result{
+		// Renamed into sub-benchmarks: the flat baseline name must match
+		// the fastest of the group.
+		result("BenchmarkFabricStep/BW1", 14000, 1e9/14000),
+		result("BenchmarkFabricStep/BW3", 16000, 1e9/16000),
+		// Regressed beyond 20%.
+		result("BenchmarkSimulationThroughput", 30e6, 0.66e5),
+	}}
+
+	deltas := compareReports(baseline, current)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+
+	step := deltas[0]
+	if step.current.Name != "BenchmarkFabricStep/BW1" {
+		t.Fatalf("flat name matched %q, want the fastest sub-benchmark", step.current.Name)
+	}
+	if want := 70000.0 / 14000.0; math.Abs(step.speedup-want) > 1e-9 {
+		t.Fatalf("speedup = %g, want %g", step.speedup, want)
+	}
+	if step.regression {
+		t.Fatal("5x speedup flagged as a regression")
+	}
+
+	thr := deltas[1]
+	if !thr.regression {
+		t.Fatalf("34%% throughput loss not flagged: %+v", thr)
+	}
+}
+
+func TestCompareReportsBoundary(t *testing.T) {
+	baseline := Report{Results: []Result{result("BenchmarkX", 1000, 1e6)}}
+
+	// Exactly at the threshold is not a regression; just past it is.
+	at := Report{Results: []Result{result("BenchmarkX", 1250, 0.8e6)}}
+	if d := compareReports(baseline, at); len(d) != 1 || d[0].regression {
+		t.Fatalf("20%% loss should pass: %+v", d)
+	}
+	past := Report{Results: []Result{result("BenchmarkX", 1300, 0.79e6)}}
+	if d := compareReports(baseline, past); len(d) != 1 || !d[0].regression {
+		t.Fatalf("21%% loss should fail: %+v", d)
+	}
+}
+
+func TestCompareReportsNsFallback(t *testing.T) {
+	// Benchmarks without a cycle mapping compare on inverted ns/op.
+	baseline := Report{Results: []Result{result("BenchmarkBuild", 400000, 0)}}
+	current := Report{Results: []Result{result("BenchmarkBuild", 900000, 0)}}
+	d := compareReports(baseline, current)
+	if len(d) != 1 || !d[0].regression {
+		t.Fatalf("2.25x ns/op rise should be a regression: %+v", d)
+	}
+}

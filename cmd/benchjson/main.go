@@ -7,6 +7,8 @@
 //	go run ./cmd/benchjson                       # fast default selection
 //	go run ./cmd/benchjson -bench . -pkg ./...   # everything (slow)
 //	go run ./cmd/benchjson -out bench.json
+//	go run ./cmd/benchjson -compare BENCH_old.json -out /tmp/b.json   # run, then diff
+//	go run ./cmd/benchjson -compare BENCH_old.json -against new.json  # diff only
 //
 // A report that already exists at the output path is never clobbered by
 // accident: re-running on the same day fails unless -force is given, so
@@ -58,9 +60,18 @@ func run(args []string) error {
 		out       = fs.String("out", "", "output path (default BENCH_<date>.json)")
 		force     = fs.Bool("force", false, "overwrite an existing report at the output path")
 		verbose   = fs.Bool("v", false, "echo the raw go test output to stderr")
+		compare   = fs.String("compare", "", "baseline report to diff against; exits nonzero on a >20% throughput regression")
+		against   = fs.String("against", "", "with -compare: an existing report to diff instead of running the benchmarks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *against != "" {
+		if *compare == "" {
+			return fmt.Errorf("-against requires -compare BASELINE.json")
+		}
+		return runCompare(*compare, *against)
 	}
 
 	now := time.Now()
@@ -126,6 +137,9 @@ func run(args []string) error {
 			line += fmt.Sprintf("  %.0f cycles/s", r.SimCyclesPerSecond)
 		}
 		fmt.Println(line)
+	}
+	if *compare != "" {
+		return runCompare(*compare, path)
 	}
 	return nil
 }

@@ -207,6 +207,38 @@ func (l *Log) Evicted() int64 {
 	return l.dropped
 }
 
+// LogSnapshot is a checkpoint of the log's retained events.
+type LogSnapshot struct {
+	ring    []Event
+	next    int
+	total   int64
+	dropped int64
+}
+
+// Snapshot copies the log's state; a nil log snapshots to nil.
+func (l *Log) Snapshot() *LogSnapshot {
+	if l == nil {
+		return nil
+	}
+	return &LogSnapshot{
+		ring:    append([]Event(nil), l.ring...),
+		next:    l.next,
+		total:   l.total,
+		dropped: l.dropped,
+	}
+}
+
+// Restore rewinds the log to a snapshot, preserving the ring capacity.
+func (l *Log) Restore(s *LogSnapshot) {
+	if l == nil || s == nil {
+		return
+	}
+	l.ring = append(l.ring[:0], s.ring...)
+	l.next = s.next
+	l.total = s.total
+	l.dropped = s.dropped
+}
+
 // OfKind filters the retained events.
 func (l *Log) OfKind(k Kind) []Event {
 	var out []Event

@@ -8,30 +8,44 @@ import (
 )
 
 // BenchmarkFabricStep measures one cycle of the full 64-core chip under
-// saturated skewed traffic — the simulator's end-to-end hot path.
+// saturated skewed traffic — the simulator's end-to-end hot path — once
+// per photonic provisioning point, so the perf trajectory covers all
+// three bandwidth sets (wider channels move more flits per cycle).
 func BenchmarkFabricStep(b *testing.B) {
-	f, err := New(Config{
-		Arch:    DHetPNoC,
-		Set:     traffic.BWSet1,
-		Pattern: traffic.Skewed{Level: 2},
-		Cycles:  1 << 30, // stepped manually
-		Seed:    1,
-	})
-	if err != nil {
-		b.Fatal(err)
+	sets := []struct {
+		name string
+		set  traffic.BandwidthSet
+	}{
+		{"BW1", traffic.BWSet1},
+		{"BW2", traffic.BWSet2},
+		{"BW3", traffic.BWSet3},
 	}
-	// Warm the pipelines so the benchmark measures steady state.
-	for i := 0; i < 2000; i++ {
-		if err := f.Step(); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := f.Step(); err != nil {
-			b.Fatal(err)
-		}
+	for _, tc := range sets {
+		b.Run(tc.name, func(b *testing.B) {
+			f, err := New(Config{
+				Arch:    DHetPNoC,
+				Set:     tc.set,
+				Pattern: traffic.Skewed{Level: 2},
+				Cycles:  1 << 30, // stepped manually
+				Seed:    1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the pipelines so the benchmark measures steady state.
+			for i := 0; i < 2000; i++ {
+				if err := f.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hetpnoc/internal/packet"
 	"hetpnoc/internal/router"
@@ -67,7 +68,7 @@ func (f *Fabric) buildAllToAll(cl topology.ClusterID) (*cluster, error) {
 	c := &cluster{id: cl}
 
 	newPort := func() (*router.Port, error) {
-		return router.NewPort(f.cfg.VCsPerPort, f.cfg.BufferDepthFlits, f.ledger, &f.occupancy)
+		return f.arena.NewPort(f.cfg.VCsPerPort, f.cfg.BufferDepthFlits)
 	}
 
 	// Pre-create every input port so routers can cross-reference them.
@@ -134,6 +135,22 @@ func (f *Fabric) buildAllToAll(cl topology.ClusterID) (*cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Precomputed route table, identical to the routing closure above:
+		// headers cache their output at enqueue time so arbitration never
+		// re-runs the route on the hot path.
+		tab := make([]int16, topo.Cores())
+		for dst := range tab {
+			d := topology.CoreID(dst)
+			switch {
+			case d == core:
+				tab[dst] = 0
+			case topo.ClusterOf(d) == cl:
+				tab[dst] = int16(peerSlot(localIdx, topo.LocalIndex(d)))
+			default:
+				tab[dst] = int16(k)
+			}
+		}
+		sw.SetRouteTable(tab)
 
 		ejectPort, err := newPort()
 		if err != nil {
@@ -155,7 +172,7 @@ func (f *Fabric) buildAllToAll(cl topology.ClusterID) (*cluster, error) {
 		}
 
 		c.switches = append(c.switches, sw)
-		cs := f.cores[core]
+		cs := &f.cores[core]
 		cs.injectPort = switchInputs[i][0]
 		cs.ejectPort = ejectPort
 	}
@@ -175,6 +192,16 @@ func (f *Fabric) buildAllToAll(cl topology.ClusterID) (*cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	prTab := make([]int16, topo.Cores())
+	for dst := range prTab {
+		d := topology.CoreID(dst)
+		if topo.ClusterOf(d) == cl {
+			prTab[dst] = int16(topo.LocalIndex(d))
+		} else {
+			prTab[dst] = int16(k)
+		}
+	}
+	pr.SetRouteTable(prTab)
 	for i := 0; i < k; i++ {
 		if _, err := pr.AddOutput(switchInputs[i][k], toPRWidth, true); err != nil {
 			return nil, err
@@ -201,7 +228,7 @@ func (f *Fabric) buildConcentrated(cl topology.ClusterID) (*cluster, error) {
 	c := &cluster{id: cl}
 
 	newPort := func() (*router.Port, error) {
-		return router.NewPort(f.cfg.VCsPerPort, f.cfg.BufferDepthFlits, f.ledger, &f.occupancy)
+		return f.arena.NewPort(f.cfg.VCsPerPort, f.cfg.BufferDepthFlits)
 	}
 
 	swInputs := make([]*router.Port, k+1)
@@ -241,6 +268,16 @@ func (f *Fabric) buildConcentrated(cl topology.ClusterID) (*cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	swTab := make([]int16, topo.Cores())
+	for dst := range swTab {
+		d := topology.CoreID(dst)
+		if topo.ClusterOf(d) == cl {
+			swTab[dst] = int16(topo.LocalIndex(d))
+		} else {
+			swTab[dst] = int16(k)
+		}
+	}
+	sw.SetRouteTable(swTab)
 	for i := 0; i < k; i++ {
 		ejectPort, err := newPort()
 		if err != nil {
@@ -250,7 +287,7 @@ func (f *Fabric) buildConcentrated(cl topology.ClusterID) (*cluster, error) {
 			return nil, err
 		}
 		core := topo.CoreAt(cl, i)
-		cs := f.cores[core]
+		cs := &f.cores[core]
 		cs.injectPort = swInputs[i]
 		cs.ejectPort = ejectPort
 	}
@@ -270,6 +307,15 @@ func (f *Fabric) buildConcentrated(cl topology.ClusterID) (*cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	prTab := make([]int16, topo.Cores())
+	for dst := range prTab {
+		if topo.ClusterOf(topology.CoreID(dst)) == cl {
+			prTab[dst] = 0
+		} else {
+			prTab[dst] = 1
+		}
+	}
+	pr.SetRouteTable(prTab)
 	if _, err := pr.AddOutput(swInputs[k], 2*toPRWidth, true); err != nil {
 		return nil, err
 	}
@@ -323,17 +369,53 @@ func (cs *coreState) pumpInject(now sim.Cycle) error {
 
 // drainEject consumes up to ejectWidth ready flits from the core's eject
 // port, completing packets as tails arrive.
+//
+// It replays the reference round-robin position walk (vcIdx =
+// (ejectRR+scan) mod n, ejectRR advancing live on tails) but jumps over
+// empty VCs with the port's occupancy bitmask. A VC found empty or too
+// young is dropped from the local mask: no enqueue can happen during the
+// drain, so neither condition can clear within this call, and reference
+// visits of such VCs have no side effects.
 func (cs *coreState) drainEject(now sim.Cycle, ejectWidth int, onFlit func(packet.Flit), onPacket func(*packet.Packet)) error {
-	n := cs.ejectPort.VCCount()
+	p := cs.ejectPort
+	m := p.OccupiedMask()
+	if m == 0 {
+		return nil
+	}
+	n := p.VCCount()
 	drained := 0
 	for scan := 0; scan < n && drained < ejectWidth; {
-		vcIdx := (cs.ejectRR + scan) % n
-		_, enq, ok := cs.ejectPort.Head(vcIdx)
+		if m == 0 {
+			break
+		}
+		t := cs.ejectRR + scan
+		if t >= n {
+			t -= n
+		}
+		// First occupied VC at or circularly after position t.
+		idx := 0
+		wrapped := false
+		if x := m >> uint(t) << uint(t); x != 0 {
+			idx = bits.TrailingZeros64(x)
+		} else {
+			idx = bits.TrailingZeros64(m)
+			wrapped = true
+		}
+		d := idx - t
+		if d < 0 || wrapped {
+			d += n
+		}
+		scan += d
+		if scan >= n {
+			break
+		}
+		enq, _, ok := p.HeadMeta(idx)
 		if !ok || now-enq < router.PipelineDelay {
+			m &^= 1 << uint(idx)
 			scan++
 			continue
 		}
-		popped, err := cs.ejectPort.Pop(vcIdx)
+		popped, err := p.Pop(idx)
 		if err != nil {
 			return err
 		}
@@ -341,7 +423,11 @@ func (cs *coreState) drainEject(now sim.Cycle, ejectWidth int, onFlit func(packe
 		onFlit(popped)
 		if popped.Type.IsTail() {
 			onPacket(popped.Packet)
-			cs.ejectRR = (vcIdx + 1) % n
+			cs.ejectRR = idx + 1
+			if cs.ejectRR == n {
+				cs.ejectRR = 0
+			}
+			m &^= 1 << uint(idx) // a popped tail always empties the VC
 			scan++
 			continue
 		}

@@ -35,25 +35,19 @@ type Fabric struct {
 	dba   *core.Allocator // nil for the Firefly baseline
 
 	clusters []*cluster
-	cores    []*coreState
 	routers  []*router.Router
 	txs      []*xbar.TX
 	torus    *torus.Network
 	rxs      []*xbar.RX
 
+	// fabricState holds the flat mutable simulation state: the shared
+	// port arena, the per-core runtimes and the activity bitsets.
+	fabricState
+
 	assignment traffic.Assignment
 	msgIDs     packet.MessageID
 	pktIDs     packet.ID
 	now        sim.Cycle
-
-	// Activity tracking: a component is on its active set exactly while
-	// it may have work, so idle cycles cost O(active) instead of
-	// O(everything). Ports wake their consumer on every empty-to-non-empty
-	// transition; the scheduler deregisters a component when it drains.
-	routerActive sim.Bitset
-	txActive     sim.Bitset
-	injActive    sim.Bitset
-	ejectActive  sim.Bitset
 
 	// genList holds the cores whose traffic source can emit packets
 	// (rebuilt on every workload assignment); idle sources tick as pure
@@ -114,6 +108,23 @@ func New(cfg Config) (*Fabric, error) {
 		collector: stats.NewCollector(clock),
 	}
 	f.collector.SetClusterCount(cfg.Topology.Clusters())
+	arena, err := router.NewArena(f.ledger, &f.occupancy)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-size the arena for the exact port census of the cluster
+	// builders: all-to-all uses k*(k+1) switch inputs, k+1 photonic
+	// router inputs, 1 transmit and k eject ports per cluster;
+	// concentrated uses k+1 switch inputs, 2 photonic router inputs,
+	// 1 transmit and k eject ports.
+	k := cfg.Topology.ClusterSize()
+	portsPerCluster := (k + 1) * (k + 2)
+	if cfg.IntraCluster == Concentrated {
+		portsPerCluster = 2*k + 4
+	}
+	totalPorts := cfg.Topology.Clusters() * portsPerCluster
+	arena.Reserve(totalPorts, totalPorts*cfg.VCsPerPort)
+	f.arena = arena
 	if cfg.EventCapacity > 0 {
 		log, err := event.NewLog(cfg.EventCapacity)
 		if err != nil {
@@ -155,9 +166,9 @@ func New(cfg Config) (*Fabric, error) {
 	}
 
 	// Core states first so cluster builders can fill their ports.
-	f.cores = make([]*coreState, cfg.Topology.Cores())
+	f.cores = make([]coreState, cfg.Topology.Cores())
 	for c := range f.cores {
-		f.cores[c] = &coreState{id: topology.CoreID(c)}
+		f.cores[c].id = topology.CoreID(c)
 	}
 
 	// Clusters, electrical routers and crossbar engines.
@@ -292,7 +303,7 @@ func (f *Fabric) Events() *event.Log { return f.events }
 // demand tables for every core.
 func (f *Fabric) applyAssignment(a traffic.Assignment) error {
 	f.assignment = a
-	for c, cs := range f.cores {
+	for c := range f.cores {
 		coreID := topology.CoreID(c)
 		profile := a.Cores[c]
 		src, err := traffic.NewSource(coreID, profile, f.cfg.Set.Format, f.clock,
@@ -300,14 +311,14 @@ func (f *Fabric) applyAssignment(a traffic.Assignment) error {
 		if err != nil {
 			return err
 		}
-		cs.source = src
+		f.cores[c].source = src
 		src.SetPool(&f.pool)
 		f.alloc.SetDemand(coreID, profile.DemandTable(f.cfg.Topology, f.cfg.Topology.ClusterOf(coreID)))
 	}
 	f.genList = f.genList[:0]
-	for _, cs := range f.cores {
-		if !cs.source.Idle() {
-			f.genList = append(f.genList, cs)
+	for c := range f.cores {
+		if !f.cores[c].source.Idle() {
+			f.genList = append(f.genList, &f.cores[c])
 		}
 	}
 	return nil
@@ -329,7 +340,9 @@ func (f *Fabric) handleDrop(p *packet.Packet, now sim.Cycle) {
 	f.collector.OnRetransmit()
 	f.events.AppendInts(now, event.Retransmit, int(p.SrcCluster), int64(p.ID),
 		"attempt %d, back-off %d cycles", int64(p.Attempt), int64(f.cfg.RetryBackoffCycles))
+	f.addRetxPending(p)
 	f.timers.Schedule(now+sim.Cycle(f.cfg.RetryBackoffCycles), func(at sim.Cycle) {
+		f.removeRetxPending(p)
 		retry := traffic.RetransmitFrom(&f.pool, p, at, &f.pktIDs)
 		// Retransmissions bypass the source-queue limit: the message is
 		// already committed and must not be silently shed.
@@ -394,7 +407,7 @@ func (f *Fabric) Step() error {
 	for w, words := 0, f.injActive.Words(); w < len(words); w++ {
 		for word := words[w]; word != 0; word &= word - 1 {
 			i := w<<6 + bits.TrailingZeros64(word)
-			cs := f.cores[i]
+			cs := &f.cores[i]
 			if err := cs.pumpInject(now); err != nil {
 				return fmt.Errorf("cycle %d: %w", now, err)
 			}
@@ -444,7 +457,7 @@ func (f *Fabric) Step() error {
 	for w, words := 0, f.ejectActive.Words(); w < len(words); w++ {
 		for word := words[w]; word != 0; word &= word - 1 {
 			i := w<<6 + bits.TrailingZeros64(word)
-			cs := f.cores[i]
+			cs := &f.cores[i]
 			if err := cs.drainEject(now, f.cfg.EjectWidth, f.onEjectFlit, f.onEjectPacket); err != nil {
 				return fmt.Errorf("cycle %d: %w", now, err)
 			}

@@ -1,0 +1,249 @@
+package fabric
+
+import (
+	"fmt"
+
+	"hetpnoc/internal/core"
+	"hetpnoc/internal/event"
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/router"
+	"hetpnoc/internal/sim"
+	"hetpnoc/internal/stats"
+	"hetpnoc/internal/torus"
+	"hetpnoc/internal/traffic"
+	"hetpnoc/internal/xbar"
+)
+
+// Checkpoint is a full checkpoint of a running fabric, taken at a cycle
+// boundary with Fabric.Checkpoint and rewound with Fabric.Restore. A
+// restored fabric re-steps bit-identically to the original run — the
+// same packets, drops, retransmissions, allocation changes and energy
+// totals — which is what lets replicated or branching experiments skip
+// re-paying the warm-up (and the FabricBuild) of a shared prefix.
+//
+// The immutable build products (topology, wiring, route tables, wake
+// closures, energy parameters) are not saved: a checkpoint only
+// restores onto the fabric it was taken from.
+type Checkpoint struct {
+	now        sim.Cycle
+	msgIDs     packet.MessageID
+	pktIDs     packet.ID
+	totals     Totals
+	assignment traffic.Assignment
+	rng        uint64
+
+	arena     *router.ArenaSnapshot
+	routerRRs []int
+
+	routerActive sim.Bitset
+	txActive     sim.Bitset
+	injActive    sim.Bitset
+	ejectActive  sim.Bitset
+
+	cores       []coreCheckpoint
+	retxPending []*packet.Packet
+
+	timers    *sim.TimerWheelSnapshot
+	pool      *packet.PoolSnapshot
+	collector *stats.CollectorSnapshot
+	ledger    photonic.LedgerSnapshot
+	events    *event.LogSnapshot
+	dba       *core.AllocatorSnapshot
+	txs       []*xbar.TXSnapshot
+	rxs       []*xbar.RXSnapshot
+	torus     *torus.NetworkSnapshot
+
+	// packets captures the contents of every packet live at checkpoint
+	// time. Packet structs are pooled and rewritten in place after the
+	// snapshot, but the pool never frees them, so restoring writes each
+	// saved value back through its original pointer — every reference
+	// held by rings, queues, engines, circuits and timer closures then
+	// reads the checkpointed contents again.
+	packets []packetCapture
+}
+
+// coreCheckpoint is the per-core slice of a fabric checkpoint. The
+// source pointer is saved alongside its mutable state because a task
+// remap replaces sources wholesale; restoring re-installs the exact
+// generator (everything but SourceState is immutable post-construction).
+type coreCheckpoint struct {
+	source      *traffic.Source
+	sourceState traffic.SourceState
+	queue       []*packet.Packet
+	rejects     int64
+	inFlight    *packet.Packet
+	inVC        int
+	inNext      int
+	ejectRR     int
+}
+
+type packetCapture struct {
+	ptr *packet.Packet
+	val packet.Packet
+}
+
+// Checkpoint captures the fabric's complete mutable state at the current
+// cycle boundary. The fabric is untouched: taking a checkpoint never
+// perturbs the run.
+func (f *Fabric) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		now:        f.now,
+		msgIDs:     f.msgIDs,
+		pktIDs:     f.pktIDs,
+		totals:     f.totals,
+		assignment: f.assignment,
+		rng:        f.rng.State(),
+
+		arena: f.arena.Snapshot(nil),
+
+		routerActive: f.routerActive.Clone(),
+		txActive:     f.txActive.Clone(),
+		injActive:    f.injActive.Clone(),
+		ejectActive:  f.ejectActive.Clone(),
+
+		retxPending: append([]*packet.Packet(nil), f.retxPending...),
+
+		timers:    f.timers.Snapshot(),
+		pool:      f.pool.Snapshot(),
+		collector: f.collector.Snapshot(),
+		ledger:    f.ledger.Snapshot(),
+		events:    f.events.Snapshot(),
+	}
+	for _, r := range f.routers {
+		cp.routerRRs = r.RRState(cp.routerRRs)
+	}
+	cp.cores = make([]coreCheckpoint, len(f.cores))
+	for c := range f.cores {
+		cs := &f.cores[c]
+		cp.cores[c] = coreCheckpoint{
+			source:      cs.source,
+			sourceState: cs.source.State(),
+			queue:       cs.queue.Snapshot(nil),
+			rejects:     cs.rejects,
+			inFlight:    cs.inFlight,
+			inVC:        cs.inVC,
+			inNext:      cs.inNext,
+			ejectRR:     cs.ejectRR,
+		}
+	}
+	if f.dba != nil {
+		cp.dba = f.dba.Snapshot()
+	}
+	cp.txs = make([]*xbar.TXSnapshot, len(f.txs))
+	for i, tx := range f.txs {
+		cp.txs[i] = tx.Snapshot()
+	}
+	cp.rxs = make([]*xbar.RXSnapshot, len(f.rxs))
+	for i, rx := range f.rxs {
+		cp.rxs[i] = rx.Snapshot()
+	}
+	if f.torus != nil {
+		cp.torus = f.torus.Snapshot()
+	}
+
+	// Capture the contents of every live packet. Duplicates (a streaming
+	// packet appears in both its VC ring and its engine) are harmless:
+	// the same value is saved, and written back, twice.
+	var live []*packet.Packet
+	live = f.arena.Packets(live)
+	for c := range f.cores {
+		live = f.cores[c].queue.Snapshot(live)
+		if p := f.cores[c].inFlight; p != nil {
+			live = append(live, p)
+		}
+	}
+	for _, tx := range f.txs {
+		live = tx.Packets(live)
+	}
+	if f.torus != nil {
+		live = f.torus.Packets(live)
+	}
+	live = append(live, f.retxPending...)
+	cp.packets = make([]packetCapture, len(live))
+	for i, p := range live {
+		cp.packets[i] = packetCapture{ptr: p, val: *p}
+	}
+	return cp
+}
+
+// Restore rewinds the fabric to a checkpoint taken from it earlier. The
+// checkpoint stays intact, so one checkpoint can seed any number of
+// re-runs. Re-stepping after a restore is bit-identical to the original
+// continuation: TestCheckpointRoundTrip compares canonical results.
+func (f *Fabric) Restore(cp *Checkpoint) error {
+	// Packet contents first: everything below holds pointers whose
+	// referents must already read their checkpointed state.
+	for i := range cp.packets {
+		*cp.packets[i].ptr = cp.packets[i].val
+	}
+	if err := f.arena.Restore(cp.arena); err != nil {
+		return err
+	}
+	rrs := cp.routerRRs
+	for _, r := range f.routers {
+		rrs = r.SetRRState(rrs)
+	}
+	f.routerActive.CopyFrom(cp.routerActive)
+	f.txActive.CopyFrom(cp.txActive)
+	f.injActive.CopyFrom(cp.injActive)
+	f.ejectActive.CopyFrom(cp.ejectActive)
+
+	if len(cp.cores) != len(f.cores) {
+		return fmt.Errorf("fabric: checkpoint has %d cores, fabric has %d", len(cp.cores), len(f.cores))
+	}
+	for c := range f.cores {
+		cs, saved := &f.cores[c], &cp.cores[c]
+		cs.source = saved.source
+		cs.source.SetState(saved.sourceState)
+		cs.queue.Restore(saved.queue)
+		cs.rejects = saved.rejects
+		cs.inFlight = saved.inFlight
+		cs.inVC = saved.inVC
+		cs.inNext = saved.inNext
+		cs.ejectRR = saved.ejectRR
+	}
+	for i := len(cp.retxPending); i < len(f.retxPending); i++ {
+		f.retxPending[i] = nil
+	}
+	f.retxPending = append(f.retxPending[:0], cp.retxPending...)
+
+	f.timers.Restore(cp.timers)
+	f.pool.Restore(cp.pool)
+	f.collector.Restore(cp.collector)
+	f.ledger.Restore(cp.ledger)
+	f.events.Restore(cp.events)
+	if f.dba != nil {
+		if err := f.dba.Restore(cp.dba); err != nil {
+			return err
+		}
+	}
+	for i, tx := range f.txs {
+		tx.Restore(cp.txs[i])
+	}
+	for i, rx := range f.rxs {
+		rx.Restore(cp.rxs[i])
+	}
+	if f.torus != nil {
+		if err := f.torus.Restore(cp.torus); err != nil {
+			return err
+		}
+	}
+
+	f.now = cp.now
+	f.msgIDs = cp.msgIDs
+	f.pktIDs = cp.pktIDs
+	f.totals = cp.totals
+	f.assignment = cp.assignment
+	f.rng.SetState(cp.rng)
+
+	// genList is derived state: rebuild it from the restored sources the
+	// same way applyAssignment does.
+	f.genList = f.genList[:0]
+	for c := range f.cores {
+		if !f.cores[c].source.Idle() {
+			f.genList = append(f.genList, &f.cores[c])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package fabric
+
+import (
+	"hetpnoc/internal/packet"
+	"hetpnoc/internal/router"
+	"hetpnoc/internal/sim"
+)
+
+// fabricState is the flat per-cycle mutable simulation state, grouped so
+// checkpointing and the batched-replica engine can treat it as one unit.
+// Every port and VC of the fabric lives in the shared struct-of-arrays
+// arena; the activity bitsets drive the per-phase scheduling scans; the
+// core states are stored by value in one contiguous slice.
+type fabricState struct {
+	// arena backs every Port in the fabric (switch inputs, photonic
+	// router inputs, transmit, receive and eject ports) with flat
+	// (port, vc)-indexed slices and per-port occupancy bitmasks.
+	arena *router.Arena
+
+	// cores is the per-core runtime, indexed by CoreID. Pointers into
+	// the slice stay valid for the fabric's lifetime: it is sized once
+	// at build and never reallocated.
+	cores []coreState
+
+	// Activity tracking: a component is on its active set exactly while
+	// it may have work, so idle cycles cost O(active) instead of
+	// O(everything). Ports wake their consumer on every
+	// empty-to-non-empty transition; the scheduler deregisters a
+	// component when it drains.
+	routerActive sim.Bitset
+	txActive     sim.Bitset
+	injActive    sim.Bitset
+	ejectActive  sim.Bitset
+
+	// retxPending tracks packets whose retransmission back-off timer is
+	// armed. The timer wheel stores closures, which a checkpoint cannot
+	// introspect, so the drop handler records the captured packet here
+	// and the timer removes it on fire; snapshots then know exactly
+	// which packets are alive inside timers.
+	retxPending []*packet.Packet
+}
+
+// addRetxPending records p as captured by an armed retransmission timer.
+func (s *fabricState) addRetxPending(p *packet.Packet) {
+	s.retxPending = append(s.retxPending, p)
+}
+
+// removeRetxPending drops p from the pending-retransmission list,
+// preserving order so snapshots of the list stay deterministic.
+func (s *fabricState) removeRetxPending(p *packet.Packet) {
+	for i, q := range s.retxPending {
+		if q == p {
+			copy(s.retxPending[i:], s.retxPending[i+1:])
+			s.retxPending[len(s.retxPending)-1] = nil
+			s.retxPending = s.retxPending[:len(s.retxPending)-1]
+			return
+		}
+	}
+}

@@ -59,6 +59,42 @@ func (pl *Pool) Live() int64 {
 	return pl.gets - pl.puts
 }
 
+// PoolSnapshot is a checkpoint of the free list and the conservation
+// counters. The free packets' contents are irrelevant (Get rewrites
+// them), so only the pointers are saved.
+type PoolSnapshot struct {
+	free []*Packet
+	gets int64
+	puts int64
+}
+
+// Snapshot copies the pool's state.
+func (pl *Pool) Snapshot() *PoolSnapshot {
+	if pl == nil {
+		return nil
+	}
+	return &PoolSnapshot{
+		free: append([]*Packet(nil), pl.free...),
+		gets: pl.gets,
+		puts: pl.puts,
+	}
+}
+
+// Restore rewinds the pool to a snapshot. Packets handed out after the
+// snapshot was taken return to being free; packets freed since return to
+// being live (their contents are the fabric checkpoint's concern).
+func (pl *Pool) Restore(s *PoolSnapshot) {
+	if pl == nil || s == nil {
+		return
+	}
+	for i := len(s.free); i < len(pl.free); i++ {
+		pl.free[i] = nil
+	}
+	pl.free = append(pl.free[:0], s.free...)
+	pl.gets = s.gets
+	pl.puts = s.puts
+}
+
 // Queue is a FIFO of packets backed by a reusable ring, replacing the
 // append/re-slice idiom that leaks the front capacity of the backing
 // array on every dequeue.
@@ -110,6 +146,33 @@ func (q *Queue) Pop() *Packet {
 	}
 	q.count--
 	return p
+}
+
+// Snapshot appends the queued packets to dst in FIFO order and returns
+// the extended slice, for checkpointing.
+func (q *Queue) Snapshot(dst []*Packet) []*Packet {
+	for i := 0; i < q.count; i++ {
+		slot := q.head + i
+		if slot >= len(q.buf) {
+			slot -= len(q.buf)
+		}
+		dst = append(dst, q.buf[slot])
+	}
+	return dst
+}
+
+// Restore replaces the queue's contents with ps (oldest first), reusing
+// the ring storage when it is large enough.
+func (q *Queue) Restore(ps []*Packet) {
+	if len(ps) > len(q.buf) {
+		q.buf = make([]*Packet, len(ps))
+	}
+	for i := range q.buf {
+		q.buf[i] = nil
+	}
+	copy(q.buf, ps)
+	q.head = 0
+	q.count = len(ps)
 }
 
 // grow doubles the ring capacity, linearizing the contents at the front.

@@ -48,6 +48,26 @@ func (b *DetectorBank) IsPowered(id WavelengthID) bool {
 	return b.powered[b.bundle.SlotForID(id)]
 }
 
+// DetectorBankSnapshot is a checkpoint of the bank's gating state.
+type DetectorBankSnapshot struct {
+	powered []bool
+	onCount int
+}
+
+// Snapshot copies the bank's gating state.
+func (b *DetectorBank) Snapshot() *DetectorBankSnapshot {
+	return &DetectorBankSnapshot{
+		powered: append([]bool(nil), b.powered...),
+		onCount: b.onCount,
+	}
+}
+
+// Restore rewinds the bank to a snapshot.
+func (b *DetectorBank) Restore(s *DetectorBankSnapshot) {
+	copy(b.powered, s.powered)
+	b.onCount = s.onCount
+}
+
 // Laser models the multi-wavelength source feeding the crossbar. The
 // thesis assumes heterogeneously-integrated on-chip sources [16] with
 // 1.5 mW per wavelength [30]; the simulator needs only the per-bit launch

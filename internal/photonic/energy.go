@@ -144,6 +144,24 @@ func (l *Ledger) Add(c EnergyComponent, pj float64) {
 	l.totals[c] += pj
 }
 
+// LedgerSnapshot is a checkpoint of the ledger's accumulated totals. It
+// is a plain value: copying it copies everything.
+type LedgerSnapshot struct {
+	measuring bool
+	totals    [numEnergyComponents]float64
+}
+
+// Snapshot captures the ledger's mutable state.
+func (l *Ledger) Snapshot() LedgerSnapshot {
+	return LedgerSnapshot{measuring: l.measuring, totals: l.totals}
+}
+
+// Restore rewinds the ledger to a snapshot.
+func (l *Ledger) Restore(s LedgerSnapshot) {
+	l.measuring = s.measuring
+	l.totals = s.totals
+}
+
 // AddPhotonicTransmit charges the transmit-side photonic energy for bits
 // modulated onto the channel: laser launch, modulation and MRR tuning.
 func (l *Ledger) AddPhotonicTransmit(bits float64) {

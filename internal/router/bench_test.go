@@ -13,10 +13,14 @@ import (
 func BenchmarkRouterTickIdle(b *testing.B) {
 	ledger := photonic.NewLedger(photonic.DefaultEnergyParams())
 	var occ int64
+	arena, err := NewArena(ledger, &occ)
+	if err != nil {
+		b.Fatal(err)
+	}
 	inputs := make([]*Port, 5)
 	widths := make([]int, 5)
 	for i := range inputs {
-		p, err := NewPort(16, 64, ledger, &occ)
+		p, err := arena.NewPort(16, 64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -27,7 +31,7 @@ func BenchmarkRouterTickIdle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	out, err := NewPort(16, 64, ledger, &occ)
+	out, err := arena.NewPort(16, 64)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -74,9 +78,12 @@ func BenchmarkRouterTickStreaming(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// Keep the input primed and the output drained.
+		// Keep the input primed and the output drained. The sequence
+		// number wraps: real packets are at most MaxFlits long, so the
+		// buffer entries pack Seq into a few bits, while this synthetic
+		// flow streams one endless packet.
 		for in.Space(vc) > 0 && seq < pkt.Flits-1 {
-			fl := packet.Flit{Packet: pkt, Type: packet.Body, Seq: seq}
+			fl := packet.Flit{Packet: pkt, Type: packet.Body, Seq: seq % 4096}
 			if seq == 0 {
 				fl.Type = packet.Header
 			}

@@ -4,251 +4,332 @@
 // virtual channels, credit-based flow control and round-robin arbitration.
 // Table 3-3 configures them with 16 VCs per port and a 64-flit buffer per
 // VC.
+//
+// All port and VC state lives in a struct-of-arrays Arena; Port and VC
+// are index views over it. The per-cycle kernels (Router.Tick, the
+// fabric's inject/eject pumps, the photonic engines) therefore touch
+// flat scalar slices and per-port bitmasks instead of per-object heaps.
 package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hetpnoc/internal/packet"
 	"hetpnoc/internal/photonic"
 	"hetpnoc/internal/sim"
 )
 
-// entry is one buffered flit with its arrival cycle, used both for the
-// pipeline-stage delay and for residency energy accounting.
+// entry is one buffered flit with its arrival cycle, packed into 16
+// bytes so ring traffic moves half the memory of the naive layout: the
+// packet pointer plus a word holding the enqueue cycle (low 48 bits, 281T
+// cycles), the flit sequence number (13 bits) and the flit type (3 bits).
 type entry struct {
-	flit     packet.Flit
-	enqueued sim.Cycle
+	pkt  *packet.Packet
+	meta uint64
 }
 
-// VC is one virtual channel: a FIFO flit buffer plus the wormhole state
-// that binds it to a packet and, once the header has been routed, to a
-// downstream (output port, VC) pair.
-//
-// The FIFO is a ring: buf grows on demand up to depth entries and is then
-// reused for the rest of the run, so steady-state traffic enqueues and
-// dequeues without allocating.
-type VC struct {
-	buf   []entry
-	head  int
-	count int
-	depth int
+const (
+	entryEnqBits = 48
+	entryEnqMask = 1<<entryEnqBits - 1
+	entrySeqBits = 13
+	maxFlitSeq   = 1 << entrySeqBits
+)
 
-	// owner is the packet currently occupying the VC (0 when free). Set
-	// when the header is enqueued, cleared when the tail is dequeued.
-	owner packet.ID
-
-	// routed is true once the header has been forwarded; outPort/outVC
-	// then identify the locked downstream path for the body flits.
-	routed  bool
-	outPort int
-	outVC   int
+func mkEntry(f packet.Flit, now sim.Cycle) entry {
+	return entry{pkt: f.Packet, meta: uint64(now)&entryEnqMask |
+		uint64(f.Seq)<<entryEnqBits | uint64(f.Type)<<(entryEnqBits+entrySeqBits)}
 }
 
-// Len returns the number of buffered flits.
-func (v *VC) Len() int { return v.count }
-
-// Free returns the remaining buffer slots.
-func (v *VC) Free() int { return v.depth - v.count }
-
-// headEntry returns the ring slot of the oldest buffered flit.
-func (v *VC) headEntry() *entry { return &v.buf[v.head] }
-
-// push appends an entry, growing the ring toward depth when full.
-func (v *VC) push(e entry) {
-	if v.count == len(v.buf) {
-		v.grow()
+func (e entry) flit() packet.Flit {
+	return packet.Flit{
+		Packet: e.pkt,
+		Type:   packet.FlitType(e.meta >> (entryEnqBits + entrySeqBits)),
+		Seq:    int(e.meta >> entryEnqBits & (maxFlitSeq - 1)),
 	}
-	slot := v.head + v.count
-	if slot >= len(v.buf) {
-		slot -= len(v.buf)
-	}
-	v.buf[slot] = e
-	v.count++
 }
 
-// pop removes and returns the oldest entry.
-func (v *VC) pop() entry {
-	e := v.buf[v.head]
-	v.buf[v.head] = entry{} // drop the packet reference
-	v.head++
-	if v.head == len(v.buf) {
-		v.head = 0
-	}
-	v.count--
-	return e
-}
+func (e entry) enqueued() sim.Cycle { return sim.Cycle(e.meta & entryEnqMask) }
 
-// grow doubles the ring capacity (bounded by depth), linearizing the
-// current contents at the front of the new buffer.
-func (v *VC) grow() {
-	newCap := 2 * len(v.buf)
-	if newCap < 8 {
-		newCap = 8
-	}
-	if newCap > v.depth {
-		newCap = v.depth
-	}
-	buf := make([]entry, newCap)
-	for i := 0; i < v.count; i++ {
-		slot := v.head + i
-		if slot >= len(v.buf) {
-			slot -= len(v.buf)
-		}
-		buf[i] = v.buf[slot]
-	}
-	v.buf = buf
-	v.head = 0
-}
-
-// clear discards every buffered entry but keeps the ring storage for
-// reuse.
-func (v *VC) clear() {
-	for i := 0; i < v.count; i++ {
-		slot := v.head + i
-		if slot >= len(v.buf) {
-			slot -= len(v.buf)
-		}
-		v.buf[slot] = entry{}
-	}
-	v.head = 0
-	v.count = 0
-}
-
-// Port is an input port: a bank of VCs. It is the unit of connection in
-// the fabric — router outputs, the photonic transmit engine and the core
-// ejection path all receive flits through a Port.
+// Port is an input port: a bank of VCs carved out of an Arena. It is the
+// unit of connection in the fabric — router outputs, the photonic
+// transmit engine and the core ejection path all receive flits through a
+// Port.
 type Port struct {
-	vcs       []VC
-	ledger    *photonic.Ledger
-	occupancy *int64 // shared fabric-wide buffered-flit counter
-	buffered  int    // flits buffered across this port's VCs
-
-	// wake, when set, is invoked whenever the port transitions from empty
-	// to non-empty. The fabric uses it to register the consuming component
-	// (router, transmit engine or ejecting core) on its active lists.
-	wake func()
+	a  *Arena
+	id int32
 }
 
-// NewPort builds a port with the given VC count and per-VC depth. ledger
-// and occupancy may be shared across the whole fabric; occupancy must be
-// non-nil.
+// NewPort builds a standalone port backed by its own single-port arena.
+// The fabric carves all its ports from one shared arena instead; this
+// constructor serves tests and other small rigs. ledger and occupancy
+// may be shared; occupancy must be non-nil.
 func NewPort(vcCount, depth int, ledger *photonic.Ledger, occupancy *int64) (*Port, error) {
-	if vcCount <= 0 || depth <= 0 {
-		return nil, fmt.Errorf("router: port needs positive VC count (%d) and depth (%d)", vcCount, depth)
+	a, err := NewArena(ledger, occupancy)
+	if err != nil {
+		return nil, err
 	}
-	if ledger == nil || occupancy == nil {
-		return nil, fmt.Errorf("router: port needs a ledger and occupancy counter")
-	}
-	vcs := make([]VC, vcCount)
-	for i := range vcs {
-		vcs[i].depth = depth
-	}
-	return &Port{vcs: vcs, ledger: ledger, occupancy: occupancy}, nil
+	return a.NewPort(vcCount, depth)
 }
+
+// Arena returns the backing arena of the port.
+func (p *Port) Arena() *Arena { return p.a }
 
 // SetWake installs fn to run on every empty-to-non-empty transition of the
 // port. The fabric wires it to its activity tracking so components with
 // freshly arrived work re-enter the per-cycle schedule.
-func (p *Port) SetWake(fn func()) { p.wake = fn }
+func (p *Port) SetWake(fn func()) { p.a.wake[p.id] = fn }
+
+// SetRouteTable installs the per-destination-core route table of the
+// router consuming this port. With a table in place, the port caches the
+// head packet's output at header-enqueue time, so arbitration never
+// re-runs the routing function on the hot path.
+func (p *Port) SetRouteTable(tab []int16) { p.a.routeTab[p.id] = tab }
 
 // VCCount returns the number of virtual channels.
-func (p *Port) VCCount() int { return len(p.vcs) }
+func (p *Port) VCCount() int { return int(p.a.vcCnt[p.id]) }
 
-// VC returns channel i.
-func (p *Port) VC(i int) *VC { return &p.vcs[i] }
+// VC returns the view of channel i.
+func (p *Port) VC(i int) VC {
+	return VC{a: p.a, g: p.a.vcBase[p.id] + int32(i)}
+}
+
+// VC is the view of one virtual channel: a FIFO flit buffer plus the
+// wormhole state that binds it to a packet and, once the header has been
+// routed, to a downstream (output port, VC) pair.
+type VC struct {
+	a *Arena
+	g int32
+}
+
+// Len returns the number of buffered flits.
+func (v VC) Len() int { return int(v.a.hot[v.g].count) }
+
+// Free returns the remaining buffer slots.
+func (v VC) Free() int { return v.a.depthOfVC(v.g) - int(v.a.hot[v.g].count) }
 
 // AllocVC claims a free, empty VC for a new packet and returns its index.
 // It reports false when every VC is busy — the §1.4 condition under which
-// a header flit is dropped.
+// a header flit is dropped. The free set is a bitmask, so the scan is a
+// single trailing-zeros instruction.
+//
+//hetpnoc:hotpath
 func (p *Port) AllocVC(owner packet.ID) (int, bool) {
-	for i := range p.vcs {
-		vc := &p.vcs[i]
-		if vc.owner == 0 && vc.count == 0 {
-			vc.owner = owner
-			return i, true
-		}
+	a := p.a
+	m := a.freeMask[p.id]
+	if m == 0 {
+		return 0, false
 	}
-	return 0, false
+	i := bits.TrailingZeros64(m)
+	a.freeMask[p.id] = m & (m - 1)
+	a.owner[a.vcBase[p.id]+int32(i)] = owner
+	return i, true
+}
+
+// OccupiedMask returns the port's VC occupancy bitmask: bit i is set
+// while VC i holds at least one flit. Engines draining a port use it to
+// jump over empty VCs instead of probing each one.
+func (p *Port) OccupiedMask() uint64 { return p.a.occMask[p.id] }
+
+// Owner returns the ID of the packet occupying VC i, or zero when the VC
+// is free. Every buffered flit of a VC belongs to its owner, so engines
+// can identify the head packet without reading the ring.
+func (p *Port) Owner(i int) packet.ID {
+	return p.a.owner[p.a.vcBase[p.id]+int32(i)]
 }
 
 // FreeVCs returns how many VCs are currently unclaimed.
 func (p *Port) FreeVCs() int {
-	n := 0
-	for i := range p.vcs {
-		vc := &p.vcs[i]
-		if vc.owner == 0 && vc.count == 0 {
-			n++
-		}
-	}
-	return n
+	return bits.OnesCount64(p.a.freeMask[p.id])
 }
 
 // Space returns the free buffer slots of VC i.
-func (p *Port) Space(i int) int { return p.vcs[i].Free() }
+func (p *Port) Space(i int) int {
+	a := p.a
+	return int(a.depth[p.id]) - int(a.hot[a.vcBase[p.id]+int32(i)].count)
+}
 
 // Enqueue buffers a flit into VC i at cycle now, charging the buffer-write
 // energy. It reports an error when the VC is full or not owned by the
 // flit's packet — both are fabric bugs, not runtime conditions.
+//
+//hetpnoc:hotpath
 func (p *Port) Enqueue(i int, f packet.Flit, now sim.Cycle) error {
-	vc := &p.vcs[i]
-	if vc.Free() == 0 {
+	a := p.a
+	g := a.vcBase[p.id] + int32(i)
+	h := &a.hot[g]
+	if int32(h.count) >= a.depth[p.id] {
 		return fmt.Errorf("router: enqueue into full VC %d (%s)", i, f)
 	}
-	if vc.owner != f.Packet.ID {
-		return fmt.Errorf("router: VC %d owned by packet %d, got flit of packet %d", i, vc.owner, f.Packet.ID)
+	if a.owner[g] != f.Packet.ID {
+		return fmt.Errorf("router: VC %d owned by packet %d, got flit of packet %d", i, a.owner[g], f.Packet.ID)
 	}
-	vc.push(entry{flit: f, enqueued: now})
-	*p.occupancy++
-	p.buffered++
-	if p.buffered == 1 && p.wake != nil {
-		p.wake()
+	if f.Seq >= maxFlitSeq {
+		return fmt.Errorf("router: flit sequence %d exceeds packed-entry capacity %d", f.Seq, maxFlitSeq)
 	}
-	p.ledger.AddBufferAccess(float64(f.Bits()))
+	isHdr := f.Type.IsHeader()
+	if h.count == 0 {
+		a.occMask[p.id] |= 1 << uint(i)
+		a.fbits[g] = int32(f.Packet.FlitBits)
+		h.headEnq = now
+		if isHdr {
+			h.flags |= vcHeadHdr
+		} else {
+			h.flags &^= vcHeadHdr
+		}
+	}
+	// A fresh flit can flip the consuming router's arbitration outcome,
+	// so end its quiescent period (see Router.Tick).
+	cons := a.consumer[p.id]
+	if cons != nil {
+		cons.quiet = false
+	}
+	if isHdr {
+		if tab := a.routeTab[p.id]; tab != nil {
+			d := tab[f.Packet.Dst]
+			h.dstOut = d
+			// The packet's route through the consuming router is now
+			// fixed until its tail departs: enter it into the router's
+			// persistent contender mask for that output.
+			if cons != nil && d >= 0 {
+				idx := int(a.consBase[p.id]) + i
+				cons.liveMask[int(d)*cons.maskWords+(idx>>6)] |= 1 << (uint(idx) & 63)
+				cons.liveAny |= 1 << uint(d)
+			}
+		}
+	}
+	a.push(g, mkEntry(f, now))
+	*a.occupancy++
+	a.buffered[p.id]++
+	if a.buffered[p.id] == 1 {
+		if wake := a.wake[p.id]; wake != nil {
+			wake()
+		}
+	}
+	a.ledger.AddBufferAccess(float64(f.Bits()))
 	return nil
 }
 
 // Head returns the head flit of VC i and its enqueue cycle; ok is false
 // when the VC is empty.
+//
+//hetpnoc:hotpath
 func (p *Port) Head(i int) (packet.Flit, sim.Cycle, bool) {
-	vc := &p.vcs[i]
-	if vc.count == 0 {
+	a := p.a
+	g := a.vcBase[p.id] + int32(i)
+	if a.hot[g].count == 0 {
 		return packet.Flit{}, 0, false
 	}
-	e := vc.headEntry()
-	return e.flit, e.enqueued, true
+	e := a.bufs[g][a.head[g]]
+	return e.flit(), e.enqueued(), true
+}
+
+// HeadMeta reports the head flit's enqueue cycle and whether it is a
+// header, without touching the ring storage: everything comes from the
+// packed per-VC descriptor, so eligibility scans stay on one cache line.
+// ok is false when the VC is empty.
+//
+//hetpnoc:hotpath
+func (p *Port) HeadMeta(i int) (enq sim.Cycle, isHeader, ok bool) {
+	a := p.a
+	h := &a.hot[a.vcBase[p.id]+int32(i)]
+	if h.count == 0 {
+		return 0, false, false
+	}
+	return h.headEnq, h.flags&vcHeadHdr != 0, true
 }
 
 // Pop dequeues the head flit of VC i, charging the buffer-read energy and
 // releasing the VC when the tail departs.
+//
+//hetpnoc:hotpath
 func (p *Port) Pop(i int) (packet.Flit, error) {
-	vc := &p.vcs[i]
-	if vc.count == 0 {
+	a := p.a
+	g := a.vcBase[p.id] + int32(i)
+	h := &a.hot[g]
+	if h.count == 0 {
 		return packet.Flit{}, fmt.Errorf("router: pop from empty VC %d", i)
 	}
-	f := vc.pop().flit
-	*p.occupancy--
-	p.buffered--
-	p.ledger.AddBufferAccess(float64(f.Bits()))
+	buf := a.bufs[g]
+	hd := a.head[g]
+	// The departed slot is left in place rather than cleared: packets are
+	// pool-owned, so a stale ring reference only delays recycling by one
+	// ring lap and saves a store (plus its write barrier) per pop.
+	f := buf[hd].flit()
+	hd++
+	if int(hd) == len(buf) {
+		hd = 0
+	}
+	a.head[g] = hd
+	h.count--
+	*a.occupancy--
+	a.buffered[p.id]--
+	// The cached per-VC flit size avoids dereferencing the packet just to
+	// charge the read energy.
+	a.ledger.AddBufferAccess(float64(a.fbits[g]))
+	if h.count == 0 {
+		a.occMask[p.id] &^= 1 << uint(i)
+		h.headEnq = 0
+		h.flags &^= vcHeadHdr
+	} else {
+		e := buf[hd]
+		h.headEnq = e.enqueued()
+		if e.flit().Type.IsHeader() {
+			h.flags |= vcHeadHdr
+		} else {
+			h.flags &^= vcHeadHdr
+		}
+	}
 	if f.Type.IsTail() {
-		vc.owner = 0
-		vc.routed = false
+		if d := h.dstOut; d >= 0 {
+			if r := a.consumer[p.id]; r != nil {
+				idx := int(a.consBase[p.id]) + i
+				r.liveMask[int(d)*r.maskWords+(idx>>6)] &^= 1 << (uint(idx) & 63)
+			}
+		}
+		a.owner[g] = 0
+		h.flags &^= vcRouted
+		h.dstOut = -1
+		if h.count == 0 {
+			a.freeMask[p.id] |= 1 << uint(i)
+		}
+	}
+	// Draining this port frees buffer space (and, on tails, a VC), which
+	// can unblock any router feeding it: end their quiescent periods.
+	for _, w := range a.watchers[p.id] {
+		w.quiet = false
 	}
 	return f, nil
 }
 
 // BufferedFlits returns the total flits buffered across all VCs.
 func (p *Port) BufferedFlits() int {
-	return p.buffered
+	return int(p.a.buffered[p.id])
 }
 
 // ReleaseOwner force-frees VC i. The receive engine uses it when a packet
 // is dropped mid-window and its partial contents discarded.
 func (p *Port) ReleaseOwner(i int) {
-	vc := &p.vcs[i]
-	*p.occupancy -= int64(vc.count)
-	p.buffered -= vc.count
-	vc.clear()
-	vc.owner = 0
-	vc.routed = false
+	a := p.a
+	g := a.vcBase[p.id] + int32(i)
+	h := &a.hot[g]
+	n := int32(h.count)
+	// Discarded slots stay in place (see Pop); resetting head with
+	// count 0 leaves no live entries.
+	a.head[g] = 0
+	*a.occupancy -= int64(n)
+	a.buffered[p.id] -= n
+	a.occMask[p.id] &^= 1 << uint(i)
+	a.freeMask[p.id] |= 1 << uint(i)
+	a.owner[g] = 0
+	if d := h.dstOut; d >= 0 {
+		if r := a.consumer[p.id]; r != nil {
+			idx := int(a.consBase[p.id]) + i
+			r.liveMask[int(d)*r.maskWords+(idx>>6)] &^= 1 << (uint(idx) & 63)
+		}
+	}
+	*h = vcHot{dstOut: -1}
+	for _, w := range a.watchers[p.id] {
+		w.quiet = false
+	}
 }

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hetpnoc/internal/packet"
 	"hetpnoc/internal/photonic"
@@ -29,10 +30,26 @@ type Output struct {
 // Dst returns the downstream port this output feeds.
 func (o *Output) Dst() *Port { return o.dst }
 
-// Router is a wormhole virtual-channel router.
+// MaxOutputs bounds a router's output count so the set of outputs with
+// contenders fits one bitmask word.
+const MaxOutputs = 64
+
+// cand is the packed per-candidate descriptor of the arbitration scan:
+// the global arena VC index plus the (input port, VC) pair it decodes to.
+type cand struct {
+	g  int32
+	in int16
+	vc int16
+}
+
+// Router is a wormhole virtual-channel router. Its inputs must all be
+// views of one Arena: arbitration walks the arena's occupancy bitmasks
+// and flat per-VC scalars rather than per-object buffers.
 type Router struct {
 	name    string
+	arena   *Arena
 	inputs  []*Port
+	inPort  []int32
 	inWidth []int
 	outputs []*Output
 	route   RouteFunc
@@ -43,21 +60,60 @@ type Router struct {
 	// cross no chip wire.
 	chargeLink []bool
 
-	// candIn/candVC map a flat arbitration-scan index to its (input
-	// port, VC) pair, precomputed so the per-cycle scan is table lookups.
-	// candBase[i] is the flat index of input i's VC 0.
-	candIn   []int
-	candVC   []int
+	// cand maps a flat arbitration-scan index to its packed (global
+	// arena VC, input port, VC) triple, precomputed so a scan visit is
+	// one 8-byte load. candBase[i] is the flat index of input i's VC 0.
+	cand     []cand
 	candBase []int
 
-	// elig and moved are per-Tick scratch buffers, retained across cycles
-	// so the hot loop never allocates.
-	elig  []int32
-	moved []int
+	// Per-Tick scratch, retained across cycles so the hot loop never
+	// allocates: per output, the bitmask of eligible candidates
+	// targeting it, stored flat with stride maskWords (output o owns
+	// words [o*maskWords, (o+1)*maskWords)).
+	maskWords int
+	outMask   []uint64
+	// budget holds each input's remaining per-Tick dequeue allowance,
+	// reset from widths32 (the configured widths) at Tick start.
+	budget   []int32
+	widths32 []int32
+
+	// liveMask is the persistent counterpart of outMask, valid when every
+	// input carries a route table (tabled): bit set while an input VC is
+	// owned by a packet routed to that output. Because a packet's route is
+	// fixed from header enqueue to tail pop, the masks change only on
+	// those ownership transitions (maintained by Port.Enqueue/Pop/
+	// ReleaseOwner through the arena's consumer registry), and Tick seeds
+	// its scratch with one copy instead of re-walking every buffered VC.
+	liveMask []uint64
+	tabled   bool
+	// liveAny is a lazy per-output summary of liveMask: bit o is set
+	// whenever output o might have a contender. Ownership transitions set
+	// it eagerly; Tick clears it when a copy finds the output's words all
+	// zero, so idle outputs cost nothing per cycle.
+	liveAny uint64
+
+	// Quiescence: a Tick that grants nothing is a pure function — it
+	// changes no round-robin cursor, charges no energy and moves no flit —
+	// so its outcome repeats until an external event can flip a rejection.
+	// After a grantless tabled Tick the router records quiet=true and the
+	// earliest cycle a too-young head becomes eligible (wakeAt); Ticks
+	// before then return immediately. Every event that can change the
+	// outcome clears the flag: a flit arriving at an input (Port.Enqueue
+	// via the consumer registry), a downstream port draining or freeing a
+	// VC (Port.Pop/ReleaseOwner via the watcher registry), and aging
+	// (wakeAt). Blocked routers in a congested fabric thus cost two loads
+	// per cycle instead of a full scan-and-kill pass.
+	quiet  bool
+	wakeAt sim.Cycle
 }
 
+// quietForever marks a quiescent period that only an external wake event
+// can end (no young head is waiting to age in).
+const quietForever = sim.Cycle(1) << 62
+
 // New creates a router with the given name, input ports and routing
-// function. Outputs are attached with AddOutput in index order.
+// function. All inputs must share one arena. Outputs are attached with
+// AddOutput in index order.
 func New(name string, inputs []*Port, inWidths []int, route RouteFunc, ledger *photonic.Ledger) (*Router, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("router %s: needs at least one input", name)
@@ -73,23 +129,33 @@ func New(name string, inputs []*Port, inWidths []int, route RouteFunc, ledger *p
 	if route == nil || ledger == nil {
 		return nil, fmt.Errorf("router %s: needs a route function and ledger", name)
 	}
-	r := &Router{name: name, inputs: inputs, inWidth: inWidths, route: route, ledger: ledger}
+	arena := inputs[0].a
+	for i, in := range inputs {
+		if in.a != arena {
+			return nil, fmt.Errorf("router %s: input %d belongs to a different arena", name, i)
+		}
+	}
+	r := &Router{name: name, arena: arena, inputs: inputs, inWidth: inWidths, route: route, ledger: ledger}
 	total := 0
 	for _, in := range inputs {
 		total += in.VCCount()
 	}
-	r.candIn = make([]int, 0, total)
-	r.candVC = make([]int, 0, total)
+	r.cand = make([]cand, 0, total)
 	r.candBase = make([]int, len(inputs))
+	r.inPort = make([]int32, len(inputs))
+	r.widths32 = make([]int32, len(inputs))
 	for i, in := range inputs {
-		r.candBase[i] = len(r.candIn)
+		r.inPort[i] = in.id
+		r.candBase[i] = len(r.cand)
+		r.widths32[i] = int32(inWidths[i])
+		arena.consumer[in.id] = r
+		arena.consBase[in.id] = int32(r.candBase[i])
 		for vc := 0; vc < in.VCCount(); vc++ {
-			r.candIn = append(r.candIn, i)
-			r.candVC = append(r.candVC, vc)
+			r.cand = append(r.cand, cand{g: arena.vcBase[in.id] + int32(vc), in: int16(i), vc: int16(vc)})
 		}
 	}
-	r.elig = make([]int32, 0, total)
-	r.moved = make([]int, len(inputs))
+	r.maskWords = (total + 63) / 64
+	r.budget = make([]int32, len(inputs))
 	return r, nil
 }
 
@@ -102,6 +168,20 @@ func (r *Router) Input(i int) *Port { return r.inputs[i] }
 // Inputs returns the number of input ports.
 func (r *Router) Inputs() int { return len(r.inputs) }
 
+// SetRouteTable installs a per-destination-core route table equivalent to
+// the routing function: tab[dst] is the output index a header destined
+// for core dst leaves through. The table is propagated to every input
+// port so routes are computed once at header-enqueue time; arbitration
+// then reads the cached output instead of calling the routing function,
+// and the persistent per-output contender masks replace the per-Tick
+// eligibility walk. It must be called before any traffic is buffered.
+func (r *Router) SetRouteTable(tab []int16) {
+	for _, in := range r.inputs {
+		in.SetRouteTable(tab)
+	}
+	r.tabled = tab != nil
+}
+
 // AddOutput attaches the next output, feeding dst with the given per-cycle
 // flit width, and returns its index. chargeLink selects whether forwarding
 // through this output dissipates wire-link energy.
@@ -112,8 +192,14 @@ func (r *Router) AddOutput(dst *Port, width int, chargeLink bool) (int, error) {
 	if width <= 0 {
 		return 0, fmt.Errorf("router %s: output width must be positive, got %d", r.name, width)
 	}
+	if len(r.outputs) >= MaxOutputs {
+		return 0, fmt.Errorf("router %s: output count exceeds bitmask capacity %d", r.name, MaxOutputs)
+	}
 	r.outputs = append(r.outputs, &Output{dst: dst, width: width})
 	r.chargeLink = append(r.chargeLink, chargeLink)
+	r.outMask = append(r.outMask, make([]uint64, r.maskWords)...)
+	r.liveMask = append(r.liveMask, make([]uint64, r.maskWords)...)
+	dst.a.watchers[dst.id] = append(dst.a.watchers[dst.id], r)
 	return len(r.outputs) - 1, nil
 }
 
@@ -128,60 +214,104 @@ func (r *Router) Outputs() int { return len(r.outputs) }
 // Headers perform routing and downstream VC allocation; body and tail
 // flits follow the path their header locked.
 //
+// The kernel is bit-identical to the reference object-walking scan: it
+// snapshots the eligible candidates once (a VC empty at snapshot time
+// cannot produce an eligible flit later this cycle, and an ineligible
+// head only gets younger when popped), then replays the reference
+// position sequence t = (out.rr + scan) mod candidates per output,
+// jumping over ineligible runs with next-set-bit scans. Candidates are
+// pre-binned into per-output masks by their cached route (visits of
+// candidates targeting another output have no side effects in the
+// reference), so each output only walks its own contenders.
+//
 //hetpnoc:hotpath
 func (r *Router) Tick(now sim.Cycle) error {
-	// Snapshot the eligible candidates: VCs that hold a flit whose head
-	// has cleared the pipeline delay. A VC empty here cannot produce an
-	// eligible flit later this cycle (anything enqueued mid-cycle is
-	// younger than PipelineDelay), and an ineligible head only gets
-	// younger when popped, so the snapshot prunes exactly the candidates
-	// the full scan would skip — arbitration order is unchanged.
-	elig := r.elig[:0]
-	for i, in := range r.inputs {
-		if in.buffered == 0 {
-			continue
+	if r.quiet {
+		if now < r.wakeAt {
+			// No input arrival, no downstream drain and no head aging in
+			// since the last grantless scan: its zero-grant, zero-effect
+			// outcome would repeat verbatim.
+			return nil
 		}
-		base := r.candBase[i]
-		for vcIdx := range in.vcs {
-			vc := &in.vcs[vcIdx]
-			if vc.count == 0 || now-vc.headEntry().enqueued < PipelineDelay {
-				continue
-			}
-			elig = append(elig, int32(base+vcIdx))
-		}
+		r.quiet = false
 	}
-	r.elig = elig
-	if len(elig) == 0 {
+	a := r.arena
+	nw := r.maskWords
+	outMask := r.outMask
+	var nonEmpty uint64 // bit o set: output o has at least one contender
+	if r.tabled {
+		// Fast path: the persistent masks already bin every owned VC by
+		// its fixed route; one copy seeds the scratch. Extra bits — VCs
+		// that are momentarily empty or whose head is still too young —
+		// are exactly the candidates the reference scan visits and skips
+		// with no side effect, and the scan below kills them on first
+		// visit.
+		for la := r.liveAny; la != 0; la &= la - 1 {
+			o := bits.TrailingZeros64(la)
+			base := o * nw
+			var any uint64
+			for j := 0; j < nw; j++ {
+				w := r.liveMask[base+j]
+				outMask[base+j] = w
+				any |= w
+			}
+			if any != 0 {
+				nonEmpty |= 1 << uint(o)
+			} else {
+				r.liveAny &^= 1 << uint(o)
+			}
+		}
+	} else {
+		nonEmpty = r.buildScratch(now)
+	}
+	if nonEmpty == 0 {
+		if r.tabled {
+			r.quiet = true
+			r.wakeAt = quietForever
+		}
 		return nil
 	}
 
 	// Per-cycle dequeue budget per input port (switch constraint).
-	moved := r.moved
-	for i := range moved {
-		moved[i] = 0
-	}
+	budget := r.budget
+	copy(budget, r.widths32)
 
-	candidates := len(r.candIn)
-	for o, out := range r.outputs {
+	anyGrant := false
+	minReady := quietForever
+	candidates := len(r.cand)
+	for ne := nonEmpty; ne != 0; ne &= ne - 1 {
+		o := bits.TrailingZeros64(ne)
+		out := r.outputs[o]
+		mask := outMask[o*nw : (o+1)*nw]
 		granted := 0
 		// The reference scan evaluates position (out.rr + scan) mod
 		// candidates for scan = 0..candidates-1, reading out.rr live — a
 		// grant advances out.rr mid-scan, shifting every later position.
-		// Reproduce that sequence exactly, but jump in one step over runs
-		// of candidates that are not in the eligible snapshot (they would
-		// all `continue` without touching any state).
+		// Reproduce that sequence exactly, jumping in one step over runs
+		// of candidates not contending for this output.
+		//
+		// Every rejecting visit clears the candidate's mask bit: each
+		// rejection cause is monotone for the rest of this output's scan
+		// (budgets never replenish, drained VCs cannot refill mid-Tick,
+		// heads only get younger, downstream VCs and buffer space are
+		// never freed while this router runs), and in the reference a
+		// rejected visit has no side effects, so skipping the revisit
+		// leaves the position sequence of every other candidate intact.
 		for scan := 0; scan < candidates && granted < out.width; scan++ {
 			t := out.rr + scan
 			if t >= candidates {
 				t -= candidates
 			}
-			// First eligible flat index at or circularly after t.
-			pos := lowerBound(elig, int32(t))
-			wrapped := pos == len(elig)
-			if wrapped {
-				pos = 0
+			// First contending flat index at or circularly after t.
+			idx := sim.NextSet(mask, t)
+			wrapped := false
+			if idx < 0 {
+				idx = sim.NextSet(mask, 0)
+				if idx < 0 {
+					break // every contender proved dead this cycle
+				}
+				wrapped = true
 			}
-			idx := int(elig[pos])
 			d := idx - t
 			if d < 0 || wrapped {
 				d += candidates
@@ -190,84 +320,195 @@ func (r *Router) Tick(now sim.Cycle) error {
 			if scan >= candidates {
 				break
 			}
-			inIdx, vcIdx := r.candIn[idx], r.candVC[idx]
-			if moved[inIdx] >= r.inWidth[inIdx] {
+			c := r.cand[idx]
+			h := &a.hot[c.g]
+			// Re-check liveness: an earlier grant may have drained the
+			// VC, exposed a younger head, or spent the input's budget.
+			if budget[c.in] == 0 || h.count == 0 {
+				mask[idx>>6] &^= 1 << (uint(idx) & 63)
 				continue
 			}
-			in := r.inputs[inIdx]
-			vc := &in.vcs[vcIdx]
-			// Re-check liveness: an earlier output may have drained the
-			// VC or exposed a younger head this cycle.
-			if vc.count == 0 {
+			if now-h.headEnq < PipelineDelay {
+				// A too-young head is the one rejection that flips with
+				// time alone; record when it ages in so a grantless Tick
+				// knows how long its outcome is guaranteed to repeat.
+				if ready := h.headEnq + PipelineDelay; ready < minReady {
+					minReady = ready
+				}
+				mask[idx>>6] &^= 1 << (uint(idx) & 63)
 				continue
 			}
-			head := vc.headEntry()
-			if now-head.enqueued < PipelineDelay {
-				continue
-			}
-			flit := head.flit
 
-			if flit.Type.IsHeader() && !vc.routed {
-				if r.route(flit) != o {
+			if h.flags&(vcHeadHdr|vcRouted) == vcHeadHdr {
+				if dst := h.dstOut; dst >= 0 {
+					if int(dst) != o {
+						mask[idx>>6] &^= 1 << (uint(idx) & 63)
+						continue
+					}
+				} else if r.route(a.bufs[c.g][a.head[c.g]].flit()) != o {
+					mask[idx>>6] &^= 1 << (uint(idx) & 63)
 					continue
 				}
-				dstVC, ok := out.dst.AllocVC(flit.Packet.ID)
+				dstVC, ok := out.dst.AllocVC(a.owner[c.g])
 				if !ok {
-					continue // no free downstream VC; retry next cycle
+					// No free downstream VC; the packet retries next cycle.
+					mask[idx>>6] &^= 1 << (uint(idx) & 63)
+					continue
 				}
-				vc.routed = true
-				vc.outPort = o
-				vc.outVC = dstVC
-			} else if !vc.routed || vc.outPort != o {
+				h.flags |= vcRouted
+				h.outPort = int16(o)
+				h.outVC = int8(dstVC)
+			} else if h.flags&vcRouted == 0 || int(h.outPort) != o {
+				mask[idx>>6] &^= 1 << (uint(idx) & 63)
 				continue
 			}
 
-			if out.dst.Space(vc.outVC) == 0 {
+			dstVC := int(h.outVC)
+			if out.dst.Space(dstVC) == 0 {
+				mask[idx>>6] &^= 1 << (uint(idx) & 63)
 				continue
 			}
 
-			dstVC := vc.outVC
-			popped, err := in.Pop(vcIdx) // releases the VC on tail
+			popped, err := r.inputs[c.in].Pop(int(c.vc)) // releases the VC on tail
 			if err != nil {
 				return fmt.Errorf("router %s: %w", r.name, err)
 			}
 			if err := out.dst.Enqueue(dstVC, popped, now); err != nil {
 				return fmt.Errorf("router %s: %w", r.name, err)
 			}
-			bits := float64(popped.Bits())
-			r.ledger.AddRouterTraversal(bits)
+			flitBits := float64(a.fbits[c.g])
+			r.ledger.AddRouterTraversal(flitBits)
 			if r.chargeLink[o] {
-				r.ledger.AddWireLink(bits)
+				r.ledger.AddWireLink(flitBits)
 			}
-			moved[inIdx]++
+			budget[c.in]--
 			granted++
-			out.rr = (idx + 1) % candidates
+			anyGrant = true
+			out.rr = (int(idx) + 1) % candidates
 		}
+	}
+	if !anyGrant && r.tabled {
+		// Grantless and tabled: every rejection this cycle was either
+		// age-bound (covered by wakeAt) or waits on an external event that
+		// clears r.quiet — an input arrival or a downstream drain. Until
+		// one of those fires, skip the scan outright.
+		r.quiet = true
+		r.wakeAt = minReady
 	}
 	return nil
 }
 
-// lowerBound returns the index of the first element of s at or above t,
-// or len(s) when every element is below it.
-func lowerBound(s []int32, t int32) int {
-	lo, hi := 0, len(s)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if s[mid] < t {
-			lo = mid + 1
-		} else {
-			hi = mid
+// buildScratch seeds the per-output scratch masks by walking every
+// buffered VC — the slow path for routers without route tables, where a
+// head's target output is unknown until the routing function runs. It
+// returns the bitmask of outputs with at least one contender.
+func (r *Router) buildScratch(now sim.Cycle) uint64 {
+	a := r.arena
+	nw := r.maskWords
+	outMask := r.outMask
+	for i := range outMask {
+		outMask[i] = 0
+	}
+	var nonEmpty uint64
+	for i, p := range r.inPort {
+		if a.buffered[p] == 0 {
+			continue
+		}
+		base := r.candBase[i]
+		gBase := a.vcBase[p]
+		for w := a.occMask[p]; w != 0; w &= w - 1 {
+			v := bits.TrailingZeros64(w)
+			h := &a.hot[gBase+int32(v)]
+			if now-h.headEnq < PipelineDelay {
+				continue
+			}
+			idx := base + v
+			bit := uint64(1) << (uint(idx) & 63)
+			word := idx >> 6
+			switch {
+			case h.flags&vcRouted != 0:
+				outMask[int(h.outPort)*nw+word] |= bit
+				nonEmpty |= 1 << uint(h.outPort)
+			case h.flags&vcHeadHdr != 0:
+				if d := h.dstOut; d >= 0 {
+					outMask[int(d)*nw+word] |= bit
+					nonEmpty |= 1 << uint(d)
+				} else {
+					// The target is unknown until the routing function
+					// runs at visit time, so the candidate contends at
+					// every output.
+					for o := range r.outputs {
+						outMask[o*nw+word] |= bit
+					}
+					nonEmpty |= 1<<uint(len(r.outputs)) - 1
+				}
+			default:
+				// A body-flit head in an unrouted VC can never move this
+				// cycle; the reference scan skips it at every output.
+			}
 		}
 	}
-	return lo
+	return nonEmpty
+}
+
+// rebuildLive recomputes the persistent contender masks from the arena's
+// ownership state, after a Restore rewrote it wholesale.
+func (r *Router) rebuildLive() {
+	for i := range r.liveMask {
+		r.liveMask[i] = 0
+	}
+	r.liveAny = 0
+	r.quiet = false
+	a := r.arena
+	nw := r.maskWords
+	for i, p := range r.inPort {
+		base := r.candBase[i]
+		gBase := a.vcBase[p]
+		for v := 0; v < int(a.vcCnt[p]); v++ {
+			g := gBase + int32(v)
+			if a.owner[g] == 0 {
+				continue
+			}
+			h := &a.hot[g]
+			d := int(h.dstOut)
+			if d < 0 {
+				if h.flags&vcRouted == 0 {
+					continue
+				}
+				d = int(h.outPort)
+			}
+			idx := base + v
+			r.liveMask[d*nw+(idx>>6)] |= 1 << (uint(idx) & 63)
+			r.liveAny |= 1 << uint(d)
+		}
+	}
+}
+
+// RRState appends the round-robin cursor of every output to dst, for
+// checkpointing; SetRRState restores them.
+func (r *Router) RRState(dst []int) []int {
+	for _, out := range r.outputs {
+		dst = append(dst, out.rr)
+	}
+	return dst
+}
+
+// SetRRState restores cursors previously captured by RRState and returns
+// the unconsumed tail of src.
+func (r *Router) SetRRState(src []int) []int {
+	for _, out := range r.outputs {
+		out.rr = src[0]
+		src = src[1:]
+	}
+	return src
 }
 
 // BufferedFlits returns the flits buffered across all input ports, for
 // tests and diagnostics.
 func (r *Router) BufferedFlits() int {
-	n := 0
-	for _, in := range r.inputs {
-		n += in.BufferedFlits()
+	a, n := r.arena, int32(0)
+	for _, p := range r.inPort {
+		n += a.buffered[p]
 	}
-	return n
+	return int(n)
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // Bitset is a fixed-size set of small integers, used by the fabric to
 // track which components (routers, cores, transmit engines) currently
 // have work. Words are exposed so the per-cycle scheduler can iterate
@@ -32,9 +34,44 @@ func (b *Bitset) Words() []uint64 { return b.words }
 func (b *Bitset) Count() int {
 	n := 0
 	for _, w := range b.words {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
+		n += bits.OnesCount64(w)
 	}
 	return n
+}
+
+// CopyFrom overwrites b's contents with src's. Both sets must have been
+// sized for the same universe; checkpoint restore relies on this being a
+// single word copy.
+func (b *Bitset) CopyFrom(src Bitset) {
+	copy(b.words, src.words)
+}
+
+// Clone returns an independent copy of the set.
+func (b *Bitset) Clone() Bitset {
+	words := make([]uint64, len(b.words))
+	copy(words, b.words)
+	return Bitset{words: words}
+}
+
+// NextSet returns the position of the first set bit at or after from in
+// words, or -1 when none remains. It is the shared building block of the
+// arbitration and scheduling kernels: circular round-robin scans call it
+// twice (once from the cursor, once from zero) instead of walking
+// per-object state.
+//
+//hetpnoc:hotpath
+func NextSet(words []uint64, from int) int {
+	w := from >> 6
+	if w >= len(words) {
+		return -1
+	}
+	if word := words[w] &^ (1<<(uint(from)&63) - 1); word != 0 {
+		return w<<6 + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(words); w++ {
+		if words[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(words[w])
+		}
+	}
+	return -1
 }

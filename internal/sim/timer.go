@@ -74,3 +74,29 @@ func (w *TimerWheel) Fire(now Cycle) {
 func (w *TimerWheel) Pending() int {
 	return w.queue.Len()
 }
+
+// TimerWheelSnapshot is a checkpoint of the wheel's pending callbacks.
+// The closures themselves are shared with the live wheel — a checkpoint
+// cannot introspect them — so restored callbacks only replay
+// deterministically when every piece of state they capture is restored
+// alongside the wheel (the fabric checkpoint guarantees this).
+type TimerWheelSnapshot struct {
+	queue timerQueue
+	seq   uint64
+}
+
+// Snapshot copies the pending queue. The copy preserves the heap order,
+// so Restore needs no re-heapify.
+func (w *TimerWheel) Snapshot() *TimerWheelSnapshot {
+	return &TimerWheelSnapshot{
+		queue: append(timerQueue(nil), w.queue...),
+		seq:   w.seq,
+	}
+}
+
+// Restore rewinds the wheel to a snapshot. The snapshot stays intact, so
+// the same checkpoint can be restored repeatedly.
+func (w *TimerWheel) Restore(s *TimerWheelSnapshot) {
+	w.queue = append(w.queue[:0], s.queue...)
+	w.seq = s.seq
+}

@@ -132,6 +132,30 @@ func (c *Collector) OnRetransmit() {
 // Delivered returns the packets delivered so far in the measured window.
 func (c *Collector) Delivered() int64 { return c.packetsDelivered }
 
+// CollectorSnapshot is a checkpoint of the collector's accumulated
+// metrics.
+type CollectorSnapshot struct {
+	state Collector
+}
+
+// Snapshot deep-copies the collector's state.
+func (c *Collector) Snapshot() *CollectorSnapshot {
+	s := &CollectorSnapshot{state: *c}
+	s.state.latencies = append([]sim.Cycle(nil), c.latencies...)
+	s.state.bitsPerCluster = append([]int64(nil), c.bitsPerCluster...)
+	return s
+}
+
+// Restore rewinds the collector to a snapshot, leaving the snapshot
+// intact for repeated restores.
+func (c *Collector) Restore(s *CollectorSnapshot) {
+	latencies := append(c.latencies[:0], s.state.latencies...)
+	perCluster := append(c.bitsPerCluster[:0], s.state.bitsPerCluster...)
+	*c = s.state
+	c.latencies = latencies
+	c.bitsPerCluster = perCluster
+}
+
 // Summary is the collector's read-out.
 type Summary struct {
 	MeasuredCycles  sim.Cycle

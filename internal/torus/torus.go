@@ -387,5 +387,6 @@ func (n *Network) teardown(p *path, now sim.Cycle) {
 	for _, l := range p.links {
 		delete(n.linkOwner, l)
 	}
+	p.window.Release()
 	n.active[p.src] = nil
 }

@@ -141,6 +141,26 @@ func (s *Source) Tick(now sim.Cycle, topo topology.Topology) *packet.Packet {
 	return p
 }
 
+// SourceState is the source's full mutable state: everything else is
+// fixed at construction, so checkpointing a source is these three values.
+type SourceState struct {
+	Credit float64
+	On     bool
+	RNG    uint64
+}
+
+// State captures the source's mutable state for checkpointing.
+func (s *Source) State() SourceState {
+	return SourceState{Credit: s.credit, On: s.on, RNG: s.rng.State()}
+}
+
+// SetState rewinds the source to a state captured by State.
+func (s *Source) SetState(st SourceState) {
+	s.credit = st.Credit
+	s.on = st.On
+	s.rng.SetState(st.RNG)
+}
+
 // Retransmit builds a fresh attempt of a dropped packet, preserving its
 // logical message identity and birth cycle (§1.4: "the source will have to
 // retransmit").

@@ -2,6 +2,7 @@ package xbar
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hetpnoc/internal/event"
 	"hetpnoc/internal/packet"
@@ -43,6 +44,10 @@ type RX struct {
 	// counters
 	packetsDropped int64
 	flitsDiscarded int64
+
+	// free recycles closed Window structs so steady-state streaming
+	// allocates nothing per packet.
+	free []*Window
 }
 
 // NewRX builds the receive engine for cluster, delivering into port (the
@@ -87,7 +92,14 @@ func (w *Window) Dropped() bool { return w.dropped }
 // Exported so other inter-cluster transports (the torus baseline) can
 // reuse the receive engine.
 func (rx *RX) Begin(p *packet.Packet, power []photonic.WavelengthID) *Window {
-	w := &Window{rx: rx, pkt: p, power: power}
+	var w *Window
+	if n := len(rx.free); n > 0 {
+		w, rx.free[n-1] = rx.free[n-1], nil
+		rx.free = rx.free[:n-1]
+		*w = Window{rx: rx, pkt: p, power: power}
+	} else {
+		w = &Window{rx: rx, pkt: p, power: power}
+	}
 	vc, ok := rx.port.AllocVC(p.ID)
 	if !ok {
 		w.dropped = true
@@ -119,6 +131,15 @@ func (w *Window) End() {
 // HoldCost charges one cycle of powered demodulator rows.
 func (w *Window) HoldCost() {
 	w.rx.ledger.AddIdleDetector(float64(len(w.power)))
+}
+
+// Release returns an ended window to its receiver's free list. The
+// caller must drop every reference first: the receiver's next Begin may
+// hand the same struct out again.
+func (w *Window) Release() {
+	rx := w.rx
+	*w = Window{}
+	rx.free = append(rx.free, w)
 }
 
 // pending is a reservation in flight for the next packet: broadcast on the
@@ -175,8 +196,10 @@ type TX struct {
 	window  *Window
 	credit  float64
 
-	// next reservation in flight, if any.
-	next *pending
+	// next reservation in flight, if any; spare recycles the struct so
+	// admitting a packet allocates nothing in steady state.
+	next  *pending
+	spare *pending
 
 	rr int
 
@@ -246,7 +269,8 @@ func (tx *TX) Tick(now sim.Cycle) error {
 		tx.use = tx.next.use
 		tx.window = tx.next.window
 		tx.credit = 0
-		tx.next = nil
+		tx.next, tx.spare = nil, tx.next
+		*tx.spare = pending{}
 		tx.cfg.Events.AppendInts(now, event.StreamStarted, int(tx.cfg.Cluster), int64(tx.current.ID),
 			"to cluster %d on %d wavelengths", int64(tx.current.DstCluster), int64(len(tx.use)))
 	}
@@ -281,45 +305,59 @@ func (tx *TX) Tick(now sim.Cycle) error {
 //
 //hetpnoc:hotpath
 func (tx *TX) admitNext(now sim.Cycle) {
-	n := tx.port.VCCount()
-	for scan := 0; scan < n; scan++ {
-		vc := (tx.rr + scan) % n
-		if tx.current != nil && vc == tx.vcIdx {
-			continue
-		}
-		flit, enq, ok := tx.port.Head(vc)
-		if !ok || !flit.Type.IsHeader() || now-enq < router.PipelineDelay {
-			continue
-		}
-		tx.rr = (vc + 1) % n
-		use := tx.alloc.SelectForPacket(tx.cfg.Cluster, flit.Packet.DstCluster)
+	// Visit occupied VCs in the reference round-robin order — positions
+	// tx.rr..n-1, then 0..tx.rr-1 — jumping over empty ones with the
+	// occupancy bitmask (reference visits of empty VCs have no effect).
+	m := tx.port.OccupiedMask()
+	if tx.current != nil {
+		m &^= 1 << uint(tx.vcIdx)
+	}
+	hi := m & (^uint64(0) << uint(tx.rr))
+	for _, part := range [2]uint64{hi, m &^ hi} {
+		for w := part; w != 0; w &= w - 1 {
+			vc := bits.TrailingZeros64(w)
+			enq, isHdr, ok := tx.port.HeadMeta(vc)
+			if !ok || !isHdr || now-enq < router.PipelineDelay {
+				continue
+			}
+			flit, _, _ := tx.port.Head(vc)
+			tx.rr = (vc + 1) % tx.port.VCCount()
+			use := tx.alloc.SelectForPacket(tx.cfg.Cluster, flit.Packet.DstCluster)
 
-		// Size and charge the reservation flit. d-HetPNoC piggybacks the
-		// wavelength identifiers (§3.4.1.1); Firefly's static channels
-		// need none.
-		ids := 0
-		if tx.cfg.Gating == GateSelected {
-			ids = len(use)
-		}
-		cycles := packet.ReservationCycles(tx.cfg.Clusters, tx.cfg.MaxFlits, tx.cfg.Bundle, ids, tx.cfg.ClockHz)
-		bits := float64(packet.ReservationBits(tx.cfg.Clusters, tx.cfg.MaxFlits, tx.cfg.Bundle, ids))
-		tx.ledger.AddControlTransmit(bits)
-		// Every listening cluster decodes the destination-ID field of the
-		// broadcast; only the addressed destination demodulates the rest
-		// (R-SWMR reservation broadcast, §2.2.1).
-		idBits := float64(packet.DestinationIDBits(tx.cfg.Clusters))
-		tx.ledger.AddDemodulation(idBits*float64(tx.cfg.Clusters-1) + bits)
+			// Size and charge the reservation flit. d-HetPNoC piggybacks
+			// the wavelength identifiers (§3.4.1.1); Firefly's static
+			// channels need none.
+			ids := 0
+			if tx.cfg.Gating == GateSelected {
+				ids = len(use)
+			}
+			cycles := packet.ReservationCycles(tx.cfg.Clusters, tx.cfg.MaxFlits, tx.cfg.Bundle, ids, tx.cfg.ClockHz)
+			resBits := float64(packet.ReservationBits(tx.cfg.Clusters, tx.cfg.MaxFlits, tx.cfg.Bundle, ids))
+			tx.ledger.AddControlTransmit(resBits)
+			// Every listening cluster decodes the destination-ID field of
+			// the broadcast; only the addressed destination demodulates
+			// the rest (R-SWMR reservation broadcast, §2.2.1).
+			idBits := float64(packet.DestinationIDBits(tx.cfg.Clusters))
+			tx.ledger.AddDemodulation(idBits*float64(tx.cfg.Clusters-1) + resBits)
 
-		tx.next = &pending{
-			pkt:     flit.Packet,
-			vc:      vc,
-			use:     use,
-			resLeft: cycles + tx.cfg.PropagationCycles,
+			np := tx.spare
+			if np == nil {
+				np = new(pending)
+			} else {
+				tx.spare = nil
+			}
+			*np = pending{
+				pkt:     flit.Packet,
+				vc:      vc,
+				use:     use,
+				resLeft: cycles + tx.cfg.PropagationCycles,
+			}
+			tx.next = np
+			tx.reservations++
+			tx.cfg.Events.AppendInts(now, event.ReservationSent, int(tx.cfg.Cluster), int64(flit.Packet.ID),
+				"to cluster %d, %d ids, %d cycles", int64(flit.Packet.DstCluster), int64(ids), int64(cycles))
+			return
 		}
-		tx.reservations++
-		tx.cfg.Events.AppendInts(now, event.ReservationSent, int(tx.cfg.Cluster), int64(flit.Packet.ID),
-			"to cluster %d, %d ids, %d cycles", int64(flit.Packet.DstCluster), int64(ids), int64(cycles))
-		return
 	}
 }
 
@@ -338,13 +376,13 @@ func (tx *TX) stream(now sim.Cycle) error {
 	tx.window.HoldCost()
 
 	for tx.credit >= flitBits {
-		flit, enq, ok := tx.port.Head(tx.vcIdx)
+		enq, _, ok := tx.port.HeadMeta(tx.vcIdx)
 		if !ok || now-enq < router.PipelineDelay {
 			return nil // channel stalls waiting for flits from the electrical side
 		}
-		if flit.Packet.ID != tx.current.ID {
+		if id := tx.port.Owner(tx.vcIdx); id != tx.current.ID {
 			return fmt.Errorf("xbar: cluster %d TX VC %d interleaved packet %d into packet %d",
-				tx.cfg.Cluster, tx.vcIdx, flit.Packet.ID, tx.current.ID)
+				tx.cfg.Cluster, tx.vcIdx, id, tx.current.ID)
 		}
 		popped, err := tx.port.Pop(tx.vcIdx)
 		if err != nil {
@@ -378,6 +416,7 @@ func (tx *TX) finish(now sim.Cycle) {
 		tx.cfg.Events.AppendInts(now, event.PacketArrived, int(tx.current.DstCluster), int64(tx.current.ID),
 			"from cluster %d", int64(tx.cfg.Cluster))
 	}
+	tx.window.Release()
 	tx.window = nil
 	tx.current = nil
 	tx.use = nil

@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — capture a perf-regression snapshot.
+# bench.sh — capture a perf-regression snapshot, or compare against one.
 #
 # Runs the hot-path benchmark suite (3 repetitions, with allocation
 # counters) and writes BENCH_<date>.json in the repo root via
@@ -9,8 +9,33 @@
 # Usage:
 #	scripts/bench.sh                 # default fast selection
 #	scripts/bench.sh -bench . -pkg . -benchtime 1x   # full figure suite
+#	scripts/bench.sh compare         # fresh run vs newest committed BENCH_*.json
+#	scripts/bench.sh compare -against report.json    # diff an existing report
 #
+# `compare` diffs against the newest committed BENCH_*.json and exits
+# nonzero when any benchmark's throughput regressed by more than 20%.
 # Extra arguments are passed through to cmd/benchjson.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "compare" ]; then
+	shift
+	baseline=$(git ls-files 'BENCH_*.json' | sort | tail -n 1)
+	if [ -z "$baseline" ]; then
+		echo "bench.sh: no committed BENCH_*.json baseline to compare against" >&2
+		exit 1
+	fi
+	case "$*" in
+	*-against*)
+		# Diff an existing report; no benchmark run.
+		exec go run ./cmd/benchjson -compare "$baseline" "$@"
+		;;
+	esac
+	out=$(mktemp -t bench-compare-XXXXXX.json)
+	trap 'rm -f "$out"' EXIT
+	exec_status=0
+	go run ./cmd/benchjson -count 3 -force -out "$out" -compare "$baseline" "$@" || exec_status=$?
+	exit $exec_status
+fi
+
 exec go run ./cmd/benchjson -count 3 "$@"
