@@ -29,9 +29,10 @@ vet:
 # hetpnoclint enforces the simulator's determinism, hot-path,
 # concurrency-safety and API-stability invariants: the per-package
 # analyzers (detrand, maprange, hotpathalloc, globalstate, lockguard,
-# ctxflow, errsink) plus the whole-program layer (hotpathreach,
-# dettaint, lockorder) and apistable; any undirected violation exits
-# non-zero. See docs/ANALYSIS.md.
+# ctxflow, errsink), the whole-program layer (hotpathreach, dettaint,
+# lockorder), the compiler-evidence layer (allocproof, snapcover) and
+# apistable; any undirected violation exits non-zero. See
+# docs/ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/hetpnoclint ./...
 
@@ -68,6 +69,7 @@ race-quick:
 # corpora live under testdata/fuzz/; new crashers land there too.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzConfigValidate$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointRestore$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzServeRequestDecode$$' -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzSweepDecode$$' -fuzztime $(FUZZTIME) ./internal/serve
 

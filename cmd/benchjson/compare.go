@@ -33,6 +33,11 @@ type delta struct {
 	current    Result
 	speedup    float64 // current throughput / baseline throughput
 	regression bool
+	// allocRegression marks a zero-alloc benchmark that started
+	// allocating: the hot-path benchmarks hold 0 allocs/op by
+	// construction, so any rise off zero is a correctness-grade
+	// regression regardless of throughput.
+	allocRegression bool
 }
 
 // throughput returns the comparable rate of a result: simulated
@@ -93,6 +98,7 @@ func compareReports(baseline, current Report) []delta {
 			speedup:  ct / bt,
 		}
 		d.regression = d.speedup < 1-regressionThreshold
+		d.allocRegression = b.AllocsPerOp == 0 && c.AllocsPerOp > 0
 		out = append(out, d)
 	}
 	return out
@@ -115,7 +121,7 @@ func runCompare(baselinePath, currentPath string) error {
 	}
 
 	fmt.Printf("comparing %s (baseline) -> %s\n", baselinePath, currentPath)
-	var regressed []string
+	var regressed, allocRegressed []string
 	for _, d := range deltas {
 		label := d.name
 		if d.current.Name != d.name {
@@ -128,9 +134,16 @@ func runCompare(baselinePath, currentPath string) error {
 		}
 		fmt.Printf("  %-55s %8.0f -> %8.0f ns/op  %+6.1f%%  %s\n",
 			label, d.baseline.NsPerOp, d.current.NsPerOp, (d.speedup-1)*100, status)
-		if d.current.AllocsPerOp > d.baseline.AllocsPerOp {
+		if d.allocRegression {
+			allocRegressed = append(allocRegressed, label)
+			fmt.Printf("  %-55s ALLOC REGRESSION: 0 -> %.1f allocs/op\n", "", d.current.AllocsPerOp)
+		} else if d.current.AllocsPerOp > d.baseline.AllocsPerOp {
 			fmt.Printf("  %-55s allocs/op rose %.1f -> %.1f\n", "", d.baseline.AllocsPerOp, d.current.AllocsPerOp)
 		}
+	}
+	if len(allocRegressed) > 0 {
+		return fmt.Errorf("zero-alloc benchmarks started allocating: %s",
+			strings.Join(allocRegressed, ", "))
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("throughput regressed >%.0f%% on: %s",

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -57,6 +61,81 @@ func TestCompareReportsBoundary(t *testing.T) {
 	past := Report{Results: []Result{result("BenchmarkX", 1300, 0.79e6)}}
 	if d := compareReports(baseline, past); len(d) != 1 || !d[0].regression {
 		t.Fatalf("21%% loss should fail: %+v", d)
+	}
+}
+
+// TestCompareReportsAllocGate: a benchmark whose baseline holds 0
+// allocs/op fails the comparison as soon as it allocates at all, even
+// with throughput unchanged; a benchmark that already allocated only
+// notes the rise, and staying at zero stays clean.
+func TestCompareReportsAllocGate(t *testing.T) {
+	withAllocs := func(r Result, allocs float64) Result {
+		r.AllocsPerOp = allocs
+		return r
+	}
+	baseline := Report{Results: []Result{
+		withAllocs(result("BenchmarkFabricStep", 70000, 1e9/70000), 0),
+		withAllocs(result("BenchmarkBuild", 400000, 0), 12),
+		withAllocs(result("BenchmarkRouterTick", 900, 1e9/900), 0),
+	}}
+	current := Report{Results: []Result{
+		withAllocs(result("BenchmarkFabricStep", 70000, 1e9/70000), 3),
+		withAllocs(result("BenchmarkBuild", 400000, 0), 20),
+		withAllocs(result("BenchmarkRouterTick", 900, 1e9/900), 0),
+	}}
+
+	deltas := compareReports(baseline, current)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3: %+v", len(deltas), deltas)
+	}
+	if !deltas[0].allocRegression {
+		t.Fatalf("0 -> 3 allocs/op not flagged: %+v", deltas[0])
+	}
+	if deltas[0].regression {
+		t.Fatal("alloc regression misreported as a throughput regression")
+	}
+	if deltas[1].allocRegression {
+		t.Fatalf("12 -> 20 allocs/op gated as a zero-alloc regression: %+v", deltas[1])
+	}
+	if deltas[2].allocRegression {
+		t.Fatalf("steady zero allocs flagged: %+v", deltas[2])
+	}
+}
+
+// TestRunCompareFailsOnAllocRegression drives runCompare end to end over
+// report files: the 0 -> N allocs/op rise must fail the comparison even
+// though throughput is identical.
+func TestRunCompareFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeReport := func(name string, r Report) string {
+		t.Helper()
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := writeReport("base.json", Report{Results: []Result{
+		result("BenchmarkFabricStep", 70000, 1e9/70000),
+	}})
+	cur := Report{Results: []Result{result("BenchmarkFabricStep", 70000, 1e9/70000)}}
+	cur.Results[0].AllocsPerOp = 2
+
+	err := runCompare(base, writeReport("cur.json", cur))
+	if err == nil {
+		t.Fatal("0 -> 2 allocs/op passed the comparison")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkFabricStep") {
+		t.Fatalf("alloc-regression error does not name the benchmark: %v", err)
+	}
+
+	// Identical reports compare clean.
+	if err := runCompare(base, base); err != nil {
+		t.Fatalf("identical reports failed: %v", err)
 	}
 }
 

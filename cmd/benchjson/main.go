@@ -3,6 +3,9 @@
 // per benchmark across -count runs, plus derived simulated-cycles-per-
 // second for the cycle-loop benchmarks. It is the perf-regression
 // harness's capture step; compare two reports to spot regressions.
+// A comparison fails on a >20% throughput loss, and on any zero-alloc
+// benchmark that started allocating — the hot-path benchmarks hold 0
+// allocs/op by construction, so 0 -> N is a gate, not a note.
 //
 //	go run ./cmd/benchjson                       # fast default selection
 //	go run ./cmd/benchjson -bench . -pkg ./...   # everything (slow)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hetpnoclint [-json] [-tests=false] [-fix [-dry]] [-update] [-timing] [packages ...]
+//	hetpnoclint [-json] [-tests=false] [-fix [-dry]] [-update] [-timing] [-gcobsout file] [packages ...]
 //
 // Packages default to ./... . Each diagnostic carries a -fix-style
 // suggestion: either the directive that would silence it (with its
@@ -20,8 +20,11 @@
 //
 // The suite loads and type-checks the module once; per-package
 // analyzers then run over each package, and the whole-program analyzers
-// (hotpathreach, dettaint, lockorder) run once over all packages,
-// sharing a single memoized call graph.
+// (hotpathreach, allocproof, snapcover, dettaint, lockorder) run once
+// over all packages, sharing a single memoized call graph and hot-path
+// BFS. allocproof additionally shells out one evidence build
+// (go build -gcflags='-m=2 -d=ssa/check_bce'); -gcobsout writes its
+// parsed escape/bounds-check report as JSON for the CI artifact.
 //
 // Exit status: 0 clean (or, with -fix, every diagnostic fixed), 1
 // diagnostics reported, 2 load or internal failure.
@@ -38,12 +41,14 @@ import (
 	"time"
 
 	"hetpnoc/internal/analysis"
+	"hetpnoc/internal/analysis/allocproof"
 	"hetpnoc/internal/analysis/apistable"
 	"hetpnoc/internal/analysis/ctxflow"
 	"hetpnoc/internal/analysis/detrand"
 	"hetpnoc/internal/analysis/dettaint"
 	"hetpnoc/internal/analysis/errsink"
 	"hetpnoc/internal/analysis/fix"
+	"hetpnoc/internal/analysis/gcobs"
 	"hetpnoc/internal/analysis/globalstate"
 	"hetpnoc/internal/analysis/hotpathalloc"
 	"hetpnoc/internal/analysis/hotpathreach"
@@ -51,6 +56,7 @@ import (
 	"hetpnoc/internal/analysis/lockguard"
 	"hetpnoc/internal/analysis/lockorder"
 	"hetpnoc/internal/analysis/maprange"
+	"hetpnoc/internal/analysis/snapcover"
 )
 
 // analyzers is the hetpnoclint suite, in reporting order: the
@@ -65,6 +71,8 @@ var analyzers = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	errsink.Analyzer,
 	hotpathreach.Analyzer,
+	allocproof.Analyzer,
+	snapcover.Analyzer,
 	dettaint.Analyzer,
 	lockorder.Analyzer,
 	apistable.Analyzer,
@@ -76,6 +84,10 @@ var timings = struct {
 	load time.Duration
 	per  map[string]time.Duration
 }{per: make(map[string]time.Duration)}
+
+// gcobsOut is the -gcobsout flag: where lint writes the compiler
+// evidence report allocproof collected, for the CI artifact.
+var gcobsOut string
 
 // diagnostic is one resolved violation, shaped for both output modes.
 type diagnostic struct {
@@ -95,6 +107,7 @@ func main() {
 	dry := flag.Bool("dry", false, "with -fix: report what would change without writing files")
 	update := flag.Bool("update", false, "regenerate apistable API golden snapshots")
 	timing := flag.Bool("timing", false, "print load time and per-analyzer wall time to stderr")
+	flag.StringVar(&gcobsOut, "gcobsout", "", "write allocproof's parsed compiler-evidence report (JSON) to this file")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -242,6 +255,7 @@ func lint(dir string, tests bool, patterns []string) ([]diagnostic, map[string][
 		units[i] = &analysis.PackageUnit{Path: p.Path, Files: p.Files, Pkg: p.Pkg, TypesInfo: p.Info}
 	}
 	cache := make(map[string]any)
+	cache[allocproof.DirKey] = dir
 	for _, a := range analyzers {
 		if a.RunModule == nil {
 			continue
@@ -258,6 +272,18 @@ func lint(dir string, tests bool, patterns []string) ([]diagnostic, map[string][
 		timings.per[a.Name] += time.Since(start)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	if gcobsOut != "" {
+		if report, ok := cache[allocproof.ReportKey].(*gcobs.Report); ok {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				return nil, nil, fmt.Errorf("gcobsout: %w", err)
+			}
+			if err := os.WriteFile(gcobsOut, append(data, '\n'), 0o644); err != nil {
+				return nil, nil, fmt.Errorf("gcobsout: %w", err)
+			}
 		}
 	}
 

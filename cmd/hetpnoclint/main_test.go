@@ -98,7 +98,10 @@ func (c *Counter) Bump() {
 	// that calls it, and whose hotpath root reaches helper.Label's
 	// fmt.Sprintf two frames down. Both nests two mutexes with no
 	// declared order. Neither package has an API golden, so apistable
-	// ignores the exported surface here.
+	// ignores the exported surface here. fabric also carries the
+	// compiler-evidence bait (Esc's local moved to the heap on a hot
+	// path) and the snapshot-coverage bait (Core's Snapshot/Restore
+	// both miss the mutable drift field).
 	write("internal/helper/helper.go", `package helper
 
 import (
@@ -134,6 +137,28 @@ func Step(n int) int {
 func Sync() int64 {
 	return helper.Jitter()
 }
+
+//hetpnoc:hotpath
+func Esc() *int {
+	v := 0
+	return &v
+}
+
+type Core struct {
+	ticks int
+	drift int
+}
+
+func (c *Core) Advance() {
+	c.ticks++
+	c.drift++
+}
+
+type CoreSnap struct{ ticks int }
+
+func (c *Core) Snapshot() *CoreSnap { return &CoreSnap{ticks: c.ticks} }
+
+func (c *Core) Restore(s *CoreSnap) { c.ticks = s.ticks }
 `)
 	// Stale API golden: lists one symbol that no longer exists, knows
 	// the rest.
@@ -169,12 +194,20 @@ func Sync() int64 {
 		"hotpathreach": 1, // fabric.Step -> helper.Label reaches fmt.Sprintf
 		"dettaint":     1, // fabric.Sync calls helper.Jitter (taints to time.Now)
 		"lockorder":    1, // helper.Both nests Reg.mu and Log.mu undeclared
+		"snapcover":    2, // Core.Snapshot misses drift, Core.Restore misses drift
 		"apistable":    1, // Gone removed relative to the golden
 	}
 	for a, n := range want {
 		if got[a] != n {
 			t.Errorf("analyzer %s reported %d diagnostics, want %d", a, got[a], n)
 		}
+	}
+	// allocproof counts come from the live compiler's -m=2 output, which
+	// shifts with toolchain version (inlining attribution, moved/escape
+	// pairing), so assert a floor: Esc's moved-to-heap local and Hot's
+	// boxed Sprintf operand are unambiguous hot-path allocations.
+	if got["allocproof"] < 2 {
+		t.Errorf("analyzer allocproof reported %d diagnostics, want at least 2", got["allocproof"])
 	}
 	if len(diags) == 0 {
 		t.Fatal("expected diagnostics from the scratch module, got none")

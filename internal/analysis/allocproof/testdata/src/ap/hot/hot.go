@@ -1,0 +1,47 @@
+// Package hot exercises allocproof against a canned compiler report:
+// escape and bounds facts land on hot-reachable lines and must be
+// reported, silenced, or ignored per the cold-path rules.
+package hot
+
+import "math/bits"
+
+// Step is the hot root. The bounds fact on the head load below sits
+// outside any occupancy scan loop, so it stays silent.
+//
+//hetpnoc:hotpath
+func Step(words []uint64, sink []*int) int {
+	head := int(words[0])
+	tick(words, sink)
+	return head
+}
+
+func tick(words []uint64, sink []*int) {
+	for _, word := range words {
+		for ; word != 0; word &= word - 1 {
+			i := bits.TrailingZeros64(word)
+			sink[i] = leak(i) // want `bounds check not eliminated inside an occupancy word-scan loop \(hot path: hot\.Step -> hot\.tick\)`
+		}
+	}
+	if len(sink) == 0 {
+		panic(newMsg(sink))
+	}
+	//hetpnoc:coldcall one-shot diagnostic buffer, never steady-state
+	grow(sink)
+}
+
+func leak(i int) *int {
+	v := i
+	return &v // want `compiler-proven heap allocation on the hot path: &v escapes to heap \(hot path: hot\.Step -> hot\.tick -> hot\.leak\)`
+}
+
+// newMsg builds the panic message; its result escaping inside the
+// panic argument span is a declared cold exit.
+func newMsg(sink []*int) string {
+	_ = sink
+	return "empty"
+}
+
+// grow is the coldcall-covered diagnostic path.
+func grow(sink []*int) {
+	_ = sink
+}

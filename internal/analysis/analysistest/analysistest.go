@@ -78,6 +78,15 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 // findings span package boundaries.
 func RunModule(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	RunModuleCache(t, testdata, a, nil, pkgPaths...)
+}
+
+// RunModuleCache is RunModule with a driver-style shared cache: analyzers
+// that read configuration or precomputed facts from ModulePass.Cache
+// (allocproof's gcobs report) get cache handed through verbatim. A nil
+// cache behaves like RunModule.
+func RunModuleCache(t *testing.T, testdata string, a *analysis.Analyzer, cache map[string]any, pkgPaths ...string) {
+	t.Helper()
 	stdMu.Lock()
 	defer stdMu.Unlock()
 	fx := &fixtures{root: filepath.Join(testdata, "src"), checked: make(map[string]*fixturePkg)}
@@ -122,6 +131,7 @@ func RunModule(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...
 		Fset:     stdFset,
 		Pkgs:     units,
 		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Cache:    cache,
 	}
 	if err := a.RunModule(mp); err != nil {
 		t.Errorf("%s: module analyzer failed: %v", a.Name, err)

@@ -49,6 +49,13 @@ const (
 	// treats it as clean. Requires a justification.
 	DirectiveDetsafe = "detsafe"
 
+	// DirectiveNosnap marks a struct field as deliberately excluded from
+	// its type's Snapshot/Restore pair: immutable-after-build
+	// configuration, derived caches rebuilt on restore, or state owned
+	// (and checkpointed) by another component. snapcover skips the field
+	// on both the capture and restore side. Requires a justification.
+	DirectiveNosnap = "nosnap"
+
 	// DirectiveLockorder declares the acquisition order of two mutexes:
 	// //hetpnoc:lockorder <outer> <inner> <why> states that <outer> may
 	// be held while <inner> is acquired, never the reverse. lockorder
@@ -162,6 +169,24 @@ func (d *Directives) CoveringAll(n ast.Node, name string) []Directive {
 		}
 	}
 	return out
+}
+
+// CoveringLine is Covering keyed by source line instead of node: a
+// directive on the line itself, or an own-line directive on the line
+// directly above. allocproof anchors compiler facts, which arrive as
+// file/line/column rather than AST nodes, through it.
+func (d *Directives) CoveringLine(line int, name string) (Directive, bool) {
+	for _, dir := range d.byLine[line] {
+		if dir.Name == name {
+			return dir, true
+		}
+	}
+	for _, dir := range d.byLine[line-1] {
+		if dir.Name == name && !dir.Trailing {
+			return dir, true
+		}
+	}
+	return Directive{}, false
 }
 
 // DirectiveCache lazily parses per-file directive indexes for the

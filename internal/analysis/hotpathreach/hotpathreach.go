@@ -10,13 +10,25 @@
 // report reads like a stack trace ending at the allocation site.
 //
 // Deliberate slow-path exits (error formatting, one-shot warm-up work)
-// are cut with a justified call-site directive:
+// are cut with a justified directive, at either granularity:
 //
 //	//hetpnoc:coldcall error path, runs at most once per simulation
 //	return r.explainDeadlock(now)
 //
-// The directive severs the edge at that call site only; other calls to
-// the same function from hot code are still traversed.
+// severs that one call site, while the same directive in a function's
+// doc comment
+//
+//	// growBuf doubles the ring capacity.
+//	//
+//	//hetpnoc:coldcall amortized growth, not steady-state
+//	func (a *Arena) growBuf(...)
+//
+// severs every edge into the function: it is a declared slow path no
+// matter who calls it.
+//
+// The BFS result is shared: allocproof reuses the same reachable set to
+// attach compiler-proven escape facts to hot functions, so "reachable
+// from a hot root" means exactly one thing across the suite.
 //
 // Soundness caveats (shared with the call graph): calls through
 // function-typed values resolve to no callee, so work dispatched via
@@ -39,85 +51,53 @@ var Analyzer = &analysis.Analyzer{
 		"whole-program pass walks the call graph from every annotated root\n" +
 		"and runs hotpathalloc's checks on each reachable module function,\n" +
 		"reporting violations with the full root→callee call chain.\n" +
-		"Sever deliberate slow-path calls with //hetpnoc:coldcall <why>.",
+		"Sever deliberate slow-path calls with //hetpnoc:coldcall <why>,\n" +
+		"at the call site or in the callee's doc comment.",
 	RunModule: run,
 }
 
-// visit is one BFS tree entry: how node was first reached. via == nil
+// Visit is one BFS tree entry: how a node was first reached. Via == nil
 // marks a //hetpnoc:hotpath root.
-type visit struct {
-	node *callgraph.Node
-	via  *callgraph.Edge
+type Visit struct {
+	Node *callgraph.Node
+	Via  *callgraph.Edge
 }
 
-func run(mp *analysis.ModulePass) error {
-	g := callgraph.FromPass(mp)
-	dirs := analysis.NewDirectiveCache(mp.Fset)
+// Reach is the hot-path reachability of one module: the shortest-path
+// BFS tree from every //hetpnoc:hotpath root, with coldcall edges (call
+// site or callee declaration) severed.
+type Reach struct {
+	// Graph is the call graph the BFS ran over. Consumers must iterate
+	// this instance: Parent is keyed by its node pointers, and a nil
+	// mp.Cache (as in the analysistest harness) makes callgraph.FromPass
+	// rebuild a distinct graph per call.
+	Graph *callgraph.Graph
 
-	// Multi-source BFS from the annotated roots. FIFO order over the
-	// deterministic edge order makes parent a shortest-path tree and the
-	// reported chains reproducible.
-	parent := make(map[*callgraph.Node]*visit)
-	var queue []*visit
-	for _, n := range g.Sorted {
-		if analysis.HasHotpath(n.Decl) {
-			v := &visit{node: n}
-			parent[n] = v
-			queue = append(queue, v)
-		}
-	}
+	// Parent maps each reached node to its first visit; roots map to a
+	// Visit with Via == nil.
+	Parent map[*callgraph.Node]*Visit
 
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, e := range v.node.Out {
-			cold, justified := coldCall(dirs, e)
-			if cold && !justified {
-				mp.Reportf(e.Pos(),
-					"//hetpnoc:coldcall needs a justification for leaving the hot path",
-					"//hetpnoc:coldcall <why this call never runs in steady state>")
-			}
-			if cold {
-				continue
-			}
-			if _, seen := parent[e.Callee]; seen {
-				continue
-			}
-			nv := &visit{node: e.Callee, via: e}
-			parent[e.Callee] = nv
-			queue = append(queue, nv)
-		}
-	}
-
-	// Check every reached function that is not itself annotated (those
-	// are hotpathalloc's job), chain appended to each diagnostic.
-	for _, n := range g.Sorted {
-		v, reached := parent[n]
-		if !reached || v.via == nil {
-			continue
-		}
-		chain := chainOf(parent, n)
-		pass := mp.PassFor(n.Unit)
-		inner := pass.Report
-		pass.Report = func(d analysis.Diagnostic) {
-			d.Message += " (hot path: " + chain + ")"
-			inner(d)
-		}
-		hotpathalloc.Check(pass, n.Decl)
-	}
-	return nil
+	// Unjustified are coldcall directives without the required
+	// justification, encountered while severing (run reports these).
+	Unjustified []*callgraph.Edge
 }
 
-// chainOf renders the shortest root→n call chain recorded by the BFS,
+// Reached reports whether n is hot: a root or reachable from one.
+func (r *Reach) Reached(n *callgraph.Node) bool {
+	_, ok := r.Parent[n]
+	return ok
+}
+
+// ChainOf renders the shortest root→n call chain recorded by the BFS,
 // e.g. "fabric.Fabric.Step -> fabric.Fabric.pumpInject -> packet.Queue.Push".
-func chainOf(parent map[*callgraph.Node]*visit, n *callgraph.Node) string {
+func (r *Reach) ChainOf(n *callgraph.Node) string {
 	var names []string
-	for v := parent[n]; v != nil; {
-		names = append(names, v.node.Name())
-		if v.via == nil {
+	for v := r.Parent[n]; v != nil; {
+		names = append(names, v.Node.Name())
+		if v.Via == nil {
 			break
 		}
-		v = parent[v.via.Caller]
+		v = r.Parent[v.Via.Caller]
 	}
 	var sb []byte
 	for i := len(names) - 1; i >= 0; i-- {
@@ -129,16 +109,99 @@ func chainOf(parent map[*callgraph.Node]*visit, n *callgraph.Node) string {
 	return string(sb)
 }
 
-// coldCall reports whether edge e's call site carries a coldcall
-// directive, and whether that directive has the required justification.
+// FromPass returns the module's hot-path reachability, memoized in
+// mp.Cache so hotpathreach and allocproof share one BFS.
+func FromPass(mp *analysis.ModulePass) *Reach {
+	const key = "hotpathreach"
+	if r, ok := mp.Cache[key].(*Reach); ok {
+		return r
+	}
+	r := build(mp)
+	if mp.Cache != nil {
+		mp.Cache[key] = r
+	}
+	return r
+}
+
+// build runs the multi-source BFS from the annotated roots. FIFO order
+// over the deterministic edge order makes Parent a shortest-path tree
+// and the reported chains reproducible.
+func build(mp *analysis.ModulePass) *Reach {
+	g := callgraph.FromPass(mp)
+	dirs := analysis.NewDirectiveCache(mp.Fset)
+
+	r := &Reach{Graph: g, Parent: make(map[*callgraph.Node]*Visit)}
+	var queue []*Visit
+	for _, n := range g.Sorted {
+		if analysis.HasHotpath(n.Decl) {
+			v := &Visit{Node: n}
+			r.Parent[n] = v
+			queue = append(queue, v)
+		}
+	}
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range v.Node.Out {
+			cold, justified := coldCall(dirs, e)
+			if cold && !justified {
+				r.Unjustified = append(r.Unjustified, e)
+			}
+			if cold {
+				continue
+			}
+			if _, seen := r.Parent[e.Callee]; seen {
+				continue
+			}
+			nv := &Visit{Node: e.Callee, Via: e}
+			r.Parent[e.Callee] = nv
+			queue = append(queue, nv)
+		}
+	}
+	return r
+}
+
+func run(mp *analysis.ModulePass) error {
+	reach := FromPass(mp)
+	g := reach.Graph
+
+	for _, e := range reach.Unjustified {
+		mp.Reportf(e.Pos(),
+			"//hetpnoc:coldcall needs a justification for leaving the hot path",
+			"//hetpnoc:coldcall <why this call never runs in steady state>")
+	}
+
+	// Check every reached function that is not itself annotated (those
+	// are hotpathalloc's job), chain appended to each diagnostic.
+	for _, n := range g.Sorted {
+		v, reached := reach.Parent[n]
+		if !reached || v.Via == nil {
+			continue
+		}
+		chain := reach.ChainOf(n)
+		pass := mp.PassFor(n.Unit)
+		inner := pass.Report
+		pass.Report = func(d analysis.Diagnostic) {
+			d.Message += " (hot path: " + chain + ")"
+			inner(d)
+		}
+		hotpathalloc.Check(pass, n.Decl)
+	}
+	return nil
+}
+
+// coldCall reports whether edge e is severed by a coldcall directive —
+// on the call site or on the callee's declaration — and whether that
+// directive carries the required justification.
 func coldCall(dirs *analysis.DirectiveCache, e *callgraph.Edge) (cold, justified bool) {
-	d := dirs.For(e.Caller.Unit, e.Site.Pos())
-	if d == nil {
-		return false, false
+	if d := dirs.For(e.Caller.Unit, e.Site.Pos()); d != nil {
+		if dir, ok := d.Covering(e.Site, analysis.DirectiveColdcall); ok {
+			return true, dir.Arg != ""
+		}
 	}
-	dir, ok := d.Covering(e.Site, analysis.DirectiveColdcall)
-	if !ok {
-		return false, false
+	if dir, ok := analysis.FuncDirective(e.Callee.Decl, analysis.DirectiveColdcall); ok {
+		return true, dir.Arg != ""
 	}
-	return true, dir.Arg != ""
+	return false, false
 }

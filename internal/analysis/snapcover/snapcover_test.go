@@ -1,0 +1,14 @@
+package snapcover_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/snapcover"
+)
+
+func TestSnapcover(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), snapcover.Analyzer,
+		"snap/sim",
+	)
+}

@@ -1,0 +1,124 @@
+// Package sim exercises snapcover: every capture/restore pair must
+// cover each mutable field of its subject, transitively through
+// slice-of-struct state, with justified //hetpnoc:nosnap exemptions.
+package sim
+
+// Counter snapshots but can never be rewound.
+type Counter struct{ n int }
+
+// Bump makes n mutable.
+func (c *Counter) Bump() { c.n++ }
+
+// Snapshot has no restore counterpart.
+func (c *Counter) Snapshot() int { return c.n } // want `Counter\.Snapshot has no restore counterpart: the snapshot can never be applied \(missing-restore\)`
+
+// Engine misses one field on each side, carries one immutable config
+// field, and exempts two fields (one justified, one not).
+type Engine struct {
+	count      int
+	missed     int
+	unrestored int
+	cfg        int
+
+	//hetpnoc:nosnap derived scratch, rebuilt lazily on first use
+	skip int
+
+	//hetpnoc:nosnap
+	bad int // want `//hetpnoc:nosnap needs a justification for excluding the field from checkpoints`
+}
+
+// NewEngine's writes are build-time: cfg stays immutable.
+func NewEngine(cfg int) *Engine { return &Engine{cfg: cfg} }
+
+// Step makes the remaining fields mutable.
+func (e *Engine) Step() {
+	e.count++
+	e.missed++
+	e.unrestored++
+	e.skip++
+	e.bad++
+}
+
+// EngineSnap is the externally-materialized snapshot.
+type EngineSnap struct {
+	count      int
+	unrestored int
+}
+
+// Snapshot forgets missed entirely.
+func (e *Engine) Snapshot() *EngineSnap { // want `Engine\.Snapshot does not capture mutable field Engine\.missed: a restored run silently diverges`
+	return &EngineSnap{count: e.count, unrestored: e.unrestored}
+}
+
+// Restore re-applies count but never writes unrestored (or missed) back.
+func (e *Engine) Restore(s *EngineSnap) { // want `Engine\.Restore does not restore mutable field Engine\.missed` `Engine\.Restore does not restore mutable field Engine\.unrestored`
+	e.count = s.count
+}
+
+// Pair is element state reached transitively through Grid.cells.
+type Pair struct{ a, b int }
+
+// Grid's pair touches element field a without a wholesale element
+// transfer, so snapcover descends into Pair and finds b uncovered.
+type Grid struct {
+	cells []Pair
+}
+
+// Step makes both element fields mutable.
+func (g *Grid) Step(i int) {
+	g.cells[i].a++
+	g.cells[i].b++
+}
+
+// GridSnap captures only the a column.
+type GridSnap struct{ a []int }
+
+// Snapshot walks elements but copies just a.
+func (g *Grid) Snapshot() *GridSnap { // want `Grid\.Snapshot does not capture mutable field Grid\.cells\.b`
+	s := &GridSnap{}
+	for i := range g.cells {
+		s.a = append(s.a, g.cells[i].a)
+	}
+	return s
+}
+
+// Restore writes the a column back.
+func (g *Grid) Restore(s *GridSnap) { // want `Grid\.Restore does not restore mutable field Grid\.cells\.b`
+	for i := range s.a {
+		g.cells[i].a = s.a[i]
+	}
+}
+
+// Slot is element state transferred wholesale below.
+type Slot struct{ v int }
+
+// Ring is clean: copy() and an append spread move whole elements, so
+// element-wise completeness is implied and no descent happens even
+// though Step mutates element fields.
+type Ring struct {
+	slots []Slot
+	head  int
+}
+
+// Step makes slot contents and the cursor mutable.
+func (r *Ring) Step() {
+	r.slots[r.head].v++
+	r.head++
+}
+
+// RingSnap mirrors the ring.
+type RingSnap struct {
+	slots []Slot
+	head  int
+}
+
+// Snapshot clones the elements wholesale.
+func (r *Ring) Snapshot() *RingSnap {
+	return &RingSnap{slots: append([]Slot(nil), r.slots...), head: r.head}
+}
+
+// Restore copies them back wholesale.
+func (r *Ring) Restore(s *RingSnap) {
+	copy(r.slots, s.slots)
+	r.head = s.head
+}

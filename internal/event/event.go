@@ -137,8 +137,12 @@ func (l *Log) Append(e Event) {
 		l.ring = append(l.ring, e)
 		return
 	}
-	l.ring[l.next] = e
-	l.next = (l.next + 1) % cap(l.ring)
+	next := l.next
+	if uint(next) >= uint(len(l.ring)) {
+		return // unreachable: next always wraps below cap; the guard anchors BCE
+	}
+	l.ring[next] = e
+	l.next = (next + 1) % cap(l.ring)
 	l.dropped++
 }
 

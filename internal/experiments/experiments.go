@@ -99,25 +99,46 @@ type Row struct {
 	AllocatedWavelengths []int `json:"allocatedWavelengths"`
 }
 
+// pointConfig assembles the fabric configuration for one point at one
+// load scale.
+func pointConfig(opts Options, p Point, scale float64) fabric.Config {
+	return fabric.Config{
+		Topology:     opts.Topology,
+		Set:          p.Set,
+		Arch:         p.Arch,
+		Pattern:      p.Pattern,
+		LoadScale:    scale,
+		Cycles:       opts.Cycles,
+		WarmupCycles: opts.WarmupCycles,
+		Seed:         opts.Seed,
+	}
+}
+
+// rowAtPeak shapes one run's result into the Row reported for its point.
+func rowAtPeak(p Point, scale float64, res fabric.Result) Row {
+	return Row{
+		Set:                  p.Set.Name,
+		Pattern:              p.Pattern.Name(),
+		Arch:                 p.Arch.String(),
+		AtLoad:               scale,
+		PeakBandwidthGbps:    res.Stats.DeliveredGbps,
+		PerCoreGbps:          res.PerCoreGbps,
+		EnergyPerMessagePJ:   res.EnergyPerMessagePJ,
+		OfferedGbps:          res.OfferedGbps,
+		PacketsDelivered:     res.Stats.PacketsDelivered,
+		PacketsDropped:       res.Stats.PacketsDroppedRX,
+		Retransmissions:      res.Stats.Retransmissions,
+		AvgLatencyCycles:     res.Stats.AvgLatencyCycles,
+		AllocatedWavelengths: res.AllocatedWavelengths,
+	}
+}
+
 // runPoint sweeps the load scales for one point and keeps the best.
 func runPoint(ctx context.Context, opts Options, p Point) (Row, error) {
-	best := Row{
-		Set:     p.Set.Name,
-		Pattern: p.Pattern.Name(),
-		Arch:    p.Arch.String(),
-	}
+	var best Row
 	found := false
 	for _, scale := range opts.LoadScales {
-		f, err := fabric.New(fabric.Config{
-			Topology:     opts.Topology,
-			Set:          p.Set,
-			Arch:         p.Arch,
-			Pattern:      p.Pattern,
-			LoadScale:    scale,
-			Cycles:       opts.Cycles,
-			WarmupCycles: opts.WarmupCycles,
-			Seed:         opts.Seed,
-		})
+		f, err := fabric.New(pointConfig(opts, p, scale))
 		if err != nil {
 			return Row{}, fmt.Errorf("experiments: %s/%s/%s: %w", p.Set.Name, p.Pattern.Name(), p.Arch, err)
 		}
@@ -127,17 +148,11 @@ func runPoint(ctx context.Context, opts Options, p Point) (Row, error) {
 		}
 		if !found || res.Stats.DeliveredGbps > best.PeakBandwidthGbps {
 			found = true
-			best.AtLoad = scale
-			best.PeakBandwidthGbps = res.Stats.DeliveredGbps
-			best.PerCoreGbps = res.PerCoreGbps
-			best.EnergyPerMessagePJ = res.EnergyPerMessagePJ
-			best.OfferedGbps = res.OfferedGbps
-			best.PacketsDelivered = res.Stats.PacketsDelivered
-			best.PacketsDropped = res.Stats.PacketsDroppedRX
-			best.Retransmissions = res.Stats.Retransmissions
-			best.AvgLatencyCycles = res.Stats.AvgLatencyCycles
-			best.AllocatedWavelengths = res.AllocatedWavelengths
+			best = rowAtPeak(p, scale, res)
 		}
+	}
+	if !found {
+		best = Row{Set: p.Set.Name, Pattern: p.Pattern.Name(), Arch: p.Arch.String()}
 	}
 	return best, nil
 }

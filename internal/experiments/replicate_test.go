@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"hetpnoc/internal/fabric"
@@ -26,6 +28,63 @@ func TestRunReplicatedValidation(t *testing.T) {
 	p := Point{Set: traffic.BWSet1, Pattern: traffic.Uniform{}, Arch: fabric.Firefly}
 	if _, err := RunReplicated(quickOpts(), p, 1); err == nil {
 		t.Fatal("single-seed replication accepted")
+	}
+}
+
+// TestReplicatedForkBitIdentical is the golden check for checkpoint-
+// forked replication: each replica forked from the shared warmed-up
+// checkpoint must match, field for field, a reference run that builds a
+// fresh fabric, warms it from scratch at the base seed, reseeds at the
+// same boundary and runs the measurement window — and re-running the
+// forked path must reproduce itself exactly.
+func TestReplicatedForkBitIdentical(t *testing.T) {
+	opts := quickOpts().withDefaults()
+	p := Point{Set: traffic.BWSet1, Pattern: traffic.Skewed{Level: 2}, Arch: fabric.DHetPNoC}
+	const seeds = 3
+	ctx := context.Background()
+
+	forked, err := replicateRows(ctx, opts, p, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forked) != seeds {
+		t.Fatalf("got %d rows, want %d", len(forked), seeds)
+	}
+
+	scale := opts.LoadScales[0]
+	for i := 0; i < seeds; i++ {
+		f, err := fabric.New(pointConfig(opts, p, scale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.StepContext(ctx, opts.WarmupCycles); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Reseed(opts.Seed + uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.StepContext(ctx, opts.Cycles-opts.WarmupCycles); err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Seed != opts.Seed+uint64(i) {
+			t.Fatalf("replica %d result reports seed %d, want %d", i, res.Seed, opts.Seed+uint64(i))
+		}
+		want := rowAtPeak(p, scale, res)
+		if !reflect.DeepEqual(forked[i], want) {
+			t.Fatalf("forked replica %d diverged from the fresh-fabric reference:\nforked: %+v\nfresh:  %+v", i, forked[i], want)
+		}
+	}
+
+	again, err := replicateRows(ctx, opts, p, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(forked, again) {
+		t.Fatal("re-running the forked replication did not reproduce itself")
 	}
 }
 

@@ -31,12 +31,12 @@ type coreState struct {
 	queue   packet.Queue
 	rejects int64
 
-	injectPort *router.Port
+	injectPort *router.Port //hetpnoc:nosnap topology: port view wired at build; port state lives in the arena
 	inFlight   *packet.Packet
 	inVC       int
 	inNext     int
 
-	ejectPort *router.Port
+	ejectPort *router.Port //hetpnoc:nosnap topology: port view wired at build; port state lives in the arena
 	ejectRR   int
 }
 

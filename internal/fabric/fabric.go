@@ -49,15 +49,21 @@ type Fabric struct {
 	pktIDs     packet.ID
 	now        sim.Cycle
 
+	// seed is the seed the result reports. It starts as cfg.Seed and is
+	// replaced by Reseed when a restored checkpoint forks a replica.
+	seed uint64
+
 	// genList holds the cores whose traffic source can emit packets
 	// (rebuilt on every workload assignment); idle sources tick as pure
 	// no-ops and are skipped.
+	//
+	//hetpnoc:nosnap derived from the restored sources; Restore rebuilds it
 	genList []*coreState
 
 	// Ejection callbacks, hoisted out of Step so the per-core drain loop
 	// does not allocate two closures per core per cycle.
-	onEjectFlit   func(packet.Flit)
-	onEjectPacket func(*packet.Packet)
+	onEjectFlit   func(packet.Flit)    //hetpnoc:nosnap wiring closure, bound once at build
+	onEjectPacket func(*packet.Packet) //hetpnoc:nosnap wiring closure, bound once at build
 
 	// pool recycles packet structs once their tail is consumed or the
 	// packet is lost; sources draw from it when generating.
@@ -106,6 +112,7 @@ func New(cfg Config) (*Fabric, error) {
 		timers:    sim.NewTimerWheel(),
 		rng:       sim.NewRNG(cfg.Seed),
 		collector: stats.NewCollector(clock),
+		seed:      cfg.Seed,
 	}
 	f.collector.SetClusterCount(cfg.Topology.Clusters())
 	arena, err := router.NewArena(f.ledger, &f.occupancy)
@@ -324,6 +331,24 @@ func (f *Fabric) applyAssignment(a traffic.Assignment) error {
 	return nil
 }
 
+// Reseed restarts the fabric's randomness from seed at the current cycle
+// boundary: the run RNG is reset and the active workload pattern is
+// re-assigned so every source draws from the new stream. Combined with
+// Checkpoint/Restore this forks divergent replicas off one warmed-up
+// prefix — buffers, allocations and in-flight packets carry over while
+// all future random draws follow the new seed, and the result reports
+// it. Reseeding the same state with the same seed is deterministic:
+// re-running a fork reproduces it bit-identically.
+func (f *Fabric) Reseed(seed uint64) error {
+	f.seed = seed
+	f.rng.SetState(seed)
+	a, err := f.cfg.Pattern.Assign(f.cfg.Topology, f.cfg.Set, f.rng.Split())
+	if err != nil {
+		return err
+	}
+	return f.applyAssignment(a)
+}
+
 // handleDrop is the TX engines' drop callback: the receiver had no free
 // VC, the packet's flits were discarded, and the source must retransmit
 // after a back-off (§1.4), up to the retry budget.
@@ -403,30 +428,47 @@ func (f *Fabric) Step() error {
 		f.collector.OnInject()
 	}
 
-	// Injection into the electrical network.
-	for w, words := 0, f.injActive.Words(); w < len(words); w++ {
-		for word := words[w]; word != 0; word &= word - 1 {
+	// Injection into the electrical network. The scan loops below range
+	// over the occupancy words and guard the decoded index with one
+	// unsigned compare, which the bitset invariant makes dead but the
+	// bounds-check-elimination pass can reason with: the implicit
+	// per-access checks inside the loop bodies all fold away.
+	// Retiring a component clears its bit through the ranged word slice
+	// (the live backing of the bitset): the word index is the range
+	// variable, so the store needs no bounds check either.
+	cores := f.cores
+	injWords := f.injActive.Words()
+	for w, word := range injWords {
+		for ; word != 0; word &= word - 1 {
 			i := w<<6 + bits.TrailingZeros64(word)
-			cs := &f.cores[i]
+			if uint(i) >= uint(len(cores)) {
+				continue
+			}
+			cs := &cores[i]
 			if err := cs.pumpInject(now); err != nil {
 				return fmt.Errorf("cycle %d: %w", now, err)
 			}
 			if cs.inFlight == nil && cs.queue.Len() == 0 {
-				f.injActive.Clear(i)
+				injWords[w] &^= 1 << (uint(i) & 63)
 			}
 		}
 	}
 
 	// Inter-cluster photonic transport (crossbar engines or the torus).
-	for w, words := 0, f.txActive.Words(); w < len(words); w++ {
-		for word := words[w]; word != 0; word &= word - 1 {
+	txs := f.txs
+	txWords := f.txActive.Words()
+	for w, word := range txWords {
+		for ; word != 0; word &= word - 1 {
 			i := w<<6 + bits.TrailingZeros64(word)
-			tx := f.txs[i]
+			if uint(i) >= uint(len(txs)) {
+				continue
+			}
+			tx := txs[i]
 			if err := tx.Tick(now); err != nil {
 				return fmt.Errorf("cycle %d: %w", now, err)
 			}
 			if !tx.Busy() {
-				f.txActive.Clear(i)
+				txWords[w] &^= 1 << (uint(i) & 63)
 			}
 		}
 	}
@@ -440,29 +482,38 @@ func (f *Fabric) Step() error {
 	// woken mid-phase by an upstream enqueue stays registered for the next
 	// cycle; ticking it now would be a no-op anyway, because flits that
 	// arrived this cycle are still inside the router pipeline delay.
-	for w, words := 0, f.routerActive.Words(); w < len(words); w++ {
-		for word := words[w]; word != 0; word &= word - 1 {
+	routers := f.routers
+	routerWords := f.routerActive.Words()
+	for w, word := range routerWords {
+		for ; word != 0; word &= word - 1 {
 			i := w<<6 + bits.TrailingZeros64(word)
-			r := f.routers[i]
+			if uint(i) >= uint(len(routers)) {
+				continue
+			}
+			r := routers[i]
 			if err := r.Tick(now); err != nil {
 				return fmt.Errorf("cycle %d: %w", now, err)
 			}
 			if r.BufferedFlits() == 0 {
-				f.routerActive.Clear(i)
+				routerWords[w] &^= 1 << (uint(i) & 63)
 			}
 		}
 	}
 
 	// Core ejection.
-	for w, words := 0, f.ejectActive.Words(); w < len(words); w++ {
-		for word := words[w]; word != 0; word &= word - 1 {
+	ejWords := f.ejectActive.Words()
+	for w, word := range ejWords {
+		for ; word != 0; word &= word - 1 {
 			i := w<<6 + bits.TrailingZeros64(word)
-			cs := &f.cores[i]
+			if uint(i) >= uint(len(cores)) {
+				continue
+			}
+			cs := &cores[i]
 			if err := cs.drainEject(now, f.cfg.EjectWidth, f.onEjectFlit, f.onEjectPacket); err != nil {
 				return fmt.Errorf("cycle %d: %w", now, err)
 			}
 			if cs.ejectPort.BufferedFlits() == 0 {
-				f.ejectActive.Clear(i)
+				ejWords[w] &^= 1 << (uint(i) & 63)
 			}
 		}
 	}

@@ -67,7 +67,7 @@ func (f *Fabric) result() Result {
 		Set:                f.cfg.Set.Name,
 		IntraCluster:       f.cfg.IntraCluster.String(),
 		LoadScale:          f.cfg.LoadScale,
-		Seed:               f.cfg.Seed,
+		Seed:               f.seed,
 		Stats:              summary,
 		OfferedGbps:        offered,
 		EnergyTotalPJ:      f.ledger.TotalPJ(),

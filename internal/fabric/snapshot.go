@@ -32,6 +32,7 @@ type Checkpoint struct {
 	totals     Totals
 	assignment traffic.Assignment
 	rng        uint64
+	seed       uint64
 
 	arena     *router.ArenaSnapshot
 	routerRRs []int
@@ -94,6 +95,7 @@ func (f *Fabric) Checkpoint() *Checkpoint {
 		totals:     f.totals,
 		assignment: f.assignment,
 		rng:        f.rng.State(),
+		seed:       f.seed,
 
 		arena: f.arena.Snapshot(nil),
 
@@ -236,6 +238,7 @@ func (f *Fabric) Restore(cp *Checkpoint) error {
 	f.totals = cp.totals
 	f.assignment = cp.assignment
 	f.rng.SetState(cp.rng)
+	f.seed = cp.seed
 
 	// genList is derived state: rebuild it from the restored sources the
 	// same way applyAssignment does.

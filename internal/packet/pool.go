@@ -23,11 +23,11 @@ type Pool struct {
 //hetpnoc:hotpath
 func (pl *Pool) Get() *Packet {
 	if pl == nil {
-		return &Packet{}
+		return newPacket()
 	}
 	pl.gets++
 	if len(pl.free) == 0 {
-		return &Packet{}
+		return newPacket()
 	}
 	n := len(pl.free) - 1
 	p := pl.free[n]
@@ -36,6 +36,14 @@ func (pl *Pool) Get() *Packet {
 	*p = Packet{}
 	return p
 }
+
+// newPacket is Get's allocation fallback for a nil pool or a drained
+// free list. Splitting it out keeps the heap allocation off Get's fast
+// path: once the pool warms up, every Get recycles.
+//
+//hetpnoc:coldcall pool-miss fallback; steady state recycles and never reaches it
+//go:noinline
+func newPacket() *Packet { return &Packet{} }
 
 // Put recycles p. The caller must hold the only remaining reference:
 // after the next Get the struct is rewritten in place.
@@ -121,6 +129,7 @@ func (q *Queue) Head() *Packet {
 //hetpnoc:hotpath
 func (q *Queue) Push(p *Packet) {
 	if q.count == len(q.buf) {
+		//hetpnoc:coldcall amortized ring growth, O(log capacity) times per queue, never steady-state
 		q.grow()
 	}
 	slot := q.head + q.count

@@ -52,23 +52,23 @@ type Arena struct {
 
 	// Per-port state, indexed by port id. vcBase/vcCnt/depth/routeTab/
 	// wake are fixed after build; buffered and the masks are hot.
-	vcBase   []int32
-	vcCnt    []int32
-	depth    []int32
+	vcBase   []int32 //hetpnoc:nosnap topology, fixed once NewPort/Reserve wiring completes
+	vcCnt    []int32 //hetpnoc:nosnap topology, fixed once NewPort/Reserve wiring completes
+	depth    []int32 //hetpnoc:nosnap topology, fixed once NewPort/Reserve wiring completes
 	buffered []int32
-	occMask  []uint64 // bit v set: VC v holds at least one flit
-	freeMask []uint64 // bit v set: VC v is unowned and empty (allocatable)
-	routeTab [][]int16
-	wake     []func()
+	occMask  []uint64  // bit v set: VC v holds at least one flit
+	freeMask []uint64  // bit v set: VC v is unowned and empty (allocatable)
+	routeTab [][]int16 //hetpnoc:nosnap route tables, installed once by SetRouteTable at build
+	wake     []func()  //hetpnoc:nosnap wake callbacks, wired once by SetWake at build
 	// consumer/consBase identify the router arbitrating each port (nil
 	// for engine-drained ports) and the port's flat candidate base in
 	// that router, so ownership transitions can maintain the router's
 	// persistent contender masks. watchers lists the routers feeding the
 	// port (those with it as an output destination): draining the port
 	// can unblock their arbitration, so pops wake them from quiescence.
-	consumer []*Router
-	consBase []int32
-	watchers [][]*Router
+	consumer []*Router   //hetpnoc:nosnap router wiring, fixed at build; Restore rebuilds their live masks
+	consBase []int32     //hetpnoc:nosnap router wiring, fixed at build
+	watchers [][]*Router //hetpnoc:nosnap router wiring, fixed at build
 
 	// Per-VC state, indexed by the global VC index g = vcBase[port]+vc.
 	hot   []vcHot
@@ -178,7 +178,7 @@ func (a *Arena) push(g int32, e entry) {
 // the deliberate cold exit of push: each ring grows O(log depth) times
 // per run and then steady-state traffic stops allocating.
 //
-//hetpnoc:coldcall
+//hetpnoc:coldcall amortized ring growth, O(log depth) times per run, never steady-state
 func (a *Arena) growBuf(g int32) []entry {
 	old := a.bufs[g]
 	depth := a.depthOfVC(g)

@@ -87,7 +87,14 @@ func (p *Port) SetWake(fn func()) { p.a.wake[p.id] = fn }
 func (p *Port) SetRouteTable(tab []int16) { p.a.routeTab[p.id] = tab }
 
 // VCCount returns the number of virtual channels.
-func (p *Port) VCCount() int { return int(p.a.vcCnt[p.id]) }
+func (p *Port) VCCount() int {
+	vcCnt := p.a.vcCnt
+	id := int(p.id)
+	if uint(id) >= uint(len(vcCnt)) {
+		return 0 // unreachable: ids are assigned by Reserve; the guard anchors BCE
+	}
+	return int(vcCnt[id])
+}
 
 // VC returns the view of channel i.
 func (p *Port) VC(i int) VC {
@@ -116,13 +123,21 @@ func (v VC) Free() int { return v.a.depthOfVC(v.g) - int(v.a.hot[v.g].count) }
 //hetpnoc:hotpath
 func (p *Port) AllocVC(owner packet.ID) (int, bool) {
 	a := p.a
-	m := a.freeMask[p.id]
+	id := int(p.id)
+	if uint(id) >= uint(len(a.freeMask)) || uint(id) >= uint(len(a.vcBase)) {
+		return 0, false // unreachable: ids are assigned by Reserve; the guard anchors BCE
+	}
+	m := a.freeMask[id]
 	if m == 0 {
 		return 0, false
 	}
 	i := bits.TrailingZeros64(m)
-	a.freeMask[p.id] = m & (m - 1)
-	a.owner[a.vcBase[p.id]+int32(i)] = owner
+	g := int(a.vcBase[id]) + i
+	if uint(g) >= uint(len(a.owner)) {
+		return 0, false // unreachable: vcBase+i stays inside the arena's VC range
+	}
+	a.freeMask[id] = m & (m - 1)
+	a.owner[g] = owner
 	return i, true
 }
 
@@ -146,7 +161,15 @@ func (p *Port) FreeVCs() int {
 // Space returns the free buffer slots of VC i.
 func (p *Port) Space(i int) int {
 	a := p.a
-	return int(a.depth[p.id]) - int(a.hot[a.vcBase[p.id]+int32(i)].count)
+	id := int(p.id)
+	if uint(id) >= uint(len(a.depth)) || uint(id) >= uint(len(a.vcBase)) {
+		return 0 // unreachable: ids are assigned by Reserve; the guard anchors BCE
+	}
+	g := int(a.vcBase[id]) + i
+	if uint(g) >= uint(len(a.hot)) {
+		return 0 // unreachable: vcBase+i stays inside the arena's VC range
+	}
+	return int(a.depth[id]) - int(a.hot[g].count)
 }
 
 // Enqueue buffers a flit into VC i at cycle now, charging the buffer-write
@@ -216,11 +239,23 @@ func (p *Port) Enqueue(i int, f packet.Flit, now sim.Cycle) error {
 //hetpnoc:hotpath
 func (p *Port) Head(i int) (packet.Flit, sim.Cycle, bool) {
 	a := p.a
-	g := a.vcBase[p.id] + int32(i)
+	id := int(p.id)
+	if uint(id) >= uint(len(a.vcBase)) {
+		return packet.Flit{}, 0, false // unreachable: ids are assigned by Reserve; the guard anchors BCE
+	}
+	g := int(a.vcBase[id]) + i
+	if uint(g) >= uint(len(a.hot)) || uint(g) >= uint(len(a.bufs)) || uint(g) >= uint(len(a.head)) {
+		return packet.Flit{}, 0, false // unreachable: vcBase+i stays inside the arena's VC range
+	}
 	if a.hot[g].count == 0 {
 		return packet.Flit{}, 0, false
 	}
-	e := a.bufs[g][a.head[g]]
+	buf := a.bufs[g]
+	hd := int(a.head[g])
+	if uint(hd) >= uint(len(buf)) {
+		return packet.Flit{}, 0, false // unreachable: head always points inside the ring
+	}
+	e := buf[hd]
 	return e.flit(), e.enqueued(), true
 }
 
@@ -232,7 +267,15 @@ func (p *Port) Head(i int) (packet.Flit, sim.Cycle, bool) {
 //hetpnoc:hotpath
 func (p *Port) HeadMeta(i int) (enq sim.Cycle, isHeader, ok bool) {
 	a := p.a
-	h := &a.hot[a.vcBase[p.id]+int32(i)]
+	id := int(p.id)
+	if uint(id) >= uint(len(a.vcBase)) {
+		return 0, false, false // unreachable: ids are assigned by Reserve; the guard anchors BCE
+	}
+	g := int(a.vcBase[id]) + i
+	if uint(g) >= uint(len(a.hot)) {
+		return 0, false, false // unreachable: vcBase+i stays inside the arena's VC range
+	}
+	h := &a.hot[g]
 	if h.count == 0 {
 		return 0, false, false
 	}
@@ -304,7 +347,12 @@ func (p *Port) Pop(i int) (packet.Flit, error) {
 
 // BufferedFlits returns the total flits buffered across all VCs.
 func (p *Port) BufferedFlits() int {
-	return int(p.a.buffered[p.id])
+	buffered := p.a.buffered
+	id := int(p.id)
+	if uint(id) >= uint(len(buffered)) {
+		return 0 // unreachable: ids are assigned by Reserve; the guard anchors BCE
+	}
+	return int(buffered[id])
 }
 
 // ReleaseOwner force-frees VC i. The receive engine uses it when a packet

@@ -235,9 +235,17 @@ func (r *Router) Tick(now sim.Cycle) error {
 		}
 		r.quiet = false
 	}
+	// Index-guard note: the scans below decode indices from bitmask bits
+	// and packed candidate descriptors, relations the compiler cannot see
+	// through, so every decoded index is checked once with an unsigned
+	// compare against the slice it drives. The guards are dead by
+	// construction (masks, candidates and arena views are sized together
+	// at build), but they anchor bounds-check elimination for every access
+	// they dominate.
 	a := r.arena
 	nw := r.maskWords
 	outMask := r.outMask
+	liveMask := r.liveMask
 	var nonEmpty uint64 // bit o set: output o has at least one contender
 	if r.tabled {
 		// Fast path: the persistent masks already bin every owned VC by
@@ -251,8 +259,12 @@ func (r *Router) Tick(now sim.Cycle) error {
 			base := o * nw
 			var any uint64
 			for j := 0; j < nw; j++ {
-				w := r.liveMask[base+j]
-				outMask[base+j] = w
+				k := base + j
+				if uint(k) >= uint(len(liveMask)) || uint(k) >= uint(len(outMask)) {
+					continue
+				}
+				w := liveMask[k]
+				outMask[k] = w
 				any |= w
 			}
 			if any != 0 {
@@ -278,11 +290,26 @@ func (r *Router) Tick(now sim.Cycle) error {
 
 	anyGrant := false
 	minReady := quietForever
-	candidates := len(r.cand)
+	cand := r.cand
+	candidates := len(cand)
+	hot := a.hot
+	bufs, heads := a.bufs, a.head
+	owner, fbits := a.owner, a.fbits
+	inputs := r.inputs
+	outputs := r.outputs
+	chargeLink := r.chargeLink
 	for ne := nonEmpty; ne != 0; ne &= ne - 1 {
 		o := bits.TrailingZeros64(ne)
-		out := r.outputs[o]
-		mask := outMask[o*nw : (o+1)*nw]
+		if uint(o) >= uint(len(outputs)) || uint(o) >= uint(len(chargeLink)) {
+			continue
+		}
+		out := outputs[o]
+		base := o * nw
+		end := base + nw
+		if base < 0 || end < base || end > len(outMask) {
+			continue
+		}
+		mask := outMask[base:end]
 		granted := 0
 		// The reference scan evaluates position (out.rr + scan) mod
 		// candidates for scan = 0..candidates-1, reading out.rr live — a
@@ -320,12 +347,25 @@ func (r *Router) Tick(now sim.Cycle) error {
 			if scan >= candidates {
 				break
 			}
-			c := r.cand[idx]
-			h := &a.hot[c.g]
+			wi := idx >> 6
+			if uint(idx) >= uint(len(cand)) || uint(wi) >= uint(len(mask)) {
+				continue
+			}
+			bit := uint64(1) << (uint(idx) & 63)
+			c := cand[idx]
+			g := int(c.g)
+			in := int(c.in)
+			if uint(g) >= uint(len(hot)) || uint(g) >= uint(len(bufs)) ||
+				uint(g) >= uint(len(heads)) || uint(g) >= uint(len(owner)) ||
+				uint(g) >= uint(len(fbits)) ||
+				uint(in) >= uint(len(inputs)) || uint(in) >= uint(len(budget)) {
+				continue
+			}
+			h := &hot[g]
 			// Re-check liveness: an earlier grant may have drained the
 			// VC, exposed a younger head, or spent the input's budget.
-			if budget[c.in] == 0 || h.count == 0 {
-				mask[idx>>6] &^= 1 << (uint(idx) & 63)
+			if budget[in] == 0 || h.count == 0 {
+				mask[wi] &^= bit
 				continue
 			}
 			if now-h.headEnq < PipelineDelay {
@@ -335,53 +375,57 @@ func (r *Router) Tick(now sim.Cycle) error {
 				if ready := h.headEnq + PipelineDelay; ready < minReady {
 					minReady = ready
 				}
-				mask[idx>>6] &^= 1 << (uint(idx) & 63)
+				mask[wi] &^= bit
 				continue
 			}
 
 			if h.flags&(vcHeadHdr|vcRouted) == vcHeadHdr {
 				if dst := h.dstOut; dst >= 0 {
 					if int(dst) != o {
-						mask[idx>>6] &^= 1 << (uint(idx) & 63)
+						mask[wi] &^= bit
 						continue
 					}
-				} else if r.route(a.bufs[c.g][a.head[c.g]].flit()) != o {
-					mask[idx>>6] &^= 1 << (uint(idx) & 63)
-					continue
+				} else {
+					buf := bufs[g]
+					hd := int(heads[g])
+					if uint(hd) >= uint(len(buf)) || r.route(buf[hd].flit()) != o {
+						mask[wi] &^= bit
+						continue
+					}
 				}
-				dstVC, ok := out.dst.AllocVC(a.owner[c.g])
+				dstVC, ok := out.dst.AllocVC(owner[g])
 				if !ok {
 					// No free downstream VC; the packet retries next cycle.
-					mask[idx>>6] &^= 1 << (uint(idx) & 63)
+					mask[wi] &^= bit
 					continue
 				}
 				h.flags |= vcRouted
 				h.outPort = int16(o)
 				h.outVC = int8(dstVC)
 			} else if h.flags&vcRouted == 0 || int(h.outPort) != o {
-				mask[idx>>6] &^= 1 << (uint(idx) & 63)
+				mask[wi] &^= bit
 				continue
 			}
 
 			dstVC := int(h.outVC)
 			if out.dst.Space(dstVC) == 0 {
-				mask[idx>>6] &^= 1 << (uint(idx) & 63)
+				mask[wi] &^= bit
 				continue
 			}
 
-			popped, err := r.inputs[c.in].Pop(int(c.vc)) // releases the VC on tail
+			popped, err := inputs[in].Pop(int(c.vc)) // releases the VC on tail
 			if err != nil {
 				return fmt.Errorf("router %s: %w", r.name, err)
 			}
 			if err := out.dst.Enqueue(dstVC, popped, now); err != nil {
 				return fmt.Errorf("router %s: %w", r.name, err)
 			}
-			flitBits := float64(a.fbits[c.g])
+			flitBits := float64(fbits[g])
 			r.ledger.AddRouterTraversal(flitBits)
-			if r.chargeLink[o] {
+			if chargeLink[o] {
 				r.ledger.AddWireLink(flitBits)
 			}
-			budget[c.in]--
+			budget[in]--
 			granted++
 			anyGrant = true
 			out.rr = (int(idx) + 1) % candidates
@@ -410,15 +454,31 @@ func (r *Router) buildScratch(now sim.Cycle) uint64 {
 		outMask[i] = 0
 	}
 	var nonEmpty uint64
+	// As in Tick, each decoded index is guarded once with a dead-by-
+	// construction unsigned compare so the accesses it dominates carry no
+	// bounds checks.
+	hot := a.hot
+	buffered, vcBase, occMask := a.buffered, a.vcBase, a.occMask
+	candBase := r.candBase
+	outs := len(r.outputs)
 	for i, p := range r.inPort {
-		if a.buffered[p] == 0 {
+		pi := int(p)
+		if uint(pi) >= uint(len(buffered)) || uint(pi) >= uint(len(vcBase)) ||
+			uint(pi) >= uint(len(occMask)) || uint(i) >= uint(len(candBase)) {
 			continue
 		}
-		base := r.candBase[i]
-		gBase := a.vcBase[p]
-		for w := a.occMask[p]; w != 0; w &= w - 1 {
+		if buffered[pi] == 0 {
+			continue
+		}
+		base := candBase[i]
+		gBase := int(vcBase[pi])
+		for w := occMask[pi]; w != 0; w &= w - 1 {
 			v := bits.TrailingZeros64(w)
-			h := &a.hot[gBase+int32(v)]
+			g := gBase + v
+			if uint(g) >= uint(len(hot)) {
+				continue
+			}
+			h := &hot[g]
 			if now-h.headEnq < PipelineDelay {
 				continue
 			}
@@ -427,20 +487,26 @@ func (r *Router) buildScratch(now sim.Cycle) uint64 {
 			word := idx >> 6
 			switch {
 			case h.flags&vcRouted != 0:
-				outMask[int(h.outPort)*nw+word] |= bit
+				if k := int(h.outPort)*nw + word; uint(k) < uint(len(outMask)) {
+					outMask[k] |= bit
+				}
 				nonEmpty |= 1 << uint(h.outPort)
 			case h.flags&vcHeadHdr != 0:
 				if d := h.dstOut; d >= 0 {
-					outMask[int(d)*nw+word] |= bit
+					if k := int(d)*nw + word; uint(k) < uint(len(outMask)) {
+						outMask[k] |= bit
+					}
 					nonEmpty |= 1 << uint(d)
 				} else {
 					// The target is unknown until the routing function
 					// runs at visit time, so the candidate contends at
 					// every output.
-					for o := range r.outputs {
-						outMask[o*nw+word] |= bit
+					for o := 0; o < outs; o++ {
+						if k := o*nw + word; uint(k) < uint(len(outMask)) {
+							outMask[k] |= bit
+						}
 					}
-					nonEmpty |= 1<<uint(len(r.outputs)) - 1
+					nonEmpty |= 1<<uint(outs) - 1
 				}
 			default:
 				// A body-flit head in an unrouted VC can never move this
@@ -506,9 +572,13 @@ func (r *Router) SetRRState(src []int) []int {
 // BufferedFlits returns the flits buffered across all input ports, for
 // tests and diagnostics.
 func (r *Router) BufferedFlits() int {
-	a, n := r.arena, int32(0)
+	buffered, n := r.arena.buffered, int32(0)
 	for _, p := range r.inPort {
-		n += a.buffered[p]
+		pi := int(p)
+		if uint(pi) >= uint(len(buffered)) {
+			continue // unreachable: ids are assigned by Reserve; the guard anchors BCE
+		}
+		n += buffered[pi]
 	}
 	return int(n)
 }

@@ -61,8 +61,11 @@ func (b *Bitset) Clone() Bitset {
 //
 //hetpnoc:hotpath
 func NextSet(words []uint64, from int) int {
+	// The unsigned compare also rejects a negative from, so the first-word
+	// access below needs no bounds check even when inlined into a caller's
+	// scan loop.
 	w := from >> 6
-	if w >= len(words) {
+	if uint(w) >= uint(len(words)) {
 		return -1
 	}
 	if word := words[w] &^ (1<<(uint(from)&63) - 1); word != 0 {

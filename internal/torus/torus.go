@@ -125,10 +125,15 @@ type Network struct {
 	ledger *photonic.Ledger
 	onDrop xbar.DropHandler
 
-	linkOwner map[linkID]*path
-	active    []*path // per source node, nil when idle
+	linkOwner map[linkID]*path //hetpnoc:nosnap derived: RestoreNetwork rebuilds it from the restored circuits
+	active    []*path          // per source node, nil when idle
 	retryAt   []sim.Cycle
 	rr        []int
+
+	// band is the full DWDM band of one link's waveguide, the gating set
+	// of every torus receive window. It never varies per path, so it is
+	// computed once here instead of allocating per established circuit.
+	band []photonic.WavelengthID //hetpnoc:nosnap immutable full-band table, computed once at build
 
 	pathsSetUp    int64
 	setupsBlocked int64
@@ -148,6 +153,10 @@ func New(cfg Config, tx []*router.Port, rxs []*xbar.RX, ledger *photonic.Ledger,
 	if cfg.ClockHz <= 0 || cfg.SetupHopCycles <= 0 || cfg.RetryBackoffCycles <= 0 {
 		return nil, fmt.Errorf("torus: timing parameters must be positive")
 	}
+	band := make([]photonic.WavelengthID, cfg.Bundle.WavelengthsPerWaveguide)
+	for i := range band {
+		band[i] = photonic.WavelengthID{Waveguide: 0, Wavelength: i}
+	}
 	return &Network{
 		cfg:       cfg,
 		side:      side,
@@ -159,6 +168,7 @@ func New(cfg Config, tx []*router.Port, rxs []*xbar.RX, ledger *photonic.Ledger,
 		active:    make([]*path, cfg.Nodes),
 		retryAt:   make([]sim.Cycle, cfg.Nodes),
 		rr:        make([]int, cfg.Nodes),
+		band:      band,
 	}, nil
 }
 
@@ -245,7 +255,7 @@ func (n *Network) Tick(now sim.Cycle) error {
 			if now >= p.readyAt {
 				// Acknowledgement arrived: gate the destination's
 				// detectors on the full link DWDM and stream.
-				p.window = n.rxs[p.dst].Begin(p.pkt, n.fullBand())
+				p.window = n.rxs[p.dst].Begin(p.pkt, n.band)
 				p.state = phaseStreaming
 				p.credit = 0
 				n.cfg.Events.AppendInts(now, event.StreamStarted, src, int64(p.pkt.ID),
@@ -258,15 +268,6 @@ func (n *Network) Tick(now sim.Cycle) error {
 		}
 	}
 	return nil
-}
-
-// fullBand returns every wavelength of one link's waveguide.
-func (n *Network) fullBand() []photonic.WavelengthID {
-	ids := make([]photonic.WavelengthID, n.cfg.Bundle.WavelengthsPerWaveguide)
-	for i := range ids {
-		ids[i] = photonic.WavelengthID{Waveguide: 0, Wavelength: i}
-	}
-	return ids
 }
 
 // trySetup scans the source's transmit VCs for a ready header and attempts
@@ -308,6 +309,7 @@ func (n *Network) trySetup(src int, now sim.Cycle) {
 				return
 			}
 		}
+		//hetpnoc:coldcall circuit establishment, amortized over the whole packet the circuit streams
 		p := &path{
 			src:   src,
 			dst:   dst,

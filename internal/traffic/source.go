@@ -33,11 +33,11 @@ type Source struct {
 	pOnToOff  float64
 	pOffToOn  float64
 
-	nextMessage *packet.MessageID
-	nextPacket  *packet.ID
+	nextMessage *packet.MessageID //hetpnoc:nosnap run-wide ID counter owned and checkpointed by the fabric
+	nextPacket  *packet.ID        //hetpnoc:nosnap run-wide ID counter owned and checkpointed by the fabric
 
 	// pool, when set, recycles packet structs (nil allocates fresh).
-	pool *packet.Pool
+	pool *packet.Pool //hetpnoc:nosnap owned and checkpointed by the fabric; SetPool re-wires it
 }
 
 // NewSource builds a source for core with the given profile and framing.

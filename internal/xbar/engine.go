@@ -47,7 +47,7 @@ type RX struct {
 
 	// free recycles closed Window structs so steady-state streaming
 	// allocates nothing per packet.
-	free []*Window
+	free []*Window //hetpnoc:nosnap allocation free-list; its windows are closed, dead state
 }
 
 // NewRX builds the receive engine for cluster, delivering into port (the
@@ -98,7 +98,8 @@ func (rx *RX) Begin(p *packet.Packet, power []photonic.WavelengthID) *Window {
 		rx.free = rx.free[:n-1]
 		*w = Window{rx: rx, pkt: p, power: power}
 	} else {
-		w = &Window{rx: rx, pkt: p, power: power}
+		//hetpnoc:coldcall free-list miss; windows recycle via Release, so warm streaming never allocates
+		w = newWindow(rx, p, power)
 	}
 	vc, ok := rx.port.AllocVC(p.ID)
 	if !ok {
@@ -109,6 +110,15 @@ func (rx *RX) Begin(p *packet.Packet, power []photonic.WavelengthID) *Window {
 	}
 	rx.detectors.Power(power, true)
 	return w
+}
+
+// newWindow is Begin's allocation fallback for a drained free list; once
+// the first few windows cycle through Release, Begin always recycles.
+//
+//hetpnoc:coldcall free-list-miss fallback, cold after warm-up
+//go:noinline
+func newWindow(rx *RX, p *packet.Packet, power []photonic.WavelengthID) *Window {
+	return &Window{rx: rx, pkt: p, power: power}
 }
 
 // Deliver accepts one flit off the channel into the window.
@@ -199,7 +209,7 @@ type TX struct {
 	// next reservation in flight, if any; spare recycles the struct so
 	// admitting a packet allocates nothing in steady state.
 	next  *pending
-	spare *pending
+	spare *pending //hetpnoc:nosnap allocation recycling slot; holds only a dead reservation struct
 
 	rr int
 
@@ -342,7 +352,8 @@ func (tx *TX) admitNext(now sim.Cycle) {
 
 			np := tx.spare
 			if np == nil {
-				np = new(pending)
+				//hetpnoc:coldcall spare-miss fallback: one pending struct per TX recycles forever after
+				np = newPending()
 			} else {
 				tx.spare = nil
 			}
@@ -360,6 +371,13 @@ func (tx *TX) admitNext(now sim.Cycle) {
 		}
 	}
 }
+
+// newPending is admitNext's allocation fallback when the recycling slot
+// is empty — at most once per TX in steady state.
+//
+//hetpnoc:coldcall spare-miss fallback, at most one live reservation per TX
+//go:noinline
+func newPending() *pending { return new(pending) }
 
 // stream moves flits of the current packet onto the channel as bandwidth
 // credit accrues: k allocated wavelengths earn k x (rate/clock) bits per
