@@ -62,7 +62,7 @@ race:
 	$(GO) test -race ./...
 
 race-quick:
-	$(GO) test -race ./internal/experiments/... ./cmd/sweep/... ./internal/serve/...
+	$(GO) test -race ./internal/batch/... ./internal/experiments/... ./cmd/sweep/... ./internal/serve/...
 
 # Short native-fuzzing pass over every fuzz target; `go test -fuzz`
 # accepts one package per invocation, hence one line per target. Seed
@@ -72,6 +72,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointRestore$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzServeRequestDecode$$' -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzSweepDecode$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzBatchPlan$$' -fuzztime $(FUZZTIME) ./internal/batch
 
 bench:
 	./scripts/bench.sh

@@ -56,7 +56,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		bench     = fs.String("bench", "BenchmarkFabricStep|BenchmarkFabricStepIdle|BenchmarkFabricBuild|BenchmarkRouterTick|BenchmarkTokenTick|BenchmarkSimulationThroughput", "benchmark regex passed to go test -bench")
+		bench     = fs.String("bench", "BenchmarkFabricStep|BenchmarkFabricStepIdle|BenchmarkFabricBuild|BenchmarkRouterTick|BenchmarkTokenTick|BenchmarkSimulationThroughput|BenchmarkBatchSweep256|BenchmarkSequentialSweep256", "benchmark regex passed to go test -bench")
 		pkg       = fs.String("pkg", "./...", "package pattern passed to go test")
 		count     = fs.Int("count", 3, "runs per benchmark (go test -count)")
 		benchtime = fs.String("benchtime", "", "go test -benchtime (e.g. 1x, 100ms); empty = go default")

@@ -1,0 +1,321 @@
+package batch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hetpnoc/internal/event"
+	"hetpnoc/internal/fabric"
+	"hetpnoc/internal/traffic"
+)
+
+// soloRun executes one member config on its own fresh fabric — the
+// reference the pristine fork must match byte-for-byte.
+func soloRun(t *testing.T, cfg fabric.Config) (fabric.Result, []event.Event) {
+	t.Helper()
+	f, err := fabric.New(cfg.WithDefaults())
+	if err != nil {
+		t.Fatalf("solo fabric.New: %v", err)
+	}
+	res, err := f.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	return res, f.Events().Events()
+}
+
+func resultJSON(t *testing.T, res fabric.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return b
+}
+
+func eventsEqual(a, b []event.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPristineForkMatchesSolo drives the engine at the fabric layer —
+// including a remap scheduled AFTER the fork point, so the remap timer
+// re-arms correctly on every restore and draws the member's own RNG
+// stream — and requires byte-identical results and event logs against
+// per-config solo runs.
+func TestPristineForkMatchesSolo(t *testing.T) {
+	remapped := func(seed uint64, load float64) fabric.Config {
+		s := spec(seed, load)
+		s.EventCapacity = 256
+		s.Remaps = []fabric.Remap{{At: 300, Pattern: traffic.Skewed{Level: 2}}}
+		return s
+	}
+	specs := []fabric.Config{
+		remapped(1, 1), remapped(5, 1), remapped(1, 2), remapped(5, 0.75),
+	}
+	p := mustPlan(t, specs, Options{Fork: ForkPristine})
+	if st := p.Stats(); st.Groups != 1 {
+		t.Fatalf("plan built %d groups, want 1 (seeds and loads vary freely, remap schedules match)", st.Groups)
+	}
+	out, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, s := range specs {
+		wantRes, wantEvents := soloRun(t, s)
+		if out[i].ForkCycle != 0 {
+			t.Errorf("member %d forked at cycle %d, want 0 (pristine)", i, out[i].ForkCycle)
+		}
+		if got, want := resultJSON(t, out[i].Res), resultJSON(t, wantRes); !bytes.Equal(got, want) {
+			t.Errorf("member %d diverges from solo run:\nbatch: %s\nsolo:  %s", i, got, want)
+		}
+		if !eventsEqual(out[i].Events, wantEvents) {
+			t.Errorf("member %d event log diverges (batch %d events, solo %d)", i, len(out[i].Events), len(wantEvents))
+		}
+	}
+}
+
+// warmReference reproduces the documented replicated-run contract for
+// one member: build at the base config, warm under the base seed,
+// reseed at the boundary, pay only the measurement window.
+func warmReference(t *testing.T, base fabric.Config, seed uint64) (fabric.Result, []event.Event) {
+	t.Helper()
+	base = base.WithDefaults()
+	f, err := fabric.New(base)
+	if err != nil {
+		t.Fatalf("reference fabric.New: %v", err)
+	}
+	if err := f.StepContext(context.Background(), base.WarmupCycles); err != nil {
+		t.Fatalf("reference warm-up: %v", err)
+	}
+	if err := f.Reseed(seed); err != nil {
+		t.Fatalf("reference reseed: %v", err)
+	}
+	if err := f.StepContext(context.Background(), base.Cycles-base.WarmupCycles); err != nil {
+		t.Fatalf("reference measurement: %v", err)
+	}
+	res, err := f.Finish()
+	if err != nil {
+		t.Fatalf("reference finish: %v", err)
+	}
+	return res, f.Events().Events()
+}
+
+// TestWarmForkEquivalence: forking at the warm-up boundary is
+// bit-identical to warming a fresh fabric under the base seed and
+// reseeding it at the same boundary. A remap scheduled inside the
+// measurement window checks the post-fork reconfiguration path too.
+func TestWarmForkEquivalence(t *testing.T) {
+	mk := func(seed uint64) fabric.Config {
+		s := spec(seed, 1)
+		s.EventCapacity = 256
+		s.Remaps = []fabric.Remap{{At: 400, Pattern: traffic.Skewed{Level: 2}}}
+		return s
+	}
+	specs := []fabric.Config{mk(1), mk(2), mk(3)}
+	p := mustPlan(t, specs, Options{Fork: ForkWarmup})
+	if st := p.Stats(); st.Groups != 1 {
+		t.Fatalf("plan built %d groups, want 1", st.Groups)
+	}
+	out, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, s := range specs {
+		wantRes, wantEvents := warmReference(t, specs[0], s.Seed)
+		if got, want := resultJSON(t, out[i].Res), resultJSON(t, wantRes); !bytes.Equal(got, want) {
+			t.Errorf("member %d diverges from the warm-fork reference:\nbatch: %s\nref:   %s", i, got, want)
+		}
+		if !eventsEqual(out[i].Events, wantEvents) {
+			t.Errorf("member %d event log diverges", i)
+		}
+	}
+}
+
+// TestWarmForkNeverRestepsWarmup pins the double-warm-up regression: a
+// caller that leaves WarmupCycles zero gets the fabric's default (1000)
+// applied at build time, and the fork must happen exactly there — the
+// members' remaining cycle count comes from the checkpoint's own cycle,
+// never re-derived from the caller's (un-defaulted) options. Before the
+// batch engine, experiments.replicateRows computed the measurement
+// window from caller options and re-stepped the whole warm-up inside
+// every replica.
+func TestWarmForkNeverRestepsWarmup(t *testing.T) {
+	mk := func(seed uint64) fabric.Config {
+		return fabric.Config{
+			Pattern: traffic.Uniform{},
+			Cycles:  2000,
+			// WarmupCycles deliberately zero: the fabric defaults it.
+			Seed: seed,
+		}
+	}
+	specs := []fabric.Config{mk(1), mk(2)}
+	p := mustPlan(t, specs, Options{Fork: ForkWarmup})
+	out, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wantFork := fabric.Config{}.WithDefaults().WarmupCycles
+	for i := range out {
+		if int(out[i].ForkCycle) != wantFork {
+			t.Errorf("member %d forked at cycle %d, want the defaulted warm-up boundary %d", i, out[i].ForkCycle, wantFork)
+		}
+		wantRes, _ := warmReference(t, specs[0], specs[i].Seed)
+		if got, want := resultJSON(t, out[i].Res), resultJSON(t, wantRes); !bytes.Equal(got, want) {
+			t.Errorf("member %d diverges from the single-warm-up reference", i)
+		}
+	}
+}
+
+// TestPartitionIndependence is the scheduling-invariance property: for
+// random sub-batches of a mixed corpus, the results are byte-identical
+// at worker counts 1, 2 and GOMAXPROCS — partitioning work over more
+// workers (and the stealing it causes) may never change any member's
+// bytes.
+func TestPartitionIndependence(t *testing.T) {
+	corpus := []fabric.Config{
+		spec(1, 1), spec(2, 1), spec(1, 2), spec(3, 0.5),
+		spec(1, 1), // duplicate of corpus[0]: identical members must yield identical bytes
+	}
+	firefly := spec(2, 1)
+	firefly.Arch = fabric.Firefly
+	skewed := spec(4, 1)
+	skewed.Pattern = traffic.Skewed{Level: 2}
+	corpus = append(corpus, firefly, skewed)
+
+	property := func(mask uint8, warm bool) bool {
+		var specs []fabric.Config
+		for i, s := range corpus {
+			if mask&(1<<i) != 0 {
+				specs = append(specs, s)
+			}
+		}
+		if len(specs) == 0 {
+			return true
+		}
+		fork := ForkPristine
+		if warm {
+			fork = ForkWarmup
+		}
+		var ref [][]byte
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			p, err := NewPlan(specs, Options{Workers: workers, Fork: fork})
+			if err != nil {
+				t.Logf("NewPlan: %v", err)
+				return false
+			}
+			out, err := p.Run(context.Background())
+			if err != nil {
+				t.Logf("Run: %v", err)
+				return false
+			}
+			enc := make([][]byte, len(out))
+			for i := range out {
+				enc[i] = resultJSON(t, out[i].Res)
+			}
+			if ref == nil {
+				ref = enc
+				continue
+			}
+			for i := range enc {
+				if !bytes.Equal(enc[i], ref[i]) {
+					t.Logf("member %d differs between worker counts", i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunCancellationDrains is the -race soak: canceling mid-batch
+// aborts the in-flight members promptly, drains every worker without
+// leaking goroutines, and a resubmitted plan reproduces the uncanceled
+// results byte-identically.
+func TestRunCancellationDrains(t *testing.T) {
+	long := func(seed uint64) fabric.Config {
+		s := spec(seed, 1)
+		s.Cycles = 50_000_000
+		s.WarmupCycles = 1000
+		return s
+	}
+	specs := []fabric.Config{long(1), long(2), long(3), long(4)}
+	before := runtime.NumGoroutine()
+
+	p := mustPlan(t, specs, Options{Workers: 2, Fork: ForkPristine})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := p.Run(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	canceledAt := time.Now()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("Run did not drain within 10s of cancellation (running since %v)", time.Since(start))
+	}
+	// The cycle loop polls ctx every fabric.CancelCheckInterval cycles;
+	// even generously, the workers must be gone well under a second.
+	if drain := time.Since(canceledAt); drain > 2*time.Second {
+		t.Errorf("drain took %v after cancel", drain)
+	}
+	// Goroutine-leak bound: the worker pool is joined before Run
+	// returns, so the count settles back to the baseline (polling
+	// tolerates unrelated runtime goroutines winding down).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines did not settle: %d now, %d before the batch", runtime.NumGoroutine(), before)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Resubmit: the same Plan runs again from fresh fabrics and must
+	// reproduce an uncanceled reference byte-for-byte.
+	short := []fabric.Config{spec(1, 1), spec(2, 1), spec(3, 2)}
+	rp := mustPlan(t, short, Options{Workers: 2})
+	rctx, rcancel := context.WithCancel(context.Background())
+	time.AfterFunc(time.Millisecond, rcancel)
+	if _, err := rp.Run(rctx); err != nil && err != context.Canceled {
+		t.Fatalf("canceled run: %v", err)
+	}
+	got, err := rp.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resubmitted run: %v", err)
+	}
+	want, err := mustPlan(t, short, Options{Workers: 1}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	for i := range got {
+		if !bytes.Equal(resultJSON(t, got[i].Res), resultJSON(t, want[i].Res)) {
+			t.Errorf("member %d of the resubmitted plan diverges from the reference", i)
+		}
+	}
+}

@@ -19,8 +19,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
+	"hetpnoc/internal/batch"
 	"hetpnoc/internal/fabric"
 	"hetpnoc/internal/topology"
 	"hetpnoc/internal/traffic"
@@ -133,30 +133,6 @@ func rowAtPeak(p Point, scale float64, res fabric.Result) Row {
 	}
 }
 
-// runPoint sweeps the load scales for one point and keeps the best.
-func runPoint(ctx context.Context, opts Options, p Point) (Row, error) {
-	var best Row
-	found := false
-	for _, scale := range opts.LoadScales {
-		f, err := fabric.New(pointConfig(opts, p, scale))
-		if err != nil {
-			return Row{}, fmt.Errorf("experiments: %s/%s/%s: %w", p.Set.Name, p.Pattern.Name(), p.Arch, err)
-		}
-		res, err := f.RunContext(ctx)
-		if err != nil {
-			return Row{}, fmt.Errorf("experiments: %s/%s/%s: %w", p.Set.Name, p.Pattern.Name(), p.Arch, err)
-		}
-		if !found || res.Stats.DeliveredGbps > best.PeakBandwidthGbps {
-			found = true
-			best = rowAtPeak(p, scale, res)
-		}
-	}
-	if !found {
-		best = Row{Set: p.Set.Name, Pattern: p.Pattern.Name(), Arch: p.Arch.String()}
-	}
-	return best, nil
-}
-
 // RunMatrix executes every point, in parallel up to opts.Parallelism, and
 // returns rows in point order.
 //
@@ -169,33 +145,46 @@ func RunMatrix(opts Options, points []Point) ([]Row, error) {
 // in-flight points abort at the fabric's next cancellation check and the
 // first error returned is ctx's. The serving layer and long sweeps use
 // this to make whole matrices abortable.
+//
+// The matrix executes through the batch engine: every (point, load
+// scale) pair is one plan member, points sharing a build prefix share
+// one fabric (a load sweep builds one fabric per point instead of one
+// per scale), and internal/batch's work-stealing scheduler replaces the
+// per-point goroutine semaphore. Rows are bit-identical to running each
+// pair on its own fabric — the batch fork contract (docs/BATCHING.md).
 func RunMatrixContext(ctx context.Context, opts Options, points []Point) ([]Row, error) {
 	opts = opts.withDefaults()
 	rows := make([]Row, len(points))
-	errs := make([]error, len(points))
-
-	// Acquire the semaphore before spawning: a large matrix then keeps at
-	// most Parallelism goroutines alive instead of materializing one per
-	// point up front.
-	sem := make(chan struct{}, opts.Parallelism)
-	var wg sync.WaitGroup
-	for i, p := range points {
-		if err := ctx.Err(); err != nil {
-			errs[i] = err
-			break
-		}
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(i int, p Point) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rows[i], errs[i] = runPoint(ctx, opts, p)
-		}(i, p)
+	if len(points) == 0 {
+		return rows, nil
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	scales := opts.LoadScales
+	specs := make([]fabric.Config, 0, len(points)*len(scales))
+	for _, p := range points {
+		for _, scale := range scales {
+			specs = append(specs, pointConfig(opts, p, scale))
+		}
+	}
+	plan, err := batch.NewPlan(specs, batch.Options{Workers: opts.Parallelism})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	out, err := plan.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	for pi, p := range points {
+		found := false
+		for si, scale := range scales {
+			res := out[pi*len(scales)+si].Res
+			if !found || res.Stats.DeliveredGbps > rows[pi].PeakBandwidthGbps {
+				found = true
+				rows[pi] = rowAtPeak(p, scale, res)
+			}
 		}
 	}
 	return rows, nil

@@ -88,6 +88,38 @@ func TestReplicatedForkBitIdentical(t *testing.T) {
 	}
 }
 
+// TestReplicateNoDoubleWarmup pins the double-warm-up regression at the
+// experiments layer: options relying on the defaults (WarmupCycles left
+// zero) and options spelling the same values explicitly must replicate
+// identically. Before the batch engine, the measurement window was
+// derived from the caller's options while the warm-up came from the
+// fabric's defaults — whenever the two defaulting layers disagreed, the
+// replicas silently re-stepped the warm-up after the fork. The fork
+// point is now the checkpoint's own cycle, so the two spellings cannot
+// diverge.
+func TestReplicateNoDoubleWarmup(t *testing.T) {
+	p := Point{Set: traffic.BWSet1, Pattern: traffic.Uniform{}, Arch: fabric.DHetPNoC}
+	const seeds = 2
+	ctx := context.Background()
+
+	implicit, err := replicateRows(ctx, Options{Cycles: 2500}, p, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := replicateRows(ctx, Options{
+		Cycles:       2500,
+		WarmupCycles: 1000,
+		Seed:         1,
+		LoadScales:   []float64{1.0},
+	}, p, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(implicit, explicit) {
+		t.Fatalf("implicit and explicit default options replicate differently:\nimplicit: %+v\nexplicit: %+v", implicit, explicit)
+	}
+}
+
 // TestSkewedGainIsStatisticallySignificant replicates the headline result
 // over several seeds: d-HetPNoC's bandwidth gain under skewed traffic must
 // exceed the combined 95% confidence half-widths — it is an architectural

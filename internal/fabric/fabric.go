@@ -349,6 +349,26 @@ func (f *Fabric) Reseed(seed uint64) error {
 	return f.applyAssignment(a)
 }
 
+// SetLoadScale replaces the offered-load multiplier. It only takes
+// effect on the next Reseed (or task remap), which rebuilds every
+// traffic source from the current configuration — so the canonical fork
+// sequence Restore → SetLoadScale → Reseed reproduces, bit for bit, a
+// fabric freshly built at the new load: nothing else in the build
+// consumes the scale. Checkpoints capture the scale and Restore rewinds
+// it, so forking across load scales never leaks one member's load into
+// the next.
+func (f *Fabric) SetLoadScale(scale float64) error {
+	if scale < 0 || scale != scale || scale > maxFiniteLoadScale {
+		return fmt.Errorf("fabric: load scale %g out of range", scale)
+	}
+	f.cfg.LoadScale = scale
+	return nil
+}
+
+// maxFiniteLoadScale rejects +Inf and absurd scales that would overflow
+// the per-cycle injection probabilities.
+const maxFiniteLoadScale = 1 << 40
+
 // handleDrop is the TX engines' drop callback: the receiver had no free
 // VC, the packet's flits were discarded, and the source must retransmit
 // after a back-off (§1.4), up to the retry budget.

@@ -34,6 +34,13 @@ type Checkpoint struct {
 	rng        uint64
 	seed       uint64
 
+	// cfg is saved whole because SetLoadScale mutates it between a
+	// checkpoint and a restore (the batch engine's fork sequence);
+	// restoring copies it back so a restored fabric re-steps under the
+	// exact configuration it was checkpointed with. The shallow copy is
+	// sound: nothing mutates the Remaps slice contents after build.
+	cfg Config
+
 	arena     *router.ArenaSnapshot
 	routerRRs []int
 
@@ -84,6 +91,14 @@ type packetCapture struct {
 	val packet.Packet
 }
 
+// Cycle returns the cycle boundary the checkpoint was taken at — the
+// explicit fork point. Forking engines must derive the remaining cycle
+// count from it (cfg.Cycles - int(cp.Cycle())) instead of re-deriving it
+// from the warm-up configuration: the two disagree whenever the caller's
+// options and the fabric's applied defaults were filled independently,
+// which is exactly the latent double-warm-up the batch engine fixes.
+func (cp *Checkpoint) Cycle() sim.Cycle { return cp.now }
+
 // Checkpoint captures the fabric's complete mutable state at the current
 // cycle boundary. The fabric is untouched: taking a checkpoint never
 // perturbs the run.
@@ -96,6 +111,7 @@ func (f *Fabric) Checkpoint() *Checkpoint {
 		assignment: f.assignment,
 		rng:        f.rng.State(),
 		seed:       f.seed,
+		cfg:        f.cfg,
 
 		arena: f.arena.Snapshot(nil),
 
@@ -239,6 +255,7 @@ func (f *Fabric) Restore(cp *Checkpoint) error {
 	f.assignment = cp.assignment
 	f.rng.SetState(cp.rng)
 	f.seed = cp.seed
+	f.cfg = cp.cfg
 
 	// genList is derived state: rebuild it from the restored sources the
 	// same way applyAssignment does.

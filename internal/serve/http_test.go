@@ -113,6 +113,95 @@ func TestHTTPSweepEndpoint(t *testing.T) {
 	}
 }
 
+// TestHTTPSweepBatched exercises the shared-prefix fast path: a sweep
+// whose points differ only in seed and load scale forms one batch
+// partition, so every executed point reports batched=true and must
+// still be byte-identical to the standalone /v1/run result for the
+// same config. A point already in the result cache is served from it
+// instead of re-entering the batch.
+func TestHTTPSweepBatched(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	// Prime the cache with one of the sweep's points.
+	resp, body := postJSON(t, ts.URL+"/v1/run", `{"cycles":1200,"warmupCycles":1000,"seed":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime status %d: %s", resp.StatusCode, body)
+	}
+	var primed RunResponse
+	if err := json.Unmarshal(body, &primed); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/sweep", `{
+		"base": {"cycles": 1200, "warmupCycles": 1000},
+		"seeds": [1, 2, 3],
+		"loadScales": [1, 2]
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != 6 {
+		t.Fatalf("sweep returned %d points, want 6", len(sr.Points))
+	}
+	var batched, cached int
+	for i, p := range sr.Points {
+		switch {
+		case p.Cached:
+			cached++
+			if p.Key != primed.Key {
+				t.Errorf("point %d cached under key %s, primed key was %s", i, p.Key, primed.Key)
+			}
+		case p.Batched:
+			batched++
+		default:
+			t.Errorf("point %d neither batched nor cached: %+v", i, p)
+		}
+		if p.Result.PacketsDelivered == 0 {
+			t.Errorf("point %d delivered an empty result", i)
+		}
+	}
+	if cached != 1 || batched != 5 {
+		t.Fatalf("got %d cached and %d batched points, want 1 and 5", cached, batched)
+	}
+
+	// A batched point's result matches the standalone run byte for byte.
+	resp, body = postJSON(t, ts.URL+"/v1/run", `{"cycles":1200,"warmupCycles":1000,"seed":3,"loadScale":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solo status %d: %s", resp.StatusCode, body)
+	}
+	var solo RunResponse
+	if err := json.Unmarshal(body, &solo); err != nil {
+		t.Fatal(err)
+	}
+	if !solo.Cached {
+		t.Error("batched sweep did not publish its results to the cache")
+	}
+	for _, p := range sr.Points {
+		if p.Key != solo.Key {
+			continue
+		}
+		a, err := p.Result.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := solo.Result.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("batched point diverges from the standalone run:\nbatched: %s\nsolo:    %s", a, b)
+		}
+	}
+
+	if m := s.Metrics(); m.BatchedRuns != 5 {
+		t.Errorf("metrics report %d batched runs, want 5", m.BatchedRuns)
+	}
+}
+
 func TestHTTPHealthzAndMetricsz(t *testing.T) {
 	s := New(Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())

@@ -113,6 +113,8 @@ type flight struct {
 // the server.
 //
 //hetpnoc:lockorder Server.mu Cache.mu cache Get/Put may run under the server lock, never the reverse
+//hetpnoc:lockorder Server.mu scheduler.mu the batch scheduler locks only inside plan.Run, entered with no server lock held
+//hetpnoc:lockorder Cache.mu scheduler.mu cache calls complete before a sweep batch runs; the scheduler never calls back into serve
 type Server struct {
 	cfg   Config
 	cache *cache.Cache
@@ -134,6 +136,7 @@ type Server struct {
 	failed          atomic.Int64
 	rejected        atomic.Int64
 	coalesced       atomic.Int64
+	batched         atomic.Int64
 	cyclesSimulated atomic.Int64
 }
 
@@ -170,6 +173,10 @@ type Outcome struct {
 	// Coalesced reports the request joined an identical in-flight
 	// simulation instead of starting its own.
 	Coalesced bool
+	// Batched reports the simulation ran inside a shared-prefix batch
+	// (SubmitBatch): it forked off a fabric built once for the whole
+	// group instead of paying its own build.
+	Batched bool
 }
 
 // Submit validates, normalizes and executes cfg, deduplicating against
@@ -206,6 +213,96 @@ func (s *Server) Submit(ctx context.Context, cfg hetpnoc.Config) (Outcome, error
 		s.unsubscribe(fl)
 		return Outcome{}, ctx.Err()
 	}
+}
+
+// SubmitBatch executes a set of configs sharing a batch prefix (equal
+// Config.NormalizedPrefix — the sweep handler groups by it) in one
+// batched pass: cache hits are served directly, duplicates within the
+// batch coalesce onto one run, and the remaining misses go through
+// hetpnoc.RunBatchContext, which builds the shared fabric once and
+// forks every member off a pristine checkpoint. Each result is
+// byte-identical to Submit's for the same config and is published to
+// the cache. The batch runs on the calling goroutine — the sweep
+// handler provides the pool bounding — under the server's job timeout
+// and lifetime, canceled when either ctx or the server gives up.
+func (s *Server) SubmitBatch(ctx context.Context, cfgs []hetpnoc.Config) ([]Outcome, error) {
+	if s.Draining() {
+		return nil, ErrDraining
+	}
+	outs := make([]Outcome, len(cfgs))
+	// first maps a content key to the index of the first miss carrying
+	// it: later duplicates coalesce onto that run instead of re-entering
+	// the batch.
+	first := make(map[cache.Key]int)
+	var misses []int
+	for i, cfg := range cfgs {
+		cfg = cfg.Normalized()
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if s.cfg.MaxCycles > 0 && cfg.Cycles > s.cfg.MaxCycles {
+			return nil, fmt.Errorf("serve: %d cycles exceeds the per-request limit of %d", cfg.Cycles, s.cfg.MaxCycles)
+		}
+		canonical, err := cfg.CanonicalJSON()
+		if err != nil {
+			return nil, err
+		}
+		key := cache.KeyOf(canonical)
+		outs[i] = Outcome{Key: key}
+		cfgs[i] = cfg
+		if res, ok := s.cache.Get(key); ok {
+			outs[i].Result, outs[i].Cached = res, true
+			continue
+		}
+		if _, dup := first[key]; dup {
+			outs[i].Coalesced, outs[i].Batched = true, true
+			continue
+		}
+		first[key] = i
+		misses = append(misses, i)
+	}
+	if len(misses) == 0 {
+		return outs, nil
+	}
+
+	jobCtx, cancel := s.jobContext()
+	defer cancel()
+	stop := context.AfterFunc(ctx, cancel)
+	defer stop()
+
+	run := make([]hetpnoc.Config, len(misses))
+	for mi, i := range misses {
+		run[mi] = cfgs[i]
+	}
+	s.inFlight.Add(1)
+	results, err := hetpnoc.RunBatchContext(jobCtx, run)
+	s.inFlight.Add(-1)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			s.canceled.Add(1)
+			return nil, ctxErr
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.canceled.Add(1)
+			return nil, err
+		}
+		s.failed.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrSimulation, err)
+	}
+	for mi, i := range misses {
+		s.cache.Put(outs[i].Key, results[mi])
+		s.completed.Add(1)
+		s.batched.Add(1)
+		s.cyclesSimulated.Add(int64(cfgs[i].Cycles))
+		outs[i].Result, outs[i].Batched = results[mi], true
+	}
+	// Duplicates read their result through the first carrier of the key.
+	for i := range outs {
+		if outs[i].Coalesced {
+			outs[i].Result = outs[first[outs[i].Key]].Result
+		}
+	}
+	return outs, nil
 }
 
 // admit registers the caller on an existing identical flight or creates
@@ -357,6 +454,9 @@ type Metrics struct {
 	Failed    int64 `json:"failed"`
 	Rejected  int64 `json:"rejected"`
 	Coalesced int64 `json:"coalesced"`
+	// BatchedRuns counts simulations executed through the shared-prefix
+	// batch path instead of as standalone pool jobs.
+	BatchedRuns int64 `json:"batchedRuns"`
 
 	CacheEntries  int     `json:"cacheEntries"`
 	CacheCapacity int     `json:"cacheCapacity"`
@@ -383,6 +483,7 @@ func (s *Server) Metrics() Metrics {
 		Failed:          s.failed.Load(),
 		Rejected:        s.rejected.Load(),
 		Coalesced:       s.coalesced.Load(),
+		BatchedRuns:     s.batched.Load(),
 		CacheEntries:    cs.Entries,
 		CacheCapacity:   cs.Capacity,
 		CacheHits:       cs.Hits,
