@@ -80,8 +80,8 @@ func benchmarkPeakSet(b *testing.B, set traffic.BandwidthSet) {
 		}
 		ff := findRow(b, rows, set.Name, "skewed3", "firefly")
 		dh := findRow(b, rows, set.Name, "skewed3", "d-hetpnoc")
-		bwGain = (dh.PeakBandwidthGbps/ff.PeakBandwidthGbps - 1) * 100
-		epmDelta = (dh.EnergyPerMessagePJ/ff.EnergyPerMessagePJ - 1) * 100
+		bwGain = float64((dh.PeakBandwidthGbps/ff.PeakBandwidthGbps - 1) * 100)
+		epmDelta = float64((dh.EnergyPerMessagePJ/ff.EnergyPerMessagePJ - 1) * 100)
 	}
 	b.ReportMetric(bwGain, "dhet-bw-gain-%")
 	b.ReportMetric(epmDelta, "dhet-epm-delta-%")
@@ -112,7 +112,7 @@ func BenchmarkFig3_4_PacketEnergy(b *testing.B) {
 		}
 		ff := findRow(b, rows, "BW1", "skewed2", "firefly")
 		dh := findRow(b, rows, "BW1", "skewed2", "d-hetpnoc")
-		saving = (1 - dh.EnergyPerMessagePJ/ff.EnergyPerMessagePJ) * 100
+		saving = float64((1 - dh.EnergyPerMessagePJ/ff.EnergyPerMessagePJ) * 100)
 	}
 	b.ReportMetric(saving, "dhet-epm-saving-%")
 }
@@ -129,7 +129,7 @@ func BenchmarkFig3_5_CaseStudies(b *testing.B) {
 		}
 		ff := findRow(b, rows, "BW1", "realapp", "firefly")
 		dh := findRow(b, rows, "BW1", "realapp", "d-hetpnoc")
-		realGain = (dh.PeakBandwidthGbps/ff.PeakBandwidthGbps - 1) * 100
+		realGain = float64((dh.PeakBandwidthGbps/ff.PeakBandwidthGbps - 1) * 100)
 	}
 	b.ReportMetric(realGain, "realapp-bw-gain-%")
 }
@@ -142,7 +142,7 @@ func BenchmarkFig3_6_Area(b *testing.B) {
 	var dhet, ff float64
 	for i := 0; i < b.N; i++ {
 		points := experiments.AreaSweep(nil)
-		dhet, ff = points[0].DynamicMM2, points[0].FireflyMM2
+		dhet, ff = float64(points[0].DynamicMM2), float64(points[0].FireflyMM2)
 	}
 	b.ReportMetric(dhet*1000, "dhet-area-um2x1e3")
 	b.ReportMetric(ff*1000, "firefly-area-um2x1e3")
@@ -160,7 +160,7 @@ func BenchmarkFig3_7_DHetScaling(b *testing.B) {
 		}
 		for _, r := range rows {
 			if r.Set == "BW3" && r.Pattern == "skewed3" {
-				perCoreBW3 = r.PerCoreGbps
+				perCoreBW3 = float64(r.PerCoreGbps)
 			}
 		}
 	}
@@ -251,8 +251,8 @@ func BenchmarkAblation_WaveguideRestriction(b *testing.B) {
 			byVariant[r.Variant] = r
 		}
 		full, restricted := byVariant["unrestricted"], byVariant["2-waveguides"]
-		bwCost = (1 - restricted.PeakBandwidthGbps/full.PeakBandwidthGbps) * 100
-		areaSaving = (1 - restricted.AreaMM2/full.AreaMM2) * 100
+		bwCost = float64((1 - restricted.PeakBandwidthGbps/full.PeakBandwidthGbps) * 100)
+		areaSaving = float64((1 - restricted.AreaMM2/full.AreaMM2) * 100)
 	}
 	b.ReportMetric(bwCost, "bw-cost-%")
 	b.ReportMetric(areaSaving, "area-saving-%")
@@ -272,7 +272,7 @@ func BenchmarkArchitectureComparison(b *testing.B) {
 		for _, r := range rows {
 			byVariant[r.Variant] = r
 		}
-		dhetGain = (byVariant["d-hetpnoc"].PeakBandwidthGbps/byVariant["firefly"].PeakBandwidthGbps - 1) * 100
+		dhetGain = float64((byVariant["d-hetpnoc"].PeakBandwidthGbps/byVariant["firefly"].PeakBandwidthGbps - 1) * 100)
 	}
 	b.ReportMetric(dhetGain, "dhet-over-firefly-%")
 }

@@ -1,6 +1,9 @@
 package hetpnoc
 
-import "hetpnoc/internal/photonic"
+import (
+	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/units"
+)
 
 // LinkBudget is the worst-case optical power budget of one architecture's
 // longest path: its end-to-end insertion loss and the per-wavelength laser
@@ -9,11 +12,11 @@ import "hetpnoc/internal/photonic"
 // behind choosing a crossbar over a multi-hop switched fabric.
 type LinkBudget struct {
 	// TotalDB is the worst-case end-to-end insertion loss.
-	TotalDB float64
+	TotalDB units.DB
 	// CrosstalkDB is the accumulated signal-to-crosstalk penalty.
-	CrosstalkDB float64
+	CrosstalkDB units.DB
 	// LaserPowerMW is the per-wavelength launch power required.
-	LaserPowerMW float64
+	LaserPowerMW units.MilliWatt
 }
 
 // CrossbarLinkBudget returns the worst-case budget of the crossbar

@@ -15,6 +15,7 @@ import (
 
 	"hetpnoc"
 	"hetpnoc/internal/experiments"
+	"hetpnoc/internal/units"
 )
 
 func main() {
@@ -31,22 +32,27 @@ func run(args []string) error {
 		return err
 	}
 
+	// The area unit label comes from the quantity type itself, so a
+	// units-layer change (say, switching the model to µm²) re-labels
+	// every consumer without a stale hard-coded suffix.
+	mm2 := units.SquareMillimeter(0).Unit()
+
 	if *single > 0 {
 		est, err := hetpnoc.EstimateArea(*single)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("data wavelengths     %d\n", est.DataWavelengths)
-		fmt.Printf("d-HetPNoC            %.3f mm^2 (%d modulators, %d detectors)\n",
-			est.DHetPNoCAreaMM2, est.DHetPNoCModulators, est.DHetPNoCDetectors)
-		fmt.Printf("Firefly              %.3f mm^2 (%d modulators, %d detectors)\n",
-			est.FireflyAreaMM2, est.FireflyModulators, est.FireflyDetectors)
+		fmt.Printf("d-HetPNoC            %.3f %s (%d modulators, %d detectors)\n",
+			est.DHetPNoCAreaMM2, mm2, est.DHetPNoCModulators, est.DHetPNoCDetectors)
+		fmt.Printf("Firefly              %.3f %s (%d modulators, %d detectors)\n",
+			est.FireflyAreaMM2, mm2, est.FireflyModulators, est.FireflyDetectors)
 		fmt.Printf("d-HetPNoC overhead   %.1f%%\n", est.OverheadPct)
 		return nil
 	}
 
 	fmt.Println("Figure 3-6: total electro-optic device area vs aggregate data bandwidth")
-	fmt.Printf("%12s %14s %14s %10s\n", "wavelengths", "d-HetPNoC mm^2", "Firefly mm^2", "overhead")
+	fmt.Printf("%12s %14s %14s %10s\n", "wavelengths", "d-HetPNoC "+mm2, "Firefly "+mm2, "overhead")
 	for _, p := range experiments.AreaSweep(nil) {
 		fmt.Printf("%12d %14.3f %14.3f %9.1f%%\n",
 			p.DataWavelengths, p.DynamicMM2, p.FireflyMM2, p.OverheadPct)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hetpnoclint [-json] [-tests=false] [-fix [-dry]] [-update] [-timing] [-gcobsout file] [packages ...]
+//	hetpnoclint [-json] [-tests=false] [-fix [-dry]] [-update] [-timing] [-only a,b] [-gcobsout file] [packages ...]
 //
 // Packages default to ./... . Each diagnostic carries a -fix-style
 // suggestion: either the directive that would silence it (with its
@@ -16,13 +16,15 @@
 // -update regenerates the API golden snapshots checked by apistable.
 // -json emits machine-readable diagnostics for CI annotation. -timing
 // prints load time and per-analyzer wall time to stderr (the CI lint
-// job budgets the whole suite).
+// job budgets the whole suite). -only runs a comma-separated subset of
+// analyzers for fast local iteration; skipping allocproof also skips
+// its compiler-evidence build.
 //
 // The suite loads and type-checks the module once; per-package
 // analyzers then run over each package, and the whole-program analyzers
-// (hotpathreach, allocproof, snapcover, dettaint, lockorder) run once
-// over all packages, sharing a single memoized call graph and hot-path
-// BFS. allocproof additionally shells out one evidence build
+// (hotpathreach, allocproof, snapcover, dettaint, lockorder, unitsafe,
+// seedflow) run once over all packages, sharing a single memoized call
+// graph, hot-path BFS and value-flow layer. allocproof additionally shells out one evidence build
 // (go build -gcflags='-m=2 -d=ssa/check_bce'); -gcobsout writes its
 // parsed escape/bounds-check report as JSON for the CI artifact.
 //
@@ -38,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"hetpnoc/internal/analysis"
@@ -56,7 +59,9 @@ import (
 	"hetpnoc/internal/analysis/lockguard"
 	"hetpnoc/internal/analysis/lockorder"
 	"hetpnoc/internal/analysis/maprange"
+	"hetpnoc/internal/analysis/seedflow"
 	"hetpnoc/internal/analysis/snapcover"
+	"hetpnoc/internal/analysis/unitsafe"
 )
 
 // analyzers is the hetpnoclint suite, in reporting order: the
@@ -75,7 +80,51 @@ var analyzers = []*analysis.Analyzer{
 	snapcover.Analyzer,
 	dettaint.Analyzer,
 	lockorder.Analyzer,
+	unitsafe.Analyzer,
+	seedflow.Analyzer,
 	apistable.Analyzer,
+}
+
+// selectAnalyzers resolves the -only flag: a comma-separated list of
+// analyzer names, order-insensitive, applied as a filter over the full
+// suite (suite order is preserved — apistable still reports last). The
+// empty string selects everything.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	wanted := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		known := false
+		for _, a := range analyzers {
+			if a.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			names := make([]string, len(analyzers))
+			for i, a := range analyzers {
+				names[i] = a.Name
+			}
+			return nil, fmt.Errorf("-only: unknown analyzer %q (available: %s)", name, strings.Join(names, ", "))
+		}
+		wanted[name] = true
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("-only: no analyzer names given")
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if wanted[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
 }
 
 // timings collects -timing instrumentation: one load, then wall time
@@ -107,6 +156,7 @@ func main() {
 	dry := flag.Bool("dry", false, "with -fix: report what would change without writing files")
 	update := flag.Bool("update", false, "regenerate apistable API golden snapshots")
 	timing := flag.Bool("timing", false, "print load time and per-analyzer wall time to stderr")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: the full suite)")
 	flag.StringVar(&gcobsOut, "gcobsout", "", "write allocproof's parsed compiler-evidence report (JSON) to this file")
 	flag.Parse()
 
@@ -115,8 +165,14 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
+	active, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetpnoclint: %v\n", err)
+		os.Exit(2)
+	}
+
 	apistable.Update = *update
-	diags, fileFixes, err := lint("", *tests, patterns)
+	diags, fileFixes, err := lint("", *tests, patterns, active)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hetpnoclint: %v\n", err)
 		os.Exit(2)
@@ -125,7 +181,7 @@ func main() {
 	if *timing {
 		total := timings.load
 		fmt.Fprintf(os.Stderr, "hetpnoclint: load %9.3fs\n", timings.load.Seconds())
-		for _, a := range analyzers {
+		for _, a := range active {
 			d := timings.per[a.Name]
 			total += d
 			fmt.Fprintf(os.Stderr, "hetpnoclint: %-13s %8.3fs\n", a.Name, d.Seconds())
@@ -183,10 +239,12 @@ func main() {
 	}
 }
 
-// lint loads patterns from the module containing dir and applies every
-// analyzer, returning position-sorted diagnostics plus the
-// machine-applicable fixes grouped by absolute file path.
-func lint(dir string, tests bool, patterns []string) ([]diagnostic, map[string][]fix.Fix, error) {
+// lint loads patterns from the module containing dir and applies the
+// active analyzers, returning position-sorted diagnostics plus the
+// machine-applicable fixes grouped by absolute file path. Skipping an
+// analyzer skips everything only it needs — excluding allocproof drops
+// the gcobs compiler-evidence build entirely.
+func lint(dir string, tests bool, patterns []string, active []*analysis.Analyzer) ([]diagnostic, map[string][]fix.Fix, error) {
 	loader := &load.Loader{Dir: dir, Tests: tests}
 	loadStart := time.Now()
 	fset, pkgs, err := loader.Load(patterns...)
@@ -227,7 +285,7 @@ func lint(dir string, tests bool, patterns []string) ([]diagnostic, map[string][
 	}
 
 	for _, p := range pkgs {
-		for _, a := range analyzers {
+		for _, a := range active {
 			if a.Run == nil {
 				continue
 			}
@@ -256,7 +314,7 @@ func lint(dir string, tests bool, patterns []string) ([]diagnostic, map[string][
 	}
 	cache := make(map[string]any)
 	cache[allocproof.DirKey] = dir
-	for _, a := range analyzers {
+	for _, a := range active {
 		if a.RunModule == nil {
 			continue
 		}

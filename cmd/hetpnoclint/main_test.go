@@ -14,7 +14,7 @@ func TestRepoLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
 	}
-	diags, _, err := lint("", true, []string{"hetpnoc/..."})
+	diags, _, err := lint("", true, []string{"hetpnoc/..."}, analyzers)
 	if err != nil {
 		t.Fatalf("lint failed: %v", err)
 	}
@@ -160,6 +160,50 @@ func (c *Core) Snapshot() *CoreSnap { return &CoreSnap{ticks: c.ticks} }
 
 func (c *Core) Restore(s *CoreSnap) { c.ticks = s.ticks }
 `)
+	// seedflow bait: a Fabric type in the fabric package whose consumer
+	// reseeds on only one branch before running. The methods return
+	// nothing so errsink stays out of the way, and Fabric has no capture
+	// method so snapcover never adopts it as a subject.
+	write("internal/fabric/fork.go", `package fabric
+
+type Checkpoint struct{ state int }
+
+type Fabric struct{ rng int }
+
+func (f *Fabric) Restore(cp *Checkpoint) { f.rng = cp.state }
+
+func (f *Fabric) Reseed(seed int) { f.rng = seed }
+
+func (f *Fabric) Run(cycles int) { f.rng += cycles }
+
+func Fork(f *Fabric, cp *Checkpoint, fresh bool) {
+	f.Restore(cp)
+	if fresh {
+		f.Reseed(1)
+	}
+	f.Run(10)
+}
+`)
+	// unitsafe bait: a mini units package defining two domains, and a
+	// consumer that launders one into the other and adds them.
+	write("internal/units/units.go", `package units
+
+type DB float64
+
+type MilliWatt float64
+`)
+	write("internal/power/power.go", `package power
+
+import "badmod/internal/units"
+
+func Mix(db units.DB, mw units.MilliWatt) float64 {
+	return float64(db) + float64(mw)
+}
+
+func Launder(mw units.MilliWatt) units.DB {
+	return units.DB(float64(mw))
+}
+`)
 	// Stale API golden: lists one symbol that no longer exists, knows
 	// the rest.
 	write("internal/sim/testdata/api/sim.golden", "Counter\ttype struct\n"+
@@ -172,7 +216,7 @@ func (c *Core) Restore(s *CoreSnap) { c.ticks = s.ticks }
 		"StepContext\tfunc func(ctx context.Context) error\n"+
 		"Use\tfunc func(ctx context.Context)\n")
 
-	diags, _, err := lint(dir, true, []string{"./..."})
+	diags, _, err := lint(dir, true, []string{"./..."}, analyzers)
 	if err != nil {
 		t.Fatalf("lint failed: %v", err)
 	}
@@ -195,6 +239,8 @@ func (c *Core) Restore(s *CoreSnap) { c.ticks = s.ticks }
 		"dettaint":     1, // fabric.Sync calls helper.Jitter (taints to time.Now)
 		"lockorder":    1, // helper.Both nests Reg.mu and Log.mu undeclared
 		"snapcover":    2, // Core.Snapshot misses drift, Core.Restore misses drift
+		"unitsafe":     2, // laundered dB+mW add, mW-to-dB laundering cast
+		"seedflow":     1, // Fork runs with Reseed missing on one branch
 		"apistable":    1, // Gone removed relative to the golden
 	}
 	for a, n := range want {
@@ -211,6 +257,44 @@ func (c *Core) Restore(s *CoreSnap) { c.ticks = s.ticks }
 	}
 	if len(diags) == 0 {
 		t.Fatal("expected diagnostics from the scratch module, got none")
+	}
+}
+
+// TestSelectAnalyzers covers the -only flag resolution: subset
+// selection preserves suite order, names are trimmed and
+// order-insensitive, unknown names fail, and the empty string selects
+// the full suite.
+func TestSelectAnalyzers(t *testing.T) {
+	full, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatalf("empty -only: %v", err)
+	}
+	if len(full) != len(analyzers) {
+		t.Errorf("empty -only selected %d analyzers, want the full suite of %d", len(full), len(analyzers))
+	}
+
+	active, err := selectAnalyzers("seedflow, detrand ,unitsafe")
+	if err != nil {
+		t.Fatalf("subset -only: %v", err)
+	}
+	gotNames := make([]string, len(active))
+	for i, a := range active {
+		gotNames[i] = a.Name
+	}
+	// Suite order, not flag order: detrand runs first, apistable would
+	// still run last if selected.
+	wantNames := []string{"detrand", "unitsafe", "seedflow"}
+	if len(gotNames) != len(wantNames) {
+		t.Fatalf("selected %v, want %v", gotNames, wantNames)
+	}
+	for i := range wantNames {
+		if gotNames[i] != wantNames[i] {
+			t.Fatalf("selected %v, want %v (suite order must be preserved)", gotNames, wantNames)
+		}
+	}
+
+	if _, err := selectAnalyzers("detrand,nosuch"); err == nil {
+		t.Error("unknown analyzer name accepted, want error")
 	}
 }
 
@@ -236,7 +320,7 @@ func TestFixProducesGoldenTree(t *testing.T) {
 		}
 	}
 
-	_, fileFixes, err := lint(dir, true, []string{"./..."})
+	_, fileFixes, err := lint(dir, true, []string{"./..."}, analyzers)
 	if err != nil {
 		t.Fatalf("lint failed: %v", err)
 	}

@@ -53,7 +53,7 @@ func checkArea() error {
 	if err != nil {
 		return err
 	}
-	if math.Abs(small.DHetPNoCAreaMM2-1.608) > 0.002 || math.Abs(small.FireflyAreaMM2-1.367) > 0.002 {
+	if math.Abs(float64(small.DHetPNoCAreaMM2)-1.608) > 0.002 || math.Abs(float64(small.FireflyAreaMM2)-1.367) > 0.002 {
 		return fmt.Errorf("area at 64 wavelengths = %.3f/%.3f mm^2, thesis says 1.608/1.367",
 			small.DHetPNoCAreaMM2, small.FireflyAreaMM2)
 	}
@@ -61,8 +61,8 @@ func checkArea() error {
 	if err != nil {
 		return err
 	}
-	dGrowth := (large.DHetPNoCAreaMM2/small.DHetPNoCAreaMM2 - 1) * 100
-	fGrowth := (large.FireflyAreaMM2/small.FireflyAreaMM2 - 1) * 100
+	dGrowth := float64((large.DHetPNoCAreaMM2/small.DHetPNoCAreaMM2 - 1) * 100)
+	fGrowth := float64((large.FireflyAreaMM2/small.FireflyAreaMM2 - 1) * 100)
 	if math.Abs(dGrowth-70) > 1 || math.Abs(fGrowth-41.2) > 1 {
 		return fmt.Errorf("area growth 64->512 = %.1f%%/%.1f%%, thesis says 70%%/41.2%%", dGrowth, fGrowth)
 	}

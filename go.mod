@@ -1,3 +1,5 @@
 module hetpnoc
 
 go 1.22
+
+toolchain go1.24.0

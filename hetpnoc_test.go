@@ -165,10 +165,10 @@ func TestEstimateAreaHeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(est.DHetPNoCAreaMM2-1.608) > 0.002 {
+	if math.Abs(float64(est.DHetPNoCAreaMM2)-1.608) > 0.002 {
 		t.Errorf("d-HetPNoC area %.4f, thesis says 1.608", est.DHetPNoCAreaMM2)
 	}
-	if math.Abs(est.FireflyAreaMM2-1.367) > 0.002 {
+	if math.Abs(float64(est.FireflyAreaMM2)-1.367) > 0.002 {
 		t.Errorf("Firefly area %.4f, thesis says 1.367", est.FireflyAreaMM2)
 	}
 	if est.DHetPNoCModulators != 3072 || est.FireflyModulators != 1088 {

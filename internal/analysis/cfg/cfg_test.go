@@ -390,6 +390,130 @@ func F() {
 	}
 }
 
+// mayFactsAt is factsAt under the may-lattice: the same toy
+// lock/unlock/probe vocabulary run through ForwardMay, so a probe
+// reports L whenever ANY path reaches it locked.
+func mayFactsAt(t *testing.T, src string) map[string][]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body *ast.BlockStmt
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "F" {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		t.Fatal("no function F in source")
+	}
+
+	call := func(n ast.Node) (string, string) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return "", ""
+		}
+		c, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return "", ""
+		}
+		id, ok := c.Fun.(*ast.Ident)
+		if !ok {
+			return "", ""
+		}
+		arg := ""
+		if len(c.Args) == 1 {
+			if lit, ok := c.Args[0].(*ast.BasicLit); ok {
+				arg, _ = strconv.Unquote(lit.Value)
+			}
+		}
+		return id.Name, arg
+	}
+	transfer := func(n ast.Node, facts FactSet) {
+		switch name, _ := call(n); name {
+		case "lock":
+			facts.Add("L")
+		case "unlock":
+			facts.Remove("L")
+		}
+	}
+
+	g := New(body)
+	in := g.ForwardMay(NewFactSet(), transfer)
+	probes := make(map[string][]string)
+	for _, b := range g.Blocks {
+		entry, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		facts := entry.Clone()
+		for _, n := range b.Nodes {
+			if name, arg := call(n); name == "probe" {
+				probes[arg] = append([]string{}, facts.Sorted()...)
+			}
+			transfer(n, facts)
+		}
+	}
+	return probes
+}
+
+func TestMayBranchJoinKeepsFact(t *testing.T) {
+	probes := mayFactsAt(t, `package p
+func F(c bool) {
+	if c {
+		lock()
+	}
+	probe("join")
+}`)
+	// One path reaches the join locked: the may-union keeps L where the
+	// must-intersection (TestStraightLineAndBranchJoin) drops it.
+	expect(t, probes, "join", "L")
+}
+
+func TestMayKillOnEveryPathClearsFact(t *testing.T) {
+	probes := mayFactsAt(t, `package p
+func F(c bool) {
+	lock()
+	if c {
+		unlock()
+	} else {
+		unlock()
+	}
+	probe("join")
+}`)
+	expect(t, probes, "join", "")
+}
+
+func TestMayLoopBackEdgePropagates(t *testing.T) {
+	probes := mayFactsAt(t, `package p
+func F(n int) {
+	for i := 0; i < n; i++ {
+		probe("top")
+		lock()
+	}
+	probe("after")
+}`)
+	// Iteration 2 reaches the loop top locked via the back edge, and the
+	// loop exit may fire after an iteration that locked.
+	expect(t, probes, "top", "L")
+	expect(t, probes, "after", "L")
+}
+
+func TestMayEarlyReturnPathDoesNotLeak(t *testing.T) {
+	probes := mayFactsAt(t, `package p
+func F(c bool) {
+	if c {
+		lock()
+		return
+	}
+	probe("tail")
+}`)
+	// The locking path returned; no surviving path carries L.
+	expect(t, probes, "tail", "")
+}
+
 func TestGraphStringSmoke(t *testing.T) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "p.go", `package p

@@ -49,6 +49,18 @@ func (s FactSet) Sorted() []string {
 	return out
 }
 
+// union returns a ∪ b as a fresh set.
+func union(a, b FactSet) FactSet {
+	out := make(FactSet, len(a)+len(b))
+	for f := range a { //hetpnoc:orderfree copies into another set
+		out[f] = struct{}{}
+	}
+	for f := range b { //hetpnoc:orderfree copies into another set
+		out[f] = struct{}{}
+	}
+	return out
+}
+
 // intersect returns a ∩ b as a fresh set.
 func intersect(a, b FactSet) FactSet {
 	out := make(FactSet)
@@ -103,6 +115,46 @@ func (g *Graph) ForwardMust(entry FactSet, transfer func(n ast.Node, facts FactS
 				continue
 			}
 			next := intersect(cur, out)
+			if !equal(cur, next) {
+				in[s] = next
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// ForwardMay runs a forward may-dataflow to fixpoint and returns the
+// facts holding at each block's entry on at least one path from the
+// function entry: the meet is union, so a fact survives a join point
+// when any incoming path carries it. It is the dual of ForwardMust —
+// seedflow asks "can a stale RNG state reach this Run call on *some*
+// path?", where a must-analysis would only see the paths all agreeing.
+//
+// Termination: per block, the entry set only ever grows, and the fact
+// universe is bounded by what transfer generates from the function's
+// finitely many nodes.
+func (g *Graph) ForwardMay(entry FactSet, transfer func(n ast.Node, facts FactSet)) map[*Block]FactSet {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	in := map[*Block]FactSet{g.Blocks[0]: entry.Clone()}
+	work := []*Block{g.Blocks[0]}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := in[b].Clone()
+		for _, n := range b.Nodes {
+			transfer(n, out)
+		}
+		for _, s := range b.Succs {
+			cur, seen := in[s]
+			if !seen {
+				in[s] = out.Clone()
+				work = append(work, s)
+				continue
+			}
+			next := union(cur, out)
 			if !equal(cur, next) {
 				in[s] = next
 				work = append(work, s)

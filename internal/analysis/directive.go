@@ -56,6 +56,20 @@ const (
 	// on both the capture and restore side. Requires a justification.
 	DirectiveNosnap = "nosnap"
 
+	// DirectiveUnitcast marks a deliberate cross-domain unit conversion
+	// or unit-mixing expression that unitsafe would otherwise flag — a
+	// value leaving the typed-quantity system on purpose (a calibration
+	// table stored in different units, a dimensionless ratio built by
+	// hand). Requires a justification.
+	DirectiveUnitcast = "unitcast"
+
+	// DirectiveSharedseed marks a fabric run that deliberately keeps a
+	// restored checkpoint's RNG state (exact-replay tests, determinism
+	// oracles); seedflow otherwise requires Reseed between Restore and
+	// Run/RunContext/StepContext on every path. Requires a
+	// justification.
+	DirectiveSharedseed = "sharedseed"
+
 	// DirectiveLockorder declares the acquisition order of two mutexes:
 	// //hetpnoc:lockorder <outer> <inner> <why> states that <outer> may
 	// be held while <inner> is acquired, never the reverse. lockorder

@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/seedflow"
+)
+
+func TestSeedflowFixtures(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), seedflow.Analyzer, "sf/forks")
+}

@@ -1,0 +1,38 @@
+// Package fabric is a fixture mirror of the simulator fabric: seedflow
+// recognizes the named type Fabric in any package whose import path
+// ends in /fabric, with the same Restore/Reseed/run method vocabulary
+// as the real one.
+package fabric
+
+type Checkpoint struct{ state uint64 }
+
+type Fabric struct{ rng uint64 }
+
+func New() *Fabric { return &Fabric{rng: 1} }
+
+func (f *Fabric) Checkpoint() *Checkpoint { return &Checkpoint{state: f.rng} }
+
+func (f *Fabric) Restore(cp *Checkpoint) error {
+	f.rng = cp.state
+	return nil
+}
+
+func (f *Fabric) Reseed(seed uint64) error {
+	f.rng = seed
+	return nil
+}
+
+func (f *Fabric) SetLoadScale(scale float64) error { return nil }
+
+func (f *Fabric) Run(cycles int) error {
+	f.rng += uint64(cycles)
+	return nil
+}
+
+func (f *Fabric) RunContext(cycles int) error { return f.Run(cycles) }
+
+func (f *Fabric) StepContext(cycles int) error { return f.Run(cycles) }
+
+// Step is deliberately NOT a seedflow sink: cycle-by-cycle replay of a
+// restored fabric is how checkpoint oracles verify bit-identity.
+func (f *Fabric) Step() { f.rng++ }

@@ -1,0 +1,138 @@
+// Package forks exercises seedflow: the clean batch fork contract, a
+// Reseed missing on one branch, Reseed arriving only after the run,
+// checkpoint RNG state aliased into two fabrics, alias chains, and the
+// sharedseed exemption.
+package forks
+
+import "sf/fabric"
+
+// Good follows the batch fork contract: Restore → SetLoadScale →
+// Reseed → StepContext, every iteration.
+func Good(f *fabric.Fabric, cp *fabric.Checkpoint, seeds []uint64) error {
+	for _, s := range seeds {
+		if err := f.Restore(cp); err != nil {
+			return err
+		}
+		if err := f.SetLoadScale(1.0); err != nil {
+			return err
+		}
+		if err := f.Reseed(s); err != nil {
+			return err
+		}
+		if err := f.StepContext(100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MissingOnBranch reseeds on only one path: the other replays the
+// checkpoint's stream into Run.
+func MissingOnBranch(f *fabric.Fabric, cp *fabric.Checkpoint, fresh bool) error {
+	if err := f.Restore(cp); err != nil {
+		return err
+	}
+	if fresh {
+		if err := f.Reseed(7); err != nil {
+			return err
+		}
+	}
+	return f.Run(100) // want `restored checkpoint's RNG state: Restore is not followed by Reseed on every path before Run`
+}
+
+// ReseedAfterRun reseeds too late: the measurement window already
+// consumed the recorded stream.
+func ReseedAfterRun(f *fabric.Fabric, cp *fabric.Checkpoint) error {
+	if err := f.Restore(cp); err != nil {
+		return err
+	}
+	if err := f.RunContext(100); err != nil { // want `restored checkpoint's RNG state: Restore is not followed by Reseed on every path before RunContext`
+		return err
+	}
+	return f.Reseed(7)
+}
+
+// Aliased restores one checkpoint's RNG stream into a second fabric
+// while the first still carries it.
+func Aliased(a, b *fabric.Fabric, cp *fabric.Checkpoint) error {
+	if err := a.Restore(cp); err != nil {
+		return err
+	}
+	if err := b.Restore(cp); err != nil { // want `checkpoint RNG state aliased: cp was already restored into another fabric`
+		return err
+	}
+	if err := a.Reseed(1); err != nil {
+		return err
+	}
+	return b.Reseed(2)
+}
+
+// ReseededBetween restores the same checkpoint twice, but the first
+// fabric was reseeded before the second Restore: no live aliasing.
+func ReseededBetween(a, b *fabric.Fabric, cp *fabric.Checkpoint) error {
+	if err := a.Restore(cp); err != nil {
+		return err
+	}
+	if err := a.Reseed(1); err != nil {
+		return err
+	}
+	if err := b.Restore(cp); err != nil {
+		return err
+	}
+	return b.Reseed(2)
+}
+
+// Renamed names one fabric through two variables: the value-flow layer
+// resolves g to f, so the Reseed on f clears the Restore through g.
+func Renamed(f *fabric.Fabric, cp *fabric.Checkpoint) error {
+	g := f
+	if err := g.Restore(cp); err != nil {
+		return err
+	}
+	if err := f.Reseed(3); err != nil {
+		return err
+	}
+	return g.Run(50)
+}
+
+// Refreshed rebinds the variable to a fresh fabric before running: the
+// fresh fabric never held the checkpoint's stream.
+func Refreshed(cp *fabric.Checkpoint) error {
+	f := fabric.New()
+	if err := f.Restore(cp); err != nil {
+		return err
+	}
+	f = fabric.New()
+	return f.Run(10)
+}
+
+// Replay steps the restored fabric cycle by cycle: Step is not a sink,
+// so exact-replay checkpoint oracles stay clean.
+func Replay(f *fabric.Fabric, cp *fabric.Checkpoint) error {
+	if err := f.Restore(cp); err != nil {
+		return err
+	}
+	for i := 0; i < 100; i++ {
+		f.Step()
+	}
+	return nil
+}
+
+// SharedSeed deliberately replays the recorded stream, with a written
+// justification.
+func SharedSeed(f *fabric.Fabric, cp *fabric.Checkpoint) error {
+	if err := f.Restore(cp); err != nil {
+		return err
+	}
+	//hetpnoc:sharedseed fixture: exact-replay determinism oracle re-runs the recorded stream bit for bit
+	return f.Run(100)
+}
+
+// SharedSeedNoWhy carries the directive but no justification.
+func SharedSeedNoWhy(f *fabric.Fabric, cp *fabric.Checkpoint) error {
+	if err := f.Restore(cp); err != nil {
+		return err
+	}
+	//hetpnoc:sharedseed
+	return f.Run(100) // want `//hetpnoc:sharedseed needs a justification`
+}

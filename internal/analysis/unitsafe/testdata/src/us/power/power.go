@@ -1,0 +1,79 @@
+// Package power exercises unitsafe: cross-domain arithmetic through
+// laundering casts, laundering conversions (direct and through local
+// variables), wall-clock values entering the cycle domain, blessed
+// helpers, and the unitcast exemption.
+package power
+
+import (
+	"time"
+
+	"us/sim"
+	"us/units"
+)
+
+// Mix adds a logarithmic quantity to a linear one; the float64 casts
+// erase the types but not the provenance.
+func Mix(db units.DB, mw units.MilliWatt) float64 {
+	return float64(db) + float64(mw) // want `unit-mixing arithmetic: units\.DB \+ units\.MilliWatt`
+}
+
+// Launder re-enters a different unit domain through a bare cast chain.
+func Launder(mw units.MilliWatt) units.DB {
+	return units.DB(float64(mw)) // want `unit-laundering conversion: a units\.MilliWatt value reaches units\.DB`
+}
+
+// LaunderViaVar launders through a local variable: provenance follows
+// the def-use chain.
+func LaunderViaVar(mw units.MilliWatt) units.DB {
+	x := float64(mw)
+	return units.DB(x) // want `unit-laundering conversion: a units\.MilliWatt value reaches units\.DB`
+}
+
+// CycleFromWallClock builds a simulated cycle count from a wall-clock
+// duration — the Cycle-vs-wall-clock confusion.
+func CycleFromWallClock(d time.Duration) sim.Cycle {
+	return sim.Cycle(d) // want `unit-laundering conversion: a time\.Duration value reaches sim\.Cycle`
+}
+
+// Blessed conversions go through the units helpers: ordinary calls,
+// no finding.
+func Blessed(db units.DB) units.MilliWatt {
+	linear := units.DBToLinear(db)
+	_ = linear
+	return units.DBmToMilliWatt(db)
+}
+
+// SameDomain arithmetic and same-domain round trips are fine.
+func SameDomain(a, b units.DB) units.DB {
+	total := a + b
+	return units.DB(float64(total))
+}
+
+// Exempt launders deliberately, with a written justification.
+func Exempt(mw units.MilliWatt) units.DB {
+	//hetpnoc:unitcast fixture: the calibration table stores dB-valued entries keyed by their mW readings
+	return units.DB(float64(mw))
+}
+
+// ExemptNoWhy carries the directive but no justification.
+func ExemptNoWhy(mw units.MilliWatt) units.DB {
+	//hetpnoc:unitcast
+	return units.DB(float64(mw)) // want `//hetpnoc:unitcast needs a justification`
+}
+
+// BranchMixed assigns two different domains into one variable: the
+// provenance join is ambiguous, so unitsafe conservatively stays
+// silent.
+func BranchMixed(c bool, db units.DB, mw units.MilliWatt) units.Gbps {
+	x := float64(db)
+	if c {
+		x = float64(mw)
+	}
+	return units.Gbps(x)
+}
+
+// Dimensionless products legitimately change dimension: scaling by a
+// count or dividing two quantities is not mixing.
+func Scaled(pj units.Picojoule, bits int) float64 {
+	return float64(pj) * float64(bits)
+}

@@ -1,0 +1,6 @@
+// Package sim is a fixture mirror of the simulator core: unitsafe
+// treats Cycle in any package whose path ends in /sim as the simulated
+// clock-tick domain.
+package sim
+
+type Cycle int64

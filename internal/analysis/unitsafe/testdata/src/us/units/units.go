@@ -1,0 +1,23 @@
+// Package units is a fixture mirror of the real quantity package:
+// unitsafe recognizes any package whose import path ends in /units as
+// the home of unit domains, and exempts its files wholesale (it is the
+// one place cross-domain conversions are defined).
+package units
+
+import "math"
+
+type DB float64
+
+type MilliWatt float64
+
+type Picojoule float64
+
+type Gbps float64
+
+// DBToLinear is a blessed conversion helper: an ordinary call, not a
+// cast, so callers pass unitsafe untouched.
+func DBToLinear(db DB) float64 { return math.Pow(10, float64(db)/10) }
+
+// DBmToMilliWatt crosses dB into mW deliberately — legal here because
+// the units package is exempt.
+func DBmToMilliWatt(dbm DB) MilliWatt { return MilliWatt(math.Pow(10, float64(dbm)/10)) }

@@ -1,0 +1,12 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/unitsafe"
+)
+
+func TestUnitsafeFixtures(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), unitsafe.Analyzer, "us/power")
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"hetpnoc/internal/photonic"
+	"hetpnoc/internal/units"
 )
 
 // Config holds the parameters of the area model.
@@ -147,9 +148,9 @@ func (c Config) RestrictedDynamicDetectors(int) int {
 
 // RestrictedDynamicAreaMM2 returns the electro-optic area of the
 // restricted variant.
-func (c Config) RestrictedDynamicAreaMM2(waveguides int) float64 {
+func (c Config) RestrictedDynamicAreaMM2(waveguides int) units.SquareMillimeter {
 	devices := float64(c.RestrictedDynamicModulators(waveguides) + c.RestrictedDynamicDetectors(waveguides))
-	return devices * c.mrrAreaSquareMicron() / 1e6
+	return units.SquareMillimeter(devices * c.mrrAreaSquareMicron() / 1e6)
 }
 
 // mrrAreaSquareMicron returns the footprint of one MRR device, pi*r^2.
@@ -159,23 +160,23 @@ func (c Config) mrrAreaSquareMicron() float64 {
 
 // DynamicAreaMM2 returns A_D (Eq. 23), the total d-HetPNoC electro-optic
 // device area in mm^2.
-func (c Config) DynamicAreaMM2() float64 {
+func (c Config) DynamicAreaMM2() units.SquareMillimeter {
 	devices := float64(c.DynamicModulators() + c.DynamicDetectors())
-	return devices * c.mrrAreaSquareMicron() / 1e6
+	return units.SquareMillimeter(devices * c.mrrAreaSquareMicron() / 1e6)
 }
 
 // FireflyAreaMM2 returns A_F (Eq. 24), the total Firefly electro-optic
 // device area in mm^2.
-func (c Config) FireflyAreaMM2() float64 {
+func (c Config) FireflyAreaMM2() units.SquareMillimeter {
 	devices := float64(c.FireflyModulators() + c.FireflyDetectors())
-	return devices * c.mrrAreaSquareMicron() / 1e6
+	return units.SquareMillimeter(devices * c.mrrAreaSquareMicron() / 1e6)
 }
 
 // Point is one row of the Figure 3-6 comparison.
 type Point struct {
 	DataWavelengths int
-	DynamicMM2      float64
-	FireflyMM2      float64
+	DynamicMM2      units.SquareMillimeter
+	FireflyMM2      units.SquareMillimeter
 	// OverheadPct is the d-HetPNoC area overhead over Firefly, percent.
 	OverheadPct float64
 }
@@ -192,7 +193,7 @@ func Sweep(wavelengths []int) []Point {
 			DataWavelengths: n,
 			DynamicMM2:      d,
 			FireflyMM2:      f,
-			OverheadPct:     (d - f) / f * 100,
+			OverheadPct:     float64((d - f) / f * 100),
 		})
 	}
 	return points

@@ -12,10 +12,10 @@ import (
 // 1.367 mm2 respectively".
 func TestPaperHeadlineAreas(t *testing.T) {
 	cfg := DefaultConfig(64)
-	if got := cfg.DynamicAreaMM2(); math.Abs(got-1.608) > 0.002 {
+	if got := cfg.DynamicAreaMM2(); math.Abs(float64(got)-1.608) > 0.002 {
 		t.Errorf("d-HetPNoC area = %.4f mm^2, thesis says 1.608", got)
 	}
-	if got := cfg.FireflyAreaMM2(); math.Abs(got-1.367) > 0.002 {
+	if got := cfg.FireflyAreaMM2(); math.Abs(float64(got)-1.367) > 0.002 {
 		t.Errorf("Firefly area = %.4f mm^2, thesis says 1.367", got)
 	}
 }
@@ -49,11 +49,11 @@ func TestScalingPercentages(t *testing.T) {
 	small := DefaultConfig(64)
 	large := DefaultConfig(512)
 
-	dGrowth := (large.DynamicAreaMM2()/small.DynamicAreaMM2() - 1) * 100
+	dGrowth := float64((large.DynamicAreaMM2()/small.DynamicAreaMM2() - 1) * 100)
 	if math.Abs(dGrowth-70.0) > 0.5 {
 		t.Errorf("d-HetPNoC area growth 64->512 = %.2f%%, thesis says 70%%", dGrowth)
 	}
-	fGrowth := (large.FireflyAreaMM2()/small.FireflyAreaMM2() - 1) * 100
+	fGrowth := float64((large.FireflyAreaMM2()/small.FireflyAreaMM2() - 1) * 100)
 	if math.Abs(fGrowth-41.17) > 0.5 {
 		t.Errorf("Firefly area growth 64->512 = %.2f%%, thesis says 41.17%%", fGrowth)
 	}

@@ -274,7 +274,7 @@ func TestTokenEnergyCharged(t *testing.T) {
 	}
 	a.Tick(0) // one hop: 48 bits of control traffic
 	wantLaunch := 48 * 0.15
-	if got := ledger.Total(photonic.EnergyLaunch); got < wantLaunch-1e-9 || got > wantLaunch+1e-9 {
+	if got := float64(ledger.Total(photonic.EnergyLaunch)); got < wantLaunch-1e-9 || got > wantLaunch+1e-9 {
 		t.Fatalf("token launch energy = %g, want %g", got, wantLaunch)
 	}
 	if got := ledger.Total(photonic.EnergyTuning); got != 0 {

@@ -6,6 +6,7 @@ import (
 	"hetpnoc/internal/area"
 	"hetpnoc/internal/fabric"
 	"hetpnoc/internal/traffic"
+	"hetpnoc/internal/units"
 )
 
 // AblationRow is one variant of an ablation study.
@@ -13,19 +14,19 @@ type AblationRow struct {
 	Study   string `json:"study"`
 	Variant string `json:"variant"`
 
-	PeakBandwidthGbps  float64 `json:"peakBandwidthGbps"`
-	EnergyPerMessagePJ float64 `json:"energyPerMessagePJ"`
-	AvgLatencyCycles   float64 `json:"avgLatencyCycles"`
+	PeakBandwidthGbps  units.Gbps      `json:"peakBandwidthGbps"`
+	EnergyPerMessagePJ units.Picojoule `json:"energyPerMessagePJ"`
+	AvgLatencyCycles   float64         `json:"avgLatencyCycles"`
 	// FairnessJain is Jain's index over the clusters' delivered bits.
-	FairnessJain float64 `json:"fairnessJain"`
-	AreaMM2      float64 `json:"areaMM2,omitempty"`
+	FairnessJain float64                `json:"fairnessJain"`
+	AreaMM2      units.SquareMillimeter `json:"areaMM2,omitempty"`
 }
 
 // ablationCase is one simulated variant.
 type ablationCase struct {
 	study, variant string
 	cfg            fabric.Config
-	areaMM2        float64
+	areaMM2        units.SquareMillimeter
 }
 
 // runAblation executes the cases sequentially (they are few) and collects

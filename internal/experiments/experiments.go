@@ -24,6 +24,7 @@ import (
 	"hetpnoc/internal/fabric"
 	"hetpnoc/internal/topology"
 	"hetpnoc/internal/traffic"
+	"hetpnoc/internal/units"
 )
 
 // Options are shared run parameters. The zero value uses the thesis's
@@ -86,10 +87,10 @@ type Row struct {
 	Arch    string  `json:"arch"`
 	AtLoad  float64 `json:"atLoad"`
 
-	PeakBandwidthGbps  float64 `json:"peakBandwidthGbps"`
-	PerCoreGbps        float64 `json:"perCoreGbps"`
-	EnergyPerMessagePJ float64 `json:"energyPerMessagePJ"`
-	OfferedGbps        float64 `json:"offeredGbps"`
+	PeakBandwidthGbps  units.Gbps      `json:"peakBandwidthGbps"`
+	PerCoreGbps        units.Gbps      `json:"perCoreGbps"`
+	EnergyPerMessagePJ units.Picojoule `json:"energyPerMessagePJ"`
+	OfferedGbps        units.Gbps      `json:"offeredGbps"`
 
 	PacketsDelivered int64   `json:"packetsDelivered"`
 	PacketsDropped   int64   `json:"packetsDropped"`

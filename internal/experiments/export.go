@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"hetpnoc/internal/units"
 )
 
 // WriteRowsJSON serializes matrix rows as indented JSON.
@@ -31,10 +33,10 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 		record := []string{
 			r.Set, r.Pattern, r.Arch,
 			formatFloat(r.AtLoad),
-			formatFloat(r.PeakBandwidthGbps),
-			formatFloat(r.PerCoreGbps),
-			formatFloat(r.EnergyPerMessagePJ),
-			formatFloat(r.OfferedGbps),
+			formatFloat(float64(r.PeakBandwidthGbps)),
+			formatFloat(float64(r.PerCoreGbps)),
+			formatFloat(float64(r.EnergyPerMessagePJ)),
+			formatFloat(float64(r.OfferedGbps)),
 			strconv.FormatInt(r.PacketsDelivered, 10),
 			strconv.FormatInt(r.PacketsDropped, 10),
 			strconv.FormatInt(r.Retransmissions, 10),
@@ -57,10 +59,10 @@ func WriteAblationsCSV(w io.Writer, rows []AblationRow) error {
 	for _, r := range rows {
 		record := []string{
 			r.Study, r.Variant,
-			formatFloat(r.PeakBandwidthGbps),
-			formatFloat(r.EnergyPerMessagePJ),
+			formatFloat(float64(r.PeakBandwidthGbps)),
+			formatFloat(float64(r.EnergyPerMessagePJ)),
 			formatFloat(r.AvgLatencyCycles),
-			formatFloat(r.AreaMM2),
+			formatFloat(float64(r.AreaMM2)),
 		}
 		if err := cw.Write(record); err != nil {
 			return err
@@ -79,8 +81,8 @@ func WriteLatencyCSV(w io.Writer, points []LatencyPoint) error {
 	for _, p := range points {
 		record := []string{
 			formatFloat(p.LoadScale),
-			formatFloat(p.OfferedGbps),
-			formatFloat(p.DeliveredGbps),
+			formatFloat(float64(p.OfferedGbps)),
+			formatFloat(float64(p.DeliveredGbps)),
 			formatFloat(p.AvgLatencyCycles),
 			strconv.FormatInt(p.MaxLatencyCycles, 10),
 		}
@@ -116,17 +118,21 @@ func ParseRowsCSV(r io.Reader) ([]Row, error) {
 		row.Set, row.Pattern, row.Arch = rec[0], rec[1], rec[2]
 		floats := []struct {
 			idx int
-			dst *float64
+			set func(float64)
 		}{
-			{3, &row.AtLoad}, {4, &row.PeakBandwidthGbps}, {5, &row.PerCoreGbps},
-			{6, &row.EnergyPerMessagePJ}, {7, &row.OfferedGbps}, {11, &row.AvgLatencyCycles},
+			{3, func(v float64) { row.AtLoad = v }},
+			{4, func(v float64) { row.PeakBandwidthGbps = units.Gbps(v) }},
+			{5, func(v float64) { row.PerCoreGbps = units.Gbps(v) }},
+			{6, func(v float64) { row.EnergyPerMessagePJ = units.Picojoule(v) }},
+			{7, func(v float64) { row.OfferedGbps = units.Gbps(v) }},
+			{11, func(v float64) { row.AvgLatencyCycles = v }},
 		}
 		for _, f := range floats {
 			v, err := strconv.ParseFloat(rec[f.idx], 64)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: record %d field %d: %w", i+1, f.idx, err)
 			}
-			*f.dst = v
+			f.set(v)
 		}
 		ints := []struct {
 			idx int

@@ -7,6 +7,7 @@ import (
 	"hetpnoc/internal/fabric"
 	"hetpnoc/internal/gpgpu"
 	"hetpnoc/internal/traffic"
+	"hetpnoc/internal/units"
 )
 
 // standardPatterns are the traffic patterns of Figures 3-3/3-4/3-7/3-10:
@@ -73,8 +74,8 @@ func Figure1_1() ([]gpgpu.SpeedupPoint, error) {
 // architecture, pattern and bandwidth set, annotated with the area model.
 type ScalingRow struct {
 	Row
-	TotalWavelengths int     `json:"totalWavelengths"`
-	AreaMM2          float64 `json:"areaMM2"`
+	TotalWavelengths int                    `json:"totalWavelengths"`
+	AreaMM2          units.SquareMillimeter `json:"areaMM2"`
 }
 
 // ScalingSeries reproduces Figure 3-7 (arch = DHetPNoC) and Figure 3-10
@@ -110,10 +111,10 @@ func ScalingSeries(opts Options, arch fabric.Arch) ([]ScalingRow, error) {
 
 // WavelengthPoint is one point of the Figures 3-8/3-9 series.
 type WavelengthPoint struct {
-	TotalWavelengths   int     `json:"totalWavelengths"`
-	PeakBandwidthGbps  float64 `json:"peakBandwidthGbps"`
-	EnergyPerMessagePJ float64 `json:"energyPerMessagePJ"`
-	AreaMM2            float64 `json:"areaMM2"`
+	TotalWavelengths   int                    `json:"totalWavelengths"`
+	PeakBandwidthGbps  units.Gbps             `json:"peakBandwidthGbps"`
+	EnergyPerMessagePJ units.Picojoule        `json:"energyPerMessagePJ"`
+	AreaMM2            units.SquareMillimeter `json:"areaMM2"`
 
 	// Percentage changes relative to the first point, matching the
 	// thesis's headline summary (+751.31% bandwidth, +70% area, -10.89%
@@ -155,9 +156,9 @@ func WavelengthScaling(opts Options, arch fabric.Arch) ([]WavelengthPoint, error
 	}
 	base := out[0]
 	for i := range out {
-		out[i].BandwidthChangePct = (out[i].PeakBandwidthGbps/base.PeakBandwidthGbps - 1) * 100
-		out[i].EPMChangePct = (out[i].EnergyPerMessagePJ/base.EnergyPerMessagePJ - 1) * 100
-		out[i].AreaChangePct = (out[i].AreaMM2/base.AreaMM2 - 1) * 100
+		out[i].BandwidthChangePct = float64((out[i].PeakBandwidthGbps/base.PeakBandwidthGbps - 1) * 100)
+		out[i].EPMChangePct = float64((out[i].EnergyPerMessagePJ/base.EnergyPerMessagePJ - 1) * 100)
+		out[i].AreaChangePct = float64((out[i].AreaMM2/base.AreaMM2 - 1) * 100)
 	}
 	return out, nil
 }

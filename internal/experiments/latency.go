@@ -5,15 +5,16 @@ import (
 
 	"hetpnoc/internal/fabric"
 	"hetpnoc/internal/traffic"
+	"hetpnoc/internal/units"
 )
 
 // LatencyPoint is one point of a load-latency curve.
 type LatencyPoint struct {
-	LoadScale        float64 `json:"loadScale"`
-	OfferedGbps      float64 `json:"offeredGbps"`
-	DeliveredGbps    float64 `json:"deliveredGbps"`
-	AvgLatencyCycles float64 `json:"avgLatencyCycles"`
-	MaxLatencyCycles int64   `json:"maxLatencyCycles"`
+	LoadScale        float64    `json:"loadScale"`
+	OfferedGbps      units.Gbps `json:"offeredGbps"`
+	DeliveredGbps    units.Gbps `json:"deliveredGbps"`
+	AvgLatencyCycles float64    `json:"avgLatencyCycles"`
+	MaxLatencyCycles int64      `json:"maxLatencyCycles"`
 }
 
 // LoadLatencyCurve sweeps the offered load for one architecture/pattern

@@ -6,6 +6,7 @@ import (
 	"hetpnoc/internal/fabric"
 	"hetpnoc/internal/photonic"
 	"hetpnoc/internal/traffic"
+	"hetpnoc/internal/units"
 )
 
 // SensitivityRow records the architectures' energy-per-message comparison
@@ -14,8 +15,8 @@ type SensitivityRow struct {
 	Parameter string  `json:"parameter"`
 	Scale     float64 `json:"scale"`
 
-	FireflyEPMPJ  float64 `json:"fireflyEpmPJ"`
-	DHetPNoCEPMPJ float64 `json:"dhetpnocEpmPJ"`
+	FireflyEPMPJ  units.Picojoule `json:"fireflyEpmPJ"`
+	DHetPNoCEPMPJ units.Picojoule `json:"dhetpnocEpmPJ"`
 	// DHetSavingPct is positive when d-HetPNoC dissipates less per
 	// message.
 	DHetSavingPct float64 `json:"dhetSavingPct"`
@@ -34,7 +35,7 @@ func EnergySensitivity(opts Options, scales []float64) ([]SensitivityRow, error)
 		scales = []float64{0.25, 0.5, 1.0, 2.0, 4.0}
 	}
 
-	run := func(arch fabric.Arch, energy photonic.EnergyParams) (float64, error) {
+	run := func(arch fabric.Arch, energy photonic.EnergyParams) (units.Picojoule, error) {
 		f, err := fabric.New(fabric.Config{
 			Topology:     opts.Topology,
 			Set:          traffic.BWSet1,
@@ -64,9 +65,9 @@ func EnergySensitivity(opts Options, scales []float64) ([]SensitivityRow, error)
 			energy := photonic.DefaultEnergyParams()
 			switch param {
 			case "buffer-residency":
-				energy.BufferResidencyPJPerBitCycle *= scale
+				energy.BufferResidencyPJPerBitCycle = energy.BufferResidencyPJPerBitCycle.Times(scale)
 			case "idle-detector":
-				energy.IdleDetectorPJPerWavelengthCycle *= scale
+				energy.IdleDetectorPJPerWavelengthCycle = energy.IdleDetectorPJPerWavelengthCycle.Times(scale)
 			}
 			ff, err := run(fabric.Firefly, energy)
 			if err != nil {
@@ -81,7 +82,7 @@ func EnergySensitivity(opts Options, scales []float64) ([]SensitivityRow, error)
 				Scale:         scale,
 				FireflyEPMPJ:  ff,
 				DHetPNoCEPMPJ: dh,
-				DHetSavingPct: (1 - dh/ff) * 100,
+				DHetSavingPct: float64((1 - dh/ff) * 100),
 			})
 		}
 	}

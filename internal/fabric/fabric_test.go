@@ -7,6 +7,7 @@ import (
 	"hetpnoc/internal/sim"
 	"hetpnoc/internal/topology"
 	"hetpnoc/internal/traffic"
+	"hetpnoc/internal/units"
 )
 
 func runConfig(t *testing.T, cfg Config) Result {
@@ -174,7 +175,7 @@ func TestLowLoadDeliversEverything(t *testing.T) {
 	}
 	// Delivered rate tracks offered rate (a few packets remain in flight
 	// at the cut-off, so allow per-packet granularity slack).
-	if math.Abs(res.Stats.DeliveredGbps-res.OfferedGbps)/res.OfferedGbps > 0.07 {
+	if math.Abs(float64(res.Stats.DeliveredGbps-res.OfferedGbps))/float64(res.OfferedGbps) > 0.07 {
 		t.Fatalf("delivered %.1f vs offered %.1f at light load",
 			res.Stats.DeliveredGbps, res.OfferedGbps)
 	}
@@ -383,15 +384,15 @@ func TestEnergyBreakdownConsistent(t *testing.T) {
 		Arch: DHetPNoC, Pattern: traffic.Skewed{Level: 2},
 		Cycles: 3000, WarmupCycles: 500, Seed: 19,
 	})
-	var sum float64
+	var sum units.Picojoule
 	//hetpnoc:orderfree floating-point sum of a few components, compared with a relative tolerance
 	for _, v := range res.EnergyBreakdownPJ {
 		sum += v
 	}
-	if math.Abs(sum-res.EnergyTotalPJ)/res.EnergyTotalPJ > 1e-9 {
+	if math.Abs(float64(sum-res.EnergyTotalPJ))/float64(res.EnergyTotalPJ) > 1e-9 {
 		t.Fatalf("breakdown sums to %.1f, total is %.1f", sum, res.EnergyTotalPJ)
 	}
-	if math.Abs(res.EnergyPhotonicPJ+res.EnergyElectricalPJ-res.EnergyTotalPJ)/res.EnergyTotalPJ > 1e-9 {
+	if math.Abs(float64(res.EnergyPhotonicPJ+res.EnergyElectricalPJ-res.EnergyTotalPJ))/float64(res.EnergyTotalPJ) > 1e-9 {
 		t.Fatal("photonic + electrical != total")
 	}
 	if res.EnergyPerMessagePJ <= 0 {

@@ -87,9 +87,9 @@ func TestGoldenResults(t *testing.T) {
 				t.Errorf("PacketsDelivered = %d, golden %d",
 					res.Stats.PacketsDelivered, gc.PacketsDelivered)
 			}
-			assertGoldenFloat(t, "DeliveredGbps", res.Stats.DeliveredGbps, gc.DeliveredGbps)
+			assertGoldenFloat(t, "DeliveredGbps", float64(res.Stats.DeliveredGbps), gc.DeliveredGbps)
 			assertGoldenFloat(t, "AvgLatencyCycles", res.Stats.AvgLatencyCycles, gc.AvgLatencyCycles)
-			assertGoldenFloat(t, "EnergyPerMessagePJ", res.EnergyPerMessagePJ, gc.EPMpj)
+			assertGoldenFloat(t, "EnergyPerMessagePJ", float64(res.EnergyPerMessagePJ), gc.EPMpj)
 		})
 	}
 }

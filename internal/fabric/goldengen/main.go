@@ -37,9 +37,9 @@ func main() {
 			fmt.Printf("{%q, %q, %d, %s, %s, %s},\n",
 				res.Arch, res.Pattern,
 				res.Stats.PacketsDelivered,
-				strconv.FormatFloat(res.Stats.DeliveredGbps, 'g', -1, 64),
+				strconv.FormatFloat(float64(res.Stats.DeliveredGbps), 'g', -1, 64),
 				strconv.FormatFloat(res.Stats.AvgLatencyCycles, 'g', -1, 64),
-				strconv.FormatFloat(res.EnergyPerMessagePJ, 'g', -1, 64))
+				strconv.FormatFloat(float64(res.EnergyPerMessagePJ), 'g', -1, 64))
 		}
 	}
 }

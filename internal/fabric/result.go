@@ -3,6 +3,7 @@ package fabric
 import (
 	"hetpnoc/internal/stats"
 	"hetpnoc/internal/topology"
+	"hetpnoc/internal/units"
 )
 
 // Result is the outcome of one simulation run.
@@ -17,23 +18,23 @@ type Result struct {
 	Stats stats.Summary
 
 	// OfferedGbps is the aggregate scaled injection rate.
-	OfferedGbps float64
+	OfferedGbps units.Gbps
 
 	// PerCoreGbps is the delivered bandwidth averaged over cores (the
 	// "peak core bandwidth" axis of Figures 3-5, 3-7 and 3-10 once
 	// maximized over the load sweep).
-	PerCoreGbps float64
+	PerCoreGbps units.Gbps
 
 	// EnergyPerMessagePJ is the total dissipated energy divided by
 	// delivered packets — "the energy dissipated in transferring one
 	// packet completely from source to destination at network
 	// saturation" (§3.4.1.2).
-	EnergyPerMessagePJ float64
+	EnergyPerMessagePJ units.Picojoule
 
-	EnergyTotalPJ      float64
-	EnergyPhotonicPJ   float64
-	EnergyElectricalPJ float64
-	EnergyBreakdownPJ  map[string]float64
+	EnergyTotalPJ      units.Picojoule
+	EnergyPhotonicPJ   units.Picojoule
+	EnergyElectricalPJ units.Picojoule
+	EnergyBreakdownPJ  map[string]units.Picojoule
 
 	// AllocatedWavelengths is the final per-cluster allocation.
 	AllocatedWavelengths []int
@@ -69,20 +70,20 @@ func (f *Fabric) result() Result {
 		LoadScale:          f.cfg.LoadScale,
 		Seed:               f.seed,
 		Stats:              summary,
-		OfferedGbps:        offered,
+		OfferedGbps:        units.Gbps(offered),
 		EnergyTotalPJ:      f.ledger.TotalPJ(),
 		EnergyPhotonicPJ:   f.ledger.PhotonicPJ(),
 		EnergyElectricalPJ: f.ledger.ElectricalPJ(),
-		EnergyBreakdownPJ:  make(map[string]float64),
+		EnergyBreakdownPJ:  make(map[string]units.Picojoule),
 	}
 	//hetpnoc:orderfree fills a map from a map; insertion order is invisible in the result
 	for comp, pj := range f.ledger.Breakdown() {
 		res.EnergyBreakdownPJ[comp.String()] = pj
 	}
 	if summary.PacketsDelivered > 0 {
-		res.EnergyPerMessagePJ = res.EnergyTotalPJ / float64(summary.PacketsDelivered)
+		res.EnergyPerMessagePJ = res.EnergyTotalPJ.Div(float64(summary.PacketsDelivered))
 	}
-	res.PerCoreGbps = summary.DeliveredGbps / float64(f.cfg.Topology.Cores())
+	res.PerCoreGbps = summary.DeliveredGbps.Div(float64(f.cfg.Topology.Cores()))
 
 	res.AllocatedWavelengths = make([]int, f.cfg.Topology.Clusters())
 	for cl := range res.AllocatedWavelengths {

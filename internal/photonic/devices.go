@@ -1,6 +1,10 @@
 package photonic
 
-import "fmt"
+import (
+	"fmt"
+
+	"hetpnoc/internal/units"
+)
 
 // DetectorBank models the demodulator rows of one photonic router's read
 // side: one MRR filter + Ge p-i-n photodetector per (waveguide,
@@ -76,7 +80,7 @@ type Laser struct {
 	// Wavelengths is the number of carrier wavelengths generated.
 	Wavelengths int
 	// PowerPerWavelengthMW is the optical output per carrier.
-	PowerPerWavelengthMW float64
+	PowerPerWavelengthMW units.MilliWatt
 }
 
 // NewLaser returns a laser driving n carriers at the thesis's 1.5 mW.
@@ -88,6 +92,6 @@ func NewLaser(n int) (Laser, error) {
 }
 
 // TotalPowerMW returns the aggregate optical power.
-func (l Laser) TotalPowerMW() float64 {
-	return float64(l.Wavelengths) * l.PowerPerWavelengthMW
+func (l Laser) TotalPowerMW() units.MilliWatt {
+	return l.PowerPerWavelengthMW.Times(float64(l.Wavelengths))
 }

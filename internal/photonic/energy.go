@@ -1,5 +1,7 @@
 package photonic
 
+import "hetpnoc/internal/units"
+
 // EnergyParams holds the per-bit energy figures of Tables 3-4 and 3-5 of
 // the thesis plus the derived constants the simulator needs. All values
 // are in picojoules per bit unless noted.
@@ -7,29 +9,29 @@ type EnergyParams struct {
 	// ModulationPJPerBit is the electro-optic modulation/demodulation
 	// energy (40 fJ/bit, [28]). Charged once at the modulator and once
 	// at each powered demodulator.
-	ModulationPJPerBit float64
+	ModulationPJPerBit units.Picojoule
 
 	// TuningPJPerBit is the thermal MRR tuning energy (derived from
 	// 2.4 mW/nm, [28]; 0.24 pJ/bit in Table 3-5).
-	TuningPJPerBit float64
+	TuningPJPerBit units.Picojoule
 
 	// LaunchPJPerBit is the laser launch energy (derived from
 	// 1.5 mW/wavelength, [30]; 0.15 pJ/bit in Table 3-5).
-	LaunchPJPerBit float64
+	LaunchPJPerBit units.Picojoule
 
 	// BufferPJPerBit is the energy of one buffer access (write or read)
 	// per bit (0.078125 pJ/bit in Table 3-5, from the 65 nm synthesis).
-	BufferPJPerBit float64
+	BufferPJPerBit units.Picojoule
 
 	// RouterPJPerBit is the energy of one router traversal per bit
 	// (0.625 pJ/bit in Table 3-5).
-	RouterPJPerBit float64
+	RouterPJPerBit units.Picojoule
 
 	// WireLinkPJPerBit is the intra-cluster electrical link energy per
 	// bit per hop. The thesis folds link energy into the Cadence-derived
 	// electrical figures; we use a conservative fraction of the router
 	// energy for the short (<5 mm) all-to-all cluster wires.
-	WireLinkPJPerBit float64
+	WireLinkPJPerBit units.Picojoule
 
 	// BufferResidencyPJPerBitCycle is the retention (leakage + clocking)
 	// energy of holding one bit in an SRAM buffer for one cycle. This is
@@ -37,14 +39,14 @@ type EnergyParams struct {
 	// lower energy-per-message under skew to flits "occupy[ing] the
 	// buffers in routers for a shorter duration" (§3.4.1.2, Fig. 3-10
 	// discussion).
-	BufferResidencyPJPerBitCycle float64
+	BufferResidencyPJPerBitCycle units.Picojoule
 
 	// IdleDetectorPJPerWavelengthCycle is the energy of keeping one
 	// demodulator row powered for one cycle while a packet is being
 	// received. Firefly powers every wavelength of the channel for every
 	// transmission; d-HetPNoC gates only the wavelengths named in the
 	// reservation flit (§3.3.1).
-	IdleDetectorPJPerWavelengthCycle float64
+	IdleDetectorPJPerWavelengthCycle units.Picojoule
 }
 
 // DefaultEnergyParams returns the thesis's Table 3-4/3-5 figures.
@@ -118,7 +120,7 @@ func Components() []EnergyComponent {
 type Ledger struct {
 	params    EnergyParams
 	measuring bool
-	totals    [numEnergyComponents]float64
+	totals    [numEnergyComponents]units.Picojoule
 }
 
 // NewLedger returns a ledger using params; it starts in the warm-up
@@ -137,7 +139,7 @@ func (l *Ledger) StartMeasurement() { l.measuring = true }
 func (l *Ledger) Measuring() bool { return l.measuring }
 
 // Add charges pj picojoules to component c.
-func (l *Ledger) Add(c EnergyComponent, pj float64) {
+func (l *Ledger) Add(c EnergyComponent, pj units.Picojoule) {
 	if !l.measuring {
 		return
 	}
@@ -148,7 +150,7 @@ func (l *Ledger) Add(c EnergyComponent, pj float64) {
 // is a plain value: copying it copies everything.
 type LedgerSnapshot struct {
 	measuring bool
-	totals    [numEnergyComponents]float64
+	totals    [numEnergyComponents]units.Picojoule
 }
 
 // Snapshot captures the ledger's mutable state.
@@ -165,14 +167,14 @@ func (l *Ledger) Restore(s LedgerSnapshot) {
 // AddPhotonicTransmit charges the transmit-side photonic energy for bits
 // modulated onto the channel: laser launch, modulation and MRR tuning.
 func (l *Ledger) AddPhotonicTransmit(bits float64) {
-	l.Add(EnergyLaunch, bits*l.params.LaunchPJPerBit)
-	l.Add(EnergyModulation, bits*l.params.ModulationPJPerBit)
-	l.Add(EnergyTuning, bits*l.params.TuningPJPerBit)
+	l.Add(EnergyLaunch, l.params.LaunchPJPerBit.Times(bits))
+	l.Add(EnergyModulation, l.params.ModulationPJPerBit.Times(bits))
+	l.Add(EnergyTuning, l.params.TuningPJPerBit.Times(bits))
 }
 
 // AddDemodulation charges receive-side demodulation for bits detected.
 func (l *Ledger) AddDemodulation(bits float64) {
-	l.Add(EnergyModulation, bits*l.params.ModulationPJPerBit)
+	l.Add(EnergyModulation, l.params.ModulationPJPerBit.Times(bits))
 }
 
 // AddControlTransmit charges control-plane bits (reservation flits, the
@@ -180,42 +182,42 @@ func (l *Ledger) AddDemodulation(bits float64) {
 // waveguide: laser launch and modulation, but no per-bit thermal tuning —
 // the control rings hold a fixed resonance.
 func (l *Ledger) AddControlTransmit(bits float64) {
-	l.Add(EnergyLaunch, bits*l.params.LaunchPJPerBit)
-	l.Add(EnergyModulation, bits*l.params.ModulationPJPerBit)
+	l.Add(EnergyLaunch, l.params.LaunchPJPerBit.Times(bits))
+	l.Add(EnergyModulation, l.params.ModulationPJPerBit.Times(bits))
 }
 
 // AddBufferAccess charges one buffer write or read of bits.
 func (l *Ledger) AddBufferAccess(bits float64) {
-	l.Add(EnergyBuffer, bits*l.params.BufferPJPerBit)
+	l.Add(EnergyBuffer, l.params.BufferPJPerBit.Times(bits))
 }
 
 // AddBufferResidency charges bitCycles bit-cycles of buffer retention.
 func (l *Ledger) AddBufferResidency(bitCycles float64) {
-	l.Add(EnergyBufferResidency, bitCycles*l.params.BufferResidencyPJPerBitCycle)
+	l.Add(EnergyBufferResidency, l.params.BufferResidencyPJPerBitCycle.Times(bitCycles))
 }
 
 // AddRouterTraversal charges one router crossbar traversal of bits.
 func (l *Ledger) AddRouterTraversal(bits float64) {
-	l.Add(EnergyRouter, bits*l.params.RouterPJPerBit)
+	l.Add(EnergyRouter, l.params.RouterPJPerBit.Times(bits))
 }
 
 // AddWireLink charges one electrical link hop of bits.
 func (l *Ledger) AddWireLink(bits float64) {
-	l.Add(EnergyWireLink, bits*l.params.WireLinkPJPerBit)
+	l.Add(EnergyWireLink, l.params.WireLinkPJPerBit.Times(bits))
 }
 
 // AddIdleDetector charges wavelengthCycles of powered-but-gated detector
 // rows (the Firefly inefficiency).
 func (l *Ledger) AddIdleDetector(wavelengthCycles float64) {
-	l.Add(EnergyIdleDetector, wavelengthCycles*l.params.IdleDetectorPJPerWavelengthCycle)
+	l.Add(EnergyIdleDetector, l.params.IdleDetectorPJPerWavelengthCycle.Times(wavelengthCycles))
 }
 
 // Total returns the accumulated energy of component c in picojoules.
-func (l *Ledger) Total(c EnergyComponent) float64 { return l.totals[c] }
+func (l *Ledger) Total(c EnergyComponent) units.Picojoule { return l.totals[c] }
 
 // TotalPJ returns the total accumulated energy in picojoules.
-func (l *Ledger) TotalPJ() float64 {
-	var sum float64
+func (l *Ledger) TotalPJ() units.Picojoule {
+	var sum units.Picojoule
 	for _, v := range l.totals {
 		sum += v
 	}
@@ -224,20 +226,20 @@ func (l *Ledger) TotalPJ() float64 {
 
 // PhotonicPJ returns the photonic share, Eq. (4): launch + modulation +
 // tuning + photonic buffer terms.
-func (l *Ledger) PhotonicPJ() float64 {
+func (l *Ledger) PhotonicPJ() units.Picojoule {
 	return l.totals[EnergyLaunch] + l.totals[EnergyModulation] +
 		l.totals[EnergyTuning] + l.totals[EnergyIdleDetector]
 }
 
 // ElectricalPJ returns the electrical share: routers, links, buffers.
-func (l *Ledger) ElectricalPJ() float64 {
+func (l *Ledger) ElectricalPJ() units.Picojoule {
 	return l.totals[EnergyRouter] + l.totals[EnergyWireLink] +
 		l.totals[EnergyBuffer] + l.totals[EnergyBufferResidency]
 }
 
 // Breakdown returns a copy of the per-component totals.
-func (l *Ledger) Breakdown() map[EnergyComponent]float64 {
-	out := make(map[EnergyComponent]float64, int(numEnergyComponents)-1)
+func (l *Ledger) Breakdown() map[EnergyComponent]units.Picojoule {
+	out := make(map[EnergyComponent]units.Picojoule, int(numEnergyComponents)-1)
 	for c := EnergyLaunch; c < numEnergyComponents; c++ {
 		out[c] = l.totals[c]
 	}

@@ -2,7 +2,8 @@ package photonic
 
 import (
 	"fmt"
-	"math"
+
+	"hetpnoc/internal/units"
 )
 
 // LossParams are the per-element insertion losses of the photonic path, in
@@ -12,27 +13,27 @@ import (
 // thesis, turns on exactly these terms.
 type LossParams struct {
 	// CouplerDB is the laser-to-chip (or fiber-to-chip) coupling loss.
-	CouplerDB float64
+	CouplerDB units.DB
 	// PropagationDBPerCm is the waveguide propagation loss.
-	PropagationDBPerCm float64
+	PropagationDBPerCm units.DBPerCm
 	// CrossingDB is the loss of one waveguide crossing.
-	CrossingDB float64
+	CrossingDB units.DB
 	// RingThroughDB is the loss of passing one off-resonance ring.
-	RingThroughDB float64
+	RingThroughDB units.DB
 	// RingDropDB is the loss of being dropped (turned) by one resonant
 	// ring — a PSE turn or a demodulator filter.
-	RingDropDB float64
+	RingDropDB units.DB
 	// CrosstalkPerCrossingDB is the signal-to-crosstalk penalty each
 	// waveguide crossing contributes — the quantity [23] analyzes to
 	// argue that multi-hop switched photonic fabrics accumulate
 	// crosstalk while "crossbar-based photonic NoC architectures can
 	// scale better in terms of reliability" (§3 of the thesis).
-	CrosstalkPerCrossingDB float64
+	CrosstalkPerCrossingDB units.DB
 	// CrosstalkPerPSEDB is the crosstalk penalty of one PSE traversal.
-	CrosstalkPerPSEDB float64
+	CrosstalkPerPSEDB units.DB
 	// DetectorSensitivityDBm is the minimum optical power the receiver
-	// needs for the target bit-error rate.
-	DetectorSensitivityDBm float64
+	// needs for the target bit-error rate (dBm-referenced).
+	DetectorSensitivityDBm units.DB
 }
 
 // DefaultLossParams returns representative silicon-photonic losses.
@@ -61,24 +62,24 @@ func (p LossParams) Validate() error {
 // PathLoss describes one optical path's budget.
 type PathLoss struct {
 	// TotalDB is the end-to-end insertion loss.
-	TotalDB float64
+	TotalDB units.DB
 	// CrosstalkDB is the accumulated signal-to-crosstalk penalty.
-	CrosstalkDB float64
+	CrosstalkDB units.DB
 	// LaserPowerMW is the per-wavelength laser power needed to arrive at
 	// the detector sensitivity after the loss, with the crosstalk
 	// penalty compensated by extra launch power.
-	LaserPowerMW float64
+	LaserPowerMW units.MilliWatt
 }
 
 // budget assembles a PathLoss from a total loss and crosstalk in dB.
-func (p LossParams) budget(lossDB, crosstalkDB float64) PathLoss {
+func (p LossParams) budget(lossDB, crosstalkDB units.DB) PathLoss {
 	// Required launch power: sensitivity + loss + crosstalk margin,
-	// converted from dBm.
+	// converted from dBm by the blessed units helper.
 	launchDBm := p.DetectorSensitivityDBm + lossDB + crosstalkDB
 	return PathLoss{
 		TotalDB:      lossDB,
 		CrosstalkDB:  crosstalkDB,
-		LaserPowerMW: math.Pow(10, launchDBm/10),
+		LaserPowerMW: units.DBmToMilliWatt(launchDBm),
 	}
 }
 
@@ -92,7 +93,7 @@ func (p LossParams) budget(lossDB, crosstalkDB float64) PathLoss {
 // serpentine of roughly 2x the die edge per waveguide row);
 // ringsPerCluster is the demodulator rows the light passes per foreign
 // cluster (the per-channel wavelength count).
-func (p LossParams) CrossbarWorstCase(clusters int, dieCm float64, ringsPerCluster int) (PathLoss, error) {
+func (p LossParams) CrossbarWorstCase(clusters int, dieCm units.Centimeter, ringsPerCluster int) (PathLoss, error) {
 	if err := p.Validate(); err != nil {
 		return PathLoss{}, err
 	}
@@ -100,13 +101,13 @@ func (p LossParams) CrossbarWorstCase(clusters int, dieCm float64, ringsPerClust
 		return PathLoss{}, fmt.Errorf("photonic: crossbar budget needs >=2 clusters, positive length and rings")
 	}
 	loss := p.CouplerDB +
-		p.PropagationDBPerCm*dieCm +
-		float64(clusters-1)*float64(ringsPerCluster)*p.RingThroughDB +
+		p.PropagationDBPerCm.Over(dieCm) +
+		p.RingThroughDB.Times(float64(clusters-1)*float64(ringsPerCluster)) +
 		p.RingDropDB
 	// The crossbar's only crosstalk sources are the off-resonance rings,
 	// an order of magnitude below crossings and PSEs; [23] treats it as
 	// the clean topology.
-	crosstalk := float64(clusters-1) * float64(ringsPerCluster) * p.RingThroughDB
+	crosstalk := p.RingThroughDB.Times(float64(clusters-1) * float64(ringsPerCluster))
 	return p.budget(loss, crosstalk), nil
 }
 
@@ -116,7 +117,7 @@ func (p LossParams) CrossbarWorstCase(clusters int, dieCm float64, ringsPerClust
 // router, and makes `turns` PSE drops. Each PSE hop "introduces additional
 // loss and crosstalk" — the §2.1.3 argument for compact blocking switches
 // and, in [23], for crossbars.
-func (p LossParams) TorusWorstCase(hops, turns, crossingsPerHop int, hopCm float64) (PathLoss, error) {
+func (p LossParams) TorusWorstCase(hops, turns, crossingsPerHop int, hopCm units.Centimeter) (PathLoss, error) {
 	if err := p.Validate(); err != nil {
 		return PathLoss{}, err
 	}
@@ -124,11 +125,11 @@ func (p LossParams) TorusWorstCase(hops, turns, crossingsPerHop int, hopCm float
 		return PathLoss{}, fmt.Errorf("photonic: torus budget needs >=1 hop and positive geometry")
 	}
 	loss := p.CouplerDB +
-		p.PropagationDBPerCm*hopCm*float64(hops) +
-		float64(hops*crossingsPerHop)*p.CrossingDB +
-		float64(turns)*p.RingDropDB +
+		p.PropagationDBPerCm.Over(hopCm).Times(float64(hops)) +
+		p.CrossingDB.Times(float64(hops*crossingsPerHop)) +
+		p.RingDropDB.Times(float64(turns)) +
 		p.RingDropDB // final drop into the receiver
-	crosstalk := float64(hops*crossingsPerHop)*p.CrosstalkPerCrossingDB +
-		float64(hops+turns)*p.CrosstalkPerPSEDB
+	crosstalk := p.CrosstalkPerCrossingDB.Times(float64(hops*crossingsPerHop)) +
+		p.CrosstalkPerPSEDB.Times(float64(hops+turns))
 	return p.budget(loss, crosstalk), nil
 }

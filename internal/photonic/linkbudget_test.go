@@ -14,17 +14,17 @@ func TestCrossbarWorstCaseComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(got.TotalDB-8.1) > 1e-9 {
+	if math.Abs(float64(got.TotalDB)-8.1) > 1e-9 {
 		t.Fatalf("crossbar loss = %g dB, want 8.1", got.TotalDB)
 	}
 	// Crosstalk: 15 foreign clusters x 4 rings x 0.01 dB = 0.6 dB.
-	if math.Abs(got.CrosstalkDB-0.6) > 1e-9 {
+	if math.Abs(float64(got.CrosstalkDB)-0.6) > 1e-9 {
 		t.Fatalf("crossbar crosstalk = %g dB, want 0.6", got.CrosstalkDB)
 	}
 	// Launch power: -20 dBm + 8.1 dB loss + 0.6 dB crosstalk margin =
 	// -11.3 dBm.
 	want := math.Pow(10, -11.3/10)
-	if math.Abs(got.LaserPowerMW-want) > 1e-9 {
+	if math.Abs(float64(got.LaserPowerMW)-want) > 1e-9 {
 		t.Fatalf("laser power = %g mW, want %g", got.LaserPowerMW, want)
 	}
 }
@@ -61,7 +61,7 @@ func TestTorusWorstCaseComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(got.TotalDB-6.6) > 1e-9 {
+	if math.Abs(float64(got.TotalDB)-6.6) > 1e-9 {
 		t.Fatalf("torus loss = %g dB, want 6.6", got.TotalDB)
 	}
 }
@@ -111,8 +111,8 @@ func TestLaserPowerConversionRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	backToDBm := 10 * math.Log10(pl.LaserPowerMW)
-	if math.Abs(backToDBm-(p.DetectorSensitivityDBm+pl.TotalDB+pl.CrosstalkDB)) > 1e-9 {
+	backToDBm := 10 * math.Log10(float64(pl.LaserPowerMW))
+	if math.Abs(backToDBm-float64(p.DetectorSensitivityDBm+pl.TotalDB+pl.CrosstalkDB)) > 1e-9 {
 		t.Fatalf("power conversion inconsistent: %g dBm", backToDBm)
 	}
 }

@@ -3,6 +3,8 @@ package photonic
 import (
 	"testing"
 	"testing/quick"
+
+	"hetpnoc/internal/units"
 )
 
 func TestNewBundleSizing(t *testing.T) {
@@ -138,9 +140,9 @@ func TestLedgerComponents(t *testing.T) {
 	l.StartMeasurement()
 
 	l.AddPhotonicTransmit(100)
-	wantLaunch := 100 * p.LaunchPJPerBit
-	wantMod := 100 * p.ModulationPJPerBit
-	wantTune := 100 * p.TuningPJPerBit
+	wantLaunch := p.LaunchPJPerBit.Times(100)
+	wantMod := p.ModulationPJPerBit.Times(100)
+	wantTune := p.TuningPJPerBit.Times(100)
 	if got := l.Total(EnergyLaunch); got != wantLaunch {
 		t.Errorf("launch = %g, want %g", got, wantLaunch)
 	}
@@ -168,7 +170,7 @@ func TestLedgerComponents(t *testing.T) {
 	l.AddIdleDetector(10)
 
 	// The grand total must equal the sum of the breakdown.
-	var sum float64
+	var sum units.Picojoule
 	for _, v := range l.Breakdown() {
 		sum += v
 	}

@@ -3,6 +3,8 @@ package photonic
 import (
 	"fmt"
 	"math"
+
+	"hetpnoc/internal/units"
 )
 
 // ThermalParams model the micro-ring thermal tuning of §2.1.1: "The
@@ -47,18 +49,18 @@ func (p ThermalParams) Validate() error {
 // HeaterPowerMW returns the heater power one ring dissipates to trim a
 // total resonance error of shiftNm. Heaters only shift one way (heating
 // red-shifts), so the magnitude is what matters.
-func (p ThermalParams) HeaterPowerMW(shiftNm float64) (float64, error) {
+func (p ThermalParams) HeaterPowerMW(shiftNm float64) (units.MilliWatt, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
-	return math.Abs(shiftNm) * p.HeaterMWPerNm, nil
+	return units.MilliWatt(math.Abs(shiftNm) * p.HeaterMWPerNm), nil
 }
 
 // ExpectedTrimPowerMW returns the expected per-ring heater power when
 // trimming a Gaussian fabrication error with the configured sigma plus a
 // deterministic thermal gradient of deltaK kelvin: E|X| of a folded
 // normal, sigma*sqrt(2/pi), plus the drift term.
-func (p ThermalParams) ExpectedTrimPowerMW(deltaK float64) (float64, error) {
+func (p ThermalParams) ExpectedTrimPowerMW(deltaK float64) (units.MilliWatt, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
@@ -66,7 +68,7 @@ func (p ThermalParams) ExpectedTrimPowerMW(deltaK float64) (float64, error) {
 		return 0, fmt.Errorf("photonic: temperature delta must be non-negative, got %g", deltaK)
 	}
 	expectedShift := p.FabricationSigmaNm*math.Sqrt(2/math.Pi) + deltaK*p.ResonanceDriftNmPerK
-	return expectedShift * p.HeaterMWPerNm, nil
+	return units.MilliWatt(expectedShift * p.HeaterMWPerNm), nil
 }
 
 // ChipTuningPowerMW returns the expected aggregate heater power of a chip
@@ -74,7 +76,7 @@ func (p ThermalParams) ExpectedTrimPowerMW(deltaK float64) (float64, error) {
 // Combined with the area model's device counts this quantifies the
 // *static* cost of the d-HetPNoC's extra modulators — the flip side of the
 // Figure 3-6 area overhead.
-func (p ThermalParams) ChipTuningPowerMW(rings int, deltaK float64) (float64, error) {
+func (p ThermalParams) ChipTuningPowerMW(rings int, deltaK float64) (units.MilliWatt, error) {
 	if rings <= 0 {
 		return 0, fmt.Errorf("photonic: ring count must be positive, got %d", rings)
 	}
@@ -82,5 +84,5 @@ func (p ThermalParams) ChipTuningPowerMW(rings int, deltaK float64) (float64, er
 	if err != nil {
 		return 0, err
 	}
-	return float64(rings) * perRing, nil
+	return perRing.Times(float64(rings)), nil
 }

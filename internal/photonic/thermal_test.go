@@ -35,7 +35,7 @@ func TestExpectedTrimPower(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 0.5 * math.Sqrt(2/math.Pi) * 2.4
-	if math.Abs(got-want) > 1e-12 {
+	if math.Abs(float64(got)-want) > 1e-12 {
 		t.Fatalf("expected trim power = %g mW, want %g", got, want)
 	}
 	// A 10 K gradient adds 0.8 nm -> 1.92 mW on top.
@@ -43,7 +43,7 @@ func TestExpectedTrimPower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(hot-(want+1.92)) > 1e-12 {
+	if math.Abs(float64(hot)-(want+1.92)) > 1e-12 {
 		t.Fatalf("10 K trim power = %g mW, want %g", hot, want+1.92)
 	}
 }
@@ -85,7 +85,7 @@ func TestChipTuningPowerScalesWithDeviceCount(t *testing.T) {
 	if dhet <= firefly {
 		t.Fatalf("d-HetPNoC tuning power %g mW not above Firefly %g mW", dhet, firefly)
 	}
-	ratio := dhet / firefly
+	ratio := float64(dhet / firefly)
 	wantRatio := float64(3072+17408) / float64(1088+16320)
 	if math.Abs(ratio-wantRatio) > 1e-12 {
 		t.Fatalf("tuning power ratio %g, want device ratio %g", ratio, wantRatio)

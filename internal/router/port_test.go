@@ -145,7 +145,7 @@ func TestPortBufferEnergyCharged(t *testing.T) {
 	}
 	// One write + one read of a 32-bit flit at 0.078125 pJ/bit.
 	want := 2 * 32 * 0.078125
-	if got := ledger.Total(photonic.EnergyBuffer); got != want {
+	if got := float64(ledger.Total(photonic.EnergyBuffer)); got != want {
 		t.Fatalf("buffer energy = %g pJ, want %g", got, want)
 	}
 }

@@ -278,11 +278,11 @@ func TestRouterEnergyAccounting(t *testing.T) {
 	f.run(t, 0, 5)
 
 	// One traversal of 32 bits at 0.625 pJ/bit.
-	if got, want := f.ledger.Total(photonic.EnergyRouter), 32*0.625; got != want {
+	if got, want := float64(f.ledger.Total(photonic.EnergyRouter)), 32*0.625; got != want {
 		t.Fatalf("router energy = %g, want %g", got, want)
 	}
 	// Output 0 charges the wire link (chargeLink=true).
-	if got, want := f.ledger.Total(photonic.EnergyWireLink), 32*0.1; got != want {
+	if got, want := float64(f.ledger.Total(photonic.EnergyWireLink)), 32*0.1; got != want {
 		t.Fatalf("wire energy = %g, want %g", got, want)
 	}
 }

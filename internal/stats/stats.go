@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"hetpnoc/internal/sim"
+	"hetpnoc/internal/units"
 )
 
 // Collector accumulates run metrics. Events before StartMeasurement (the
@@ -173,7 +174,7 @@ type Summary struct {
 
 	// DeliveredGbps is the aggregate rate of bits successfully arriving
 	// at all cores (the thesis's bandwidth metric, §3.4.1.1).
-	DeliveredGbps float64
+	DeliveredGbps units.Gbps
 
 	AvgLatencyCycles float64
 	MaxLatencyCycles sim.Cycle
@@ -192,7 +193,7 @@ type Summary struct {
 // Summary computes the read-out; Finish must have been called.
 func (c *Collector) Summary() Summary {
 	cycles := c.endAt - c.startAt
-	seconds := c.clock.Seconds(cycles)
+	seconds := units.CyclesToSeconds(cycles, units.ClockGHz(c.clock))
 	s := Summary{
 		MeasuredCycles:   cycles,
 		MeasuredSeconds:  seconds,
@@ -208,7 +209,7 @@ func (c *Collector) Summary() Summary {
 		WarmupDelivered:  c.warmupDelivered,
 	}
 	if seconds > 0 {
-		s.DeliveredGbps = float64(c.bitsDelivered) / seconds / 1e9
+		s.DeliveredGbps = units.RateGbps(float64(c.bitsDelivered), seconds)
 	}
 	if c.latencyCount > 0 {
 		s.AvgLatencyCycles = c.latencySum / float64(c.latencyCount)

@@ -51,7 +51,7 @@ func TestDeliveredBandwidth(t *testing.T) {
 		t.Fatalf("measured %g s, want %g", s.MeasuredSeconds, wantSeconds)
 	}
 	wantGbps := float64(100*2048) / wantSeconds / 1e9
-	if math.Abs(s.DeliveredGbps-wantGbps) > 1e-6 {
+	if math.Abs(float64(s.DeliveredGbps)-wantGbps) > 1e-6 {
 		t.Fatalf("delivered %g Gb/s, want %g", s.DeliveredGbps, wantGbps)
 	}
 	if s.FlitsDelivered != 6400 {

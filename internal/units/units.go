@@ -1,0 +1,121 @@
+// Package units defines the typed physical quantities of the thesis's
+// evaluation model. Each quantity is a defined type over float64 (or
+// reuses sim.Cycle for clock ticks), so arithmetic inside one unit
+// domain is value-preserving — JSON encoding, comparisons and float
+// operations are bit-identical to the bare float64 they replace — while
+// the compiler and the unitsafe analyzer reject arithmetic that mixes
+// domains (a dB figure added to a milliwatt figure, a cycle count mixed
+// with wall-clock time).
+//
+// Conversions between domains are deliberate: they happen only through
+// the blessed helpers below, which encode the paper's actual formulas
+// (dBm-to-milliwatt launch power, cycles-to-seconds at the modeled
+// clock). Anywhere else, converting one unit type into another is a
+// unitsafe finding unless annotated //hetpnoc:unitcast with a reason.
+package units
+
+import (
+	"fmt"
+	"math"
+
+	"hetpnoc/internal/sim"
+)
+
+// DB is a logarithmic power quantity in decibels. It covers both
+// relative figures (insertion loss, crosstalk penalty) and absolute
+// dBm-referenced levels (detector sensitivity, launch power): the two
+// add freely along a link budget, which is exactly how §3's budget
+// equations use them.
+type DB float64
+
+// DBPerCm is a per-length loss rate — the waveguide propagation loss of
+// Table 3-4.
+type DBPerCm float64
+
+// MilliWatt is linear optical or heater power in milliwatts.
+type MilliWatt float64
+
+// Picojoule is dissipated energy in picojoules, the unit of the
+// Table 3-4/3-5 energy model and the energy-per-message metric.
+type Picojoule float64
+
+// Gbps is a bit rate in gigabits per second, the thesis's bandwidth
+// axis (§3.4.1.1).
+type Gbps float64
+
+// Centimeter is an on-die optical path length in centimeters, the unit
+// the propagation-loss rate multiplies.
+type Centimeter float64
+
+// GHz is a clock frequency in gigahertz (the modeled 2.5 GHz core
+// clock).
+type GHz float64
+
+// SquareMillimeter is silicon area in mm², the unit of the §3.4.3 area
+// model (Figure 3-6).
+type SquareMillimeter float64
+
+// Unit returns the bare unit label, for callers composing their own
+// formatting around a printed value.
+func (DB) Unit() string               { return "dB" }
+func (DBPerCm) Unit() string          { return "dB/cm" }
+func (MilliWatt) Unit() string        { return "mW" }
+func (Picojoule) Unit() string        { return "pJ" }
+func (Gbps) Unit() string             { return "Gb/s" }
+func (Centimeter) Unit() string       { return "cm" }
+func (GHz) Unit() string              { return "GHz" }
+func (SquareMillimeter) Unit() string { return "mm^2" }
+
+// String renders the value with its unit label.
+func (v DB) String() string               { return fmt.Sprintf("%g %s", float64(v), v.Unit()) }
+func (v DBPerCm) String() string          { return fmt.Sprintf("%g %s", float64(v), v.Unit()) }
+func (v MilliWatt) String() string        { return fmt.Sprintf("%g %s", float64(v), v.Unit()) }
+func (v Picojoule) String() string        { return fmt.Sprintf("%g %s", float64(v), v.Unit()) }
+func (v Gbps) String() string             { return fmt.Sprintf("%g %s", float64(v), v.Unit()) }
+func (v Centimeter) String() string       { return fmt.Sprintf("%g %s", float64(v), v.Unit()) }
+func (v GHz) String() string              { return fmt.Sprintf("%g %s", float64(v), v.Unit()) }
+func (v SquareMillimeter) String() string { return fmt.Sprintf("%g %s", float64(v), v.Unit()) }
+
+// Times scales a loss by a dimensionless element count (rings passed,
+// crossings traversed).
+func (v DB) Times(n float64) DB { return v * DB(n) }
+
+// Over converts the loss rate into a loss over a path of the given
+// length.
+func (r DBPerCm) Over(length Centimeter) DB { return DB(float64(r) * float64(length)) }
+
+// Times scales a power by a dimensionless count (wavelengths, rings).
+func (v MilliWatt) Times(n float64) MilliWatt { return v * MilliWatt(n) }
+
+// Times scales an energy by a dimensionless count (bits, bit-cycles).
+func (v Picojoule) Times(n float64) Picojoule { return v * Picojoule(n) }
+
+// Div divides an energy by a dimensionless count (packets delivered),
+// yielding a per-item energy in the same unit.
+func (v Picojoule) Div(n float64) Picojoule { return v / Picojoule(n) }
+
+// Div divides a rate by a dimensionless count (cores), yielding a
+// per-item rate in the same unit.
+func (v Gbps) Div(n float64) Gbps { return v / Gbps(n) }
+
+// DBToLinear converts a relative dB figure into a linear power ratio,
+// 10^(dB/10).
+func DBToLinear(db DB) float64 { return math.Pow(10, float64(db)/10) }
+
+// DBmToMilliWatt converts an absolute dBm-referenced level into linear
+// milliwatts — the launch-power step of the §3 link budget.
+func DBmToMilliWatt(dbm DB) MilliWatt { return MilliWatt(math.Pow(10, float64(dbm)/10)) }
+
+// ClockGHz extracts a clock's frequency as a typed GHz quantity.
+func ClockGHz(c sim.Clock) GHz { return GHz(c.FrequencyHz / 1e9) }
+
+// CyclesToSeconds converts a cycle count at the given clock into
+// wall-clock seconds. For the modeled 2.5 GHz clock this is exactly
+// sim.Clock.Seconds: the GHz round trip through 1e9 is lossless.
+func CyclesToSeconds(n sim.Cycle, clock GHz) float64 {
+	return float64(n) / (float64(clock) * 1e9)
+}
+
+// RateGbps derives a bit rate from bits delivered over a measurement
+// window in seconds — the §3.4.1.1 delivered-bandwidth metric.
+func RateGbps(bits, seconds float64) Gbps { return Gbps(bits / seconds / 1e9) }

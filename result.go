@@ -4,6 +4,7 @@ import (
 	"hetpnoc/internal/area"
 	"hetpnoc/internal/fabric"
 	"hetpnoc/internal/gpgpu"
+	"hetpnoc/internal/units"
 )
 
 // Result carries the measurements of one simulation run, taken over the
@@ -16,22 +17,22 @@ type Result struct {
 
 	// DeliveredGbps is the aggregate rate of bits successfully arriving
 	// at all cores — the thesis's bandwidth metric (§3.4.1.1).
-	DeliveredGbps float64
+	DeliveredGbps units.Gbps
 	// PerCoreGbps is DeliveredGbps averaged over cores.
-	PerCoreGbps float64
+	PerCoreGbps units.Gbps
 	// OfferedGbps is the aggregate scaled injection rate.
-	OfferedGbps float64
+	OfferedGbps units.Gbps
 
 	// EnergyPerMessagePJ is total dissipated energy per delivered packet
 	// (§3.4.1.2).
-	EnergyPerMessagePJ float64
-	EnergyTotalPJ      float64
-	EnergyPhotonicPJ   float64
-	EnergyElectricalPJ float64
+	EnergyPerMessagePJ units.Picojoule
+	EnergyTotalPJ      units.Picojoule
+	EnergyPhotonicPJ   units.Picojoule
+	EnergyElectricalPJ units.Picojoule
 	// EnergyBreakdownPJ maps component names (launch, modulation,
 	// tuning, buffer, buffer-residency, router, wire-link,
 	// idle-detector) to their totals.
-	EnergyBreakdownPJ map[string]float64
+	EnergyBreakdownPJ map[string]units.Picojoule
 
 	PacketsInjected  int64
 	PacketsDelivered int64
@@ -106,8 +107,8 @@ func fromFabricResult(r fabric.Result) Result {
 // aggregate-bandwidth point.
 type AreaEstimate struct {
 	DataWavelengths    int
-	DHetPNoCAreaMM2    float64
-	FireflyAreaMM2     float64
+	DHetPNoCAreaMM2    units.SquareMillimeter
+	FireflyAreaMM2     units.SquareMillimeter
 	OverheadPct        float64
 	DHetPNoCModulators int
 	DHetPNoCDetectors  int
@@ -128,7 +129,7 @@ func EstimateArea(dataWavelengths int) (AreaEstimate, error) {
 		DataWavelengths:    dataWavelengths,
 		DHetPNoCAreaMM2:    d,
 		FireflyAreaMM2:     f,
-		OverheadPct:        (d - f) / f * 100,
+		OverheadPct:        float64((d - f) / f * 100),
 		DHetPNoCModulators: cfg.DynamicModulators(),
 		DHetPNoCDetectors:  cfg.DynamicDetectors(),
 		FireflyModulators:  cfg.FireflyModulators(),
