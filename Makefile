@@ -30,9 +30,10 @@ vet:
 # concurrency-safety and API-stability invariants: the per-package
 # analyzers (detrand, maprange, hotpathalloc, globalstate, lockguard,
 # ctxflow, errsink), the whole-program layer (hotpathreach, dettaint,
-# lockorder), the compiler-evidence layer (allocproof, snapcover) and
-# apistable; any undirected violation exits non-zero. See
-# docs/ANALYSIS.md.
+# lockorder), the compiler-evidence layer (allocproof, snapcover), the
+# value-flow layer (unitsafe, seedflow), the concurrency-protocol
+# layer (goleak, chanown, wgsync) and apistable; any undirected
+# violation exits non-zero. See docs/ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/hetpnoclint ./...
 

@@ -85,6 +85,14 @@ func run(args []string) error {
 
 	select {
 	case err := <-errc:
+		// The listener died before any signal (bad address, port in
+		// use). The worker pool is already running; drain it so its
+		// goroutines exit rather than leaking into the caller.
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if poolErr := srv.Close(drainCtx); poolErr != nil && err == nil {
+			err = fmt.Errorf("pool drain: %w", poolErr)
+		}
 		return err
 	case <-ctx.Done():
 	}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"net"
 	"testing"
 	"time"
 
 	"hetpnoc/internal/serve"
+	"hetpnoc/internal/testutil/leakcheck"
 )
 
 func TestServerConfigMapping(t *testing.T) {
@@ -23,10 +25,29 @@ func TestServerConfigMapping(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
+	leakcheck.Check(t)
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("undefined flag accepted")
 	}
 	if err := run([]string{"-workers", "zebra"}); err == nil {
 		t.Fatal("malformed flag value accepted")
+	}
+}
+
+// TestRunDrainsPoolWhenListenFails pins the listener-failure path: when
+// ListenAndServe dies before any signal arrives (here, the port is
+// already taken), run must still drain the worker pool it started
+// instead of leaking the workers into the process.
+func TestRunDrainsPoolWhenListenFails(t *testing.T) {
+	leakcheck.Check(t)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	if err := run([]string{"-addr", ln.Addr().String(), "-workers", "2", "-queue", "4"}); err == nil {
+		t.Fatal("run returned nil while the address was occupied")
 	}
 }

@@ -23,8 +23,9 @@
 // The suite loads and type-checks the module once; per-package
 // analyzers then run over each package, and the whole-program analyzers
 // (hotpathreach, allocproof, snapcover, dettaint, lockorder, unitsafe,
-// seedflow) run once over all packages, sharing a single memoized call
-// graph, hot-path BFS and value-flow layer. allocproof additionally shells out one evidence build
+// seedflow, goleak, chanown, wgsync) run once over all packages,
+// sharing a single memoized call graph, hot-path BFS, value-flow layer
+// and concurrency-protocol layer (internal/analysis/conc). allocproof additionally shells out one evidence build
 // (go build -gcflags='-m=2 -d=ssa/check_bce'); -gcobsout writes its
 // parsed escape/bounds-check report as JSON for the CI artifact.
 //
@@ -46,6 +47,7 @@ import (
 	"hetpnoc/internal/analysis"
 	"hetpnoc/internal/analysis/allocproof"
 	"hetpnoc/internal/analysis/apistable"
+	"hetpnoc/internal/analysis/chanown"
 	"hetpnoc/internal/analysis/ctxflow"
 	"hetpnoc/internal/analysis/detrand"
 	"hetpnoc/internal/analysis/dettaint"
@@ -53,6 +55,7 @@ import (
 	"hetpnoc/internal/analysis/fix"
 	"hetpnoc/internal/analysis/gcobs"
 	"hetpnoc/internal/analysis/globalstate"
+	"hetpnoc/internal/analysis/goleak"
 	"hetpnoc/internal/analysis/hotpathalloc"
 	"hetpnoc/internal/analysis/hotpathreach"
 	"hetpnoc/internal/analysis/load"
@@ -62,6 +65,7 @@ import (
 	"hetpnoc/internal/analysis/seedflow"
 	"hetpnoc/internal/analysis/snapcover"
 	"hetpnoc/internal/analysis/unitsafe"
+	"hetpnoc/internal/analysis/wgsync"
 )
 
 // analyzers is the hetpnoclint suite, in reporting order: the
@@ -82,6 +86,9 @@ var analyzers = []*analysis.Analyzer{
 	lockorder.Analyzer,
 	unitsafe.Analyzer,
 	seedflow.Analyzer,
+	goleak.Analyzer,
+	chanown.Analyzer,
+	wgsync.Analyzer,
 	apistable.Analyzer,
 }
 

@@ -204,6 +204,47 @@ func Launder(mw units.MilliWatt) units.DB {
 	return units.DB(float64(mw))
 }
 `)
+	// Concurrency-protocol bait: Spin leaks a forever-goroutine
+	// (goleak), Give closes a channel it received and Twice closes one
+	// twice (chanown), Race calls Add inside the goroutine it accounts
+	// for (wgsync). tick() keeps every body side-effect-free without a
+	// package-level var that would wake globalstate.
+	write("internal/pool/pool.go", `package pool
+
+import "sync"
+
+func tick() {}
+
+func Spin() {
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}
+
+func Give(ch chan int) {
+	close(ch)
+}
+
+func Twice() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+
+func Race() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+		defer wg.Done()
+		tick()
+	}()
+	wg.Wait()
+}
+`)
 	// Stale API golden: lists one symbol that no longer exists, knows
 	// the rest.
 	write("internal/sim/testdata/api/sim.golden", "Counter\ttype struct\n"+
@@ -241,6 +282,9 @@ func Launder(mw units.MilliWatt) units.DB {
 		"snapcover":    2, // Core.Snapshot misses drift, Core.Restore misses drift
 		"unitsafe":     2, // laundered dB+mW add, mW-to-dB laundering cast
 		"seedflow":     1, // Fork runs with Reseed missing on one branch
+		"goleak":       1, // Spin's goroutine loops forever, unjoined
+		"chanown":      2, // Give closes a parameter, Twice double-closes
+		"wgsync":       1, // Race calls Add inside the spawned goroutine
 		"apistable":    1, // Gone removed relative to the golden
 	}
 	for a, n := range want {

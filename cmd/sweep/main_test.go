@@ -5,9 +5,12 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hetpnoc/internal/testutil/leakcheck"
 )
 
 func TestRunTables(t *testing.T) {
+	leakcheck.Check(t)
 	if err := run([]string{"-tables"}); err != nil {
 		t.Fatal(err)
 	}
@@ -26,6 +29,7 @@ func TestRunFig3_6(t *testing.T) {
 }
 
 func TestRunQuickSimulationFigure(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("simulation figure in -short mode")
 	}
@@ -41,6 +45,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 }
 
 func TestRunFig3_3WithCSV(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("simulation figure in -short mode")
 	}
@@ -83,6 +88,7 @@ func TestRunCaseStudiesAndExtensions(t *testing.T) {
 }
 
 func TestRunScalingFigures(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("simulation figures in -short mode")
 	}

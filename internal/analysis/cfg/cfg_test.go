@@ -527,3 +527,58 @@ func F(c bool) { if c { x() } }`, parser.SkipObjectResolution)
 		t.Errorf("unexpected String() output:\n%s", s)
 	}
 }
+
+func TestSelectSendAndRecvClauses(t *testing.T) {
+	probes := factsAt(t, `package p
+func F(a, b chan int) {
+	lock()
+	select {
+	case a <- 1:
+		probe("send")
+	case v := <-b:
+		_ = v
+		unlock()
+		probe("recv")
+	}
+	probe("after")
+}`)
+	expect(t, probes, "send", "L")
+	expect(t, probes, "recv", "")
+	// Must-analysis: only the send path still holds the lock, so the
+	// join keeps nothing.
+	expect(t, probes, "after", "")
+}
+
+func TestGoLiteralBodyIsNotInline(t *testing.T) {
+	probes := factsAt(t, `package p
+func F() {
+	lock()
+	go func() {
+		unlock()
+		probe("inside")
+	}()
+	probe("after")
+}`)
+	// The spawned literal runs at an unknown time: its unlock must not
+	// kill the spawner's fact, and its probe is not part of this graph.
+	expect(t, probes, "after", "L")
+	if _, ok := probes["inside"]; ok {
+		t.Errorf("probe inside a go literal must not be reached by the enclosing graph")
+	}
+}
+
+func TestDeferredKillInSpawnLoop(t *testing.T) {
+	// The wgsync shape: a deferred kill (defer wg.Done / defer unlock)
+	// must not consume the fact on the loop path or at the join point.
+	probes := factsAt(t, `package p
+func F(n int) {
+	lock()
+	defer unlock()
+	for i := 0; i < n; i++ {
+		probe("spawn")
+	}
+	probe("wait")
+}`)
+	expect(t, probes, "spawn", "L")
+	expect(t, probes, "wait", "L")
+}

@@ -1,0 +1,236 @@
+// Package chanown enforces channel ownership: a channel is closed by
+// its provably-unique sending owner, never closed twice, and never
+// sent on after a close. The rules mirror the runtime's: a send on a
+// closed channel and a double close both panic, and the only safe
+// closer is the side that knows no more sends are coming — the owner.
+//
+// The check has two halves over the conc layer's canonical channel
+// keys (vflow-resolved locals, declaring-type-keyed fields):
+//
+// Module-wide ownership, by index lookup:
+//
+//   - one close site per channel: a channel closed from two different
+//     functions has two owners racing to end it;
+//   - the closer acts for the sending owner: every send and every
+//     close must carry the same owner (the method's receiver type, or
+//     the function itself) — `Server.admit` sending and `Server.Close`
+//     closing agree on the owner `Server`;
+//   - closing a channel received as a parameter is an ownership
+//     transfer from the caller and must be declared.
+//
+// Deliberate handoffs carry //hetpnoc:chanxfer <why> on the close.
+//
+// Path-sensitive, per function body (declared bodies and each function
+// literal on its own facts, like seedflow): a may-analysis with the
+// fact "closed|<key>" — reaching a second close or a send while the
+// fact holds on any path is a finding. Rebinding the channel variable
+// (ch = make(...)) kills the fact: the variable names a fresh channel.
+package chanown
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"hetpnoc/internal/analysis"
+	"hetpnoc/internal/analysis/cfg"
+	"hetpnoc/internal/analysis/conc"
+)
+
+// Analyzer flags non-owner closes, double closes and sends reachable
+// after a close.
+var Analyzer = &analysis.Analyzer{
+	Name:      "chanown",
+	Doc:       "a channel is closed once, by its unique sending owner, and never sent on after close",
+	RunModule: run,
+}
+
+const xferSuggestion = "move the close to the sending owner (the type or function that performs the sends), " +
+	"or annotate the close //hetpnoc:chanxfer <why> if the ownership handoff is deliberate"
+
+func run(mp *analysis.ModulePass) error {
+	m := conc.FromPass(mp)
+	dc := analysis.NewDirectiveCache(mp.Fset)
+	c := &checker{mp: mp, m: m, dc: dc}
+	c.ownership()
+	for _, fi := range m.Sorted {
+		c.paths(fi)
+	}
+	return nil
+}
+
+type checker struct {
+	mp *analysis.ModulePass
+	m  *conc.Module
+	dc *analysis.DirectiveCache
+}
+
+// ownership runs the module-wide owner checks. At most one finding per
+// close site, strongest first: parameter handoff, then multiple close
+// sites, then owner mismatch.
+func (c *checker) ownership() {
+	for _, key := range c.m.ChanKeys() {
+		ci := c.m.Chan(key)
+		if len(ci.Closes) == 0 {
+			continue
+		}
+		closeFns := make(map[*conc.FuncInfo]bool)
+		for _, cl := range ci.Closes {
+			closeFns[cl.Fn] = true
+		}
+		sendOwners := make(map[string]bool)
+		for _, s := range ci.Sends {
+			sendOwners[s.Fn.Owner()] = true
+		}
+		for i, cl := range ci.Closes {
+			switch {
+			case cl.Op.Var != nil && cl.Fn.IsParam(cl.Op.Var):
+				c.report(cl.Fn, cl.Op.Node, fmt.Sprintf(
+					"close of %s, a channel received as a parameter: ownership is transferred from the caller",
+					cl.Op.Expr))
+			case i > 0 && len(closeFns) > 1:
+				c.report(cl.Fn, cl.Op.Node, fmt.Sprintf(
+					"channel %s is closed from %d sites; a channel has a single closing owner (first close in %s)",
+					cl.Op.Expr, len(ci.Closes), ci.Closes[0].Fn.Name()))
+			case len(sendOwners) > 0 && !sendOwners[cl.Fn.Owner()]:
+				c.report(cl.Fn, cl.Op.Node, fmt.Sprintf(
+					"close of %s by %s, but its sends are owned by %s",
+					cl.Op.Expr, cl.Fn.Owner(), ownersList(ci.Sends)))
+			}
+		}
+	}
+}
+
+func ownersList(sends []conc.ChanSite) string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, s := range sends {
+		o := s.Fn.Owner()
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	s := ""
+	for i, o := range out {
+		if i > 0 {
+			s += ", "
+		}
+		s += o
+	}
+	return s
+}
+
+// paths runs the close-fact may-analysis over the declared body and,
+// separately, over every function literal in it — a literal runs at an
+// unknown time, so it gets its own entry facts, the seedflow
+// convention.
+func (c *checker) paths(fi *conc.FuncInfo) {
+	if !mentionsClose(fi.Decl.Body) {
+		return
+	}
+	c.pathsBody(fi, fi.Decl.Body)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.pathsBody(fi, lit.Body)
+		}
+		return true
+	})
+}
+
+// mentionsClose cheaply gates the dataflow: without a close call no
+// fact is ever generated.
+func mentionsClose(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "close" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *checker) pathsBody(fi *conc.FuncInfo, body *ast.BlockStmt) {
+	k := c.m.NewKeyer(body, fi.Unit)
+	g := c.m.Graph(body, fi.Unit)
+	in := g.ForwardMay(cfg.NewFactSet(), func(n ast.Node, facts cfg.FactSet) {
+		c.apply(fi, k, n, facts, false)
+	})
+	for _, blk := range g.Blocks {
+		entry, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		facts := entry.Clone()
+		for _, n := range blk.Nodes {
+			c.apply(fi, k, n, facts, true)
+		}
+	}
+}
+
+// apply interprets one cfg node's channel effects against facts in
+// lexical order, skipping nested literals (each is analyzed on its own
+// facts). With report set it also delivers findings.
+func (c *checker) apply(fi *conc.FuncInfo, k *conc.Keyer, n ast.Node, facts cfg.FactSet, report bool) {
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			// Rebinding a channel variable names a fresh channel; the
+			// closed fact dies with the old binding.
+			for _, lhs := range nd.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					facts.Remove("closed|" + k.Key(id))
+				}
+			}
+		case *ast.SendStmt:
+			key := k.Key(nd.Chan)
+			if report && facts.Has("closed|"+key) {
+				c.report(fi, nd, fmt.Sprintf(
+					"send on %s after it was closed on this path (send on a closed channel panics)",
+					exprString(nd.Chan)))
+			}
+		case *ast.CallExpr:
+			if !isClose(fi, nd) || len(nd.Args) != 1 {
+				return true
+			}
+			key := k.Key(nd.Args[0])
+			if report && facts.Has("closed|"+key) {
+				c.report(fi, nd, fmt.Sprintf(
+					"close of %s, already closed on this path (double close panics)",
+					exprString(nd.Args[0])))
+			}
+			facts.Add("closed|" + key)
+		}
+		return true
+	})
+}
+
+func isClose(fi *conc.FuncInfo, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := fi.Unit.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// report delivers the diagnostic unless a justified
+// //hetpnoc:chanxfer covers the site.
+func (c *checker) report(fi *conc.FuncInfo, n ast.Node, msg string) {
+	if dirs := c.dc.For(fi.Unit, n.Pos()); dirs != nil {
+		if dir, ok := dirs.Covering(n, analysis.DirectiveChanxfer); ok {
+			if dir.Arg == "" {
+				c.mp.Reportf(n.Pos(),
+					"//hetpnoc:chanxfer needs a justification explaining why the ownership handoff is safe",
+					"//hetpnoc:chanxfer <why the handoff is deliberate>")
+			}
+			return
+		}
+	}
+	c.mp.Reportf(n.Pos(), msg, xferSuggestion)
+}
+
+func exprString(e ast.Expr) string { return types.ExprString(e) }

@@ -1,0 +1,12 @@
+package chanown_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/chanown"
+)
+
+func TestChanownFixtures(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), chanown.Analyzer, "co/chans")
+}

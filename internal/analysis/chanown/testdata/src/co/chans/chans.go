@@ -1,0 +1,114 @@
+// Fixtures for the chanown analyzer: owner-mismatch closes, parameter
+// handoffs, double closes, sends after close, alias resolution,
+// rebinding, and the chanxfer directive with and without a reason.
+package chans
+
+// Pool is the clean shape: the type that sends is the type that
+// closes, and there is exactly one close site.
+type Pool struct {
+	jobs chan int
+}
+
+func NewPool() *Pool {
+	return &Pool{jobs: make(chan int, 8)}
+}
+
+func (p *Pool) Send(v int) {
+	p.jobs <- v
+}
+
+func (p *Pool) Close() {
+	close(p.jobs)
+}
+
+// Feed sends on its own channel, but a free function closes it: the
+// closer is not the sending owner.
+type Feed struct {
+	out chan int
+}
+
+func NewFeed() *Feed { return &Feed{out: make(chan int)} }
+
+func (f *Feed) Push(v int) { f.out <- v }
+
+func Drain(f *Feed) {
+	close(f.out) // want "sends are owned by type chans.Feed"
+}
+
+// Relay has the same shape, declared as a deliberate handoff.
+type Relay struct {
+	out chan int
+}
+
+func NewRelay() *Relay { return &Relay{out: make(chan int)} }
+
+func (r *Relay) Emit(v int) { r.out <- v }
+
+func Handoff(r *Relay) {
+	//hetpnoc:chanxfer the relay hands its stream to the consumer on shutdown
+	close(r.out)
+}
+
+// Pipe declares the handoff but forgets to say why.
+type Pipe struct {
+	out chan int
+}
+
+func NewPipe() *Pipe { return &Pipe{out: make(chan int)} }
+
+func (p *Pipe) Put(v int) { p.out <- v }
+
+func Cut(p *Pipe) {
+	//hetpnoc:chanxfer
+	close(p.out) // want "needs a justification"
+}
+
+// Finish closes a channel it received: ownership transferred from the
+// caller without a declaration.
+func Finish(results chan int) {
+	close(results) // want "received as a parameter"
+}
+
+// DoubleClose closes the same channel twice on a straight-line path.
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "already closed on this path"
+}
+
+// BranchClose may close on the branch and then closes again: the
+// may-analysis catches the panicking path.
+func BranchClose(flag bool) {
+	ch := make(chan int)
+	if flag {
+		close(ch)
+	}
+	close(ch) // want "already closed on this path"
+}
+
+// AliasClose closes through an alias first: vflow canonicalization
+// resolves both names to the same channel.
+func AliasClose() {
+	ch := make(chan int)
+	dup := ch
+	close(dup)
+	close(ch) // want "already closed on this path"
+}
+
+// SendAfterClose sends on a channel it already closed.
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	ch <- 2 // want "send on ch after it was closed"
+}
+
+// Rebind is clean: assigning a fresh channel to the variable kills the
+// closed fact.
+func Rebind() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}

@@ -70,6 +70,20 @@ const (
 	// justification.
 	DirectiveSharedseed = "sharedseed"
 
+	// DirectiveDaemon marks a go statement that deliberately spawns a
+	// process-lifetime goroutine — one with no exit signal, no join and
+	// no bounded loop (a metrics pump, a signal listener). goleak skips
+	// the spawn and wgsync skips its Add-dominates check. Requires a
+	// justification.
+	DirectiveDaemon = "daemon"
+
+	// DirectiveChanxfer marks a close (or send) site where channel
+	// ownership was deliberately handed off — closing a channel received
+	// as a parameter, or closing from a type that is not the sending
+	// owner. chanown otherwise requires every send and close of a
+	// channel to act for one owner. Requires a justification.
+	DirectiveChanxfer = "chanxfer"
+
 	// DirectiveLockorder declares the acquisition order of two mutexes:
 	// //hetpnoc:lockorder <outer> <inner> <why> states that <outer> may
 	// be held while <inner> is acquired, never the reverse. lockorder

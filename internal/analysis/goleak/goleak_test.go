@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/goleak"
+)
+
+func TestGoleakFixtures(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), goleak.Analyzer, "gl/spawn")
+}

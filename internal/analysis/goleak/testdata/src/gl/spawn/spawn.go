@@ -1,0 +1,142 @@
+// Fixtures for the goleak analyzer: leaks through literals and callee
+// chains, bounded/joined/quit-signaled clean cases, and the daemon
+// directive with and without a justification.
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+var sink int
+
+func process(v int) { sink += v }
+
+// LeakLiteral spawns a literal that loops forever: no exit path, no
+// quit signal, no join.
+func LeakLiteral(jobs chan int) {
+	go func() { // want "goroutine never terminates"
+		for {
+			process(<-jobs)
+		}
+	}()
+}
+
+// spin never returns: the loop has no break and no return.
+func spin(jobs chan int) {
+	for {
+		process(<-jobs)
+	}
+}
+
+// pump can fall off its own end, but the spin call never returns — the
+// chain walks to the blocker.
+func pump(jobs chan int) {
+	process(0)
+	spin(jobs)
+}
+
+// LeakCallee leaks through a declared function.
+func LeakCallee(jobs chan int) {
+	go spin(jobs) // want "spawn.spin has no path to an exit"
+}
+
+// LeakChain leaks two static calls down; the diagnostic names the
+// chain.
+func LeakChain(jobs chan int) {
+	go pump(jobs) // want "spawn.pump → spawn.spin"
+}
+
+// Bounded terminates: the body runs straight through.
+func Bounded(done chan struct{}) {
+	go func() {
+		process(1)
+		done <- struct{}{}
+	}()
+}
+
+// RangeWorker terminates when the channel closes: a range over a
+// channel always has the close-terminated exit edge.
+func RangeWorker(jobs chan int) {
+	go func() {
+		for v := range jobs {
+			process(v)
+		}
+	}()
+}
+
+// QuitSelect never returns, but it watches ctx.Done() — the goroutine
+// observes shutdown, which goleak accepts as the exit signal.
+func QuitSelect(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				process(0)
+			case v := <-jobs:
+				process(v)
+			}
+		}
+	}()
+}
+
+// QuitChannel is the same signal through a plain quit channel.
+func QuitChannel(quit chan struct{}, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				process(0)
+			case v := <-jobs:
+				process(v)
+			}
+		}
+	}()
+}
+
+// Joined terminates and is joined; the WaitGroup pattern stays clean.
+func Joined(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range jobs {
+			process(v)
+		}
+	}()
+	wg.Wait()
+}
+
+// ReadySignal loops forever but reports through a group the spawner
+// waits on — the Done+Wait join is accepted as the lifetime signal.
+func ReadySignal(tick chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Done()
+		for {
+			process(<-tick)
+		}
+	}()
+	wg.Wait()
+}
+
+// Daemon declares the process-lifetime pump.
+func Daemon(tick chan int) {
+	//hetpnoc:daemon metrics pump runs for the whole process
+	go func() {
+		for {
+			process(<-tick)
+		}
+	}()
+}
+
+// DaemonNoWhy declares it without saying why.
+func DaemonNoWhy(tick chan int) {
+	//hetpnoc:daemon
+	go func() { // want "needs a justification"
+		for {
+			process(<-tick)
+		}
+	}()
+}

@@ -348,3 +348,58 @@ func TestPkgLastSegment(t *testing.T) {
 		}
 	}
 }
+
+func TestRecvDefRecordsArrowRHS(t *testing.T) {
+	fi, fset, f, info := analyzeF(t, `package p
+func F(ch chan int) int {
+	v := <-ch
+	return v
+}`)
+	defs := fi.DefsOf(useAt(t, fset, f, info, "v", 4))
+	if got := rhsStrings(defs); len(got) != 1 || got[0] != "<-ch" {
+		t.Fatalf("defs of v = %v, want [<-ch]", got)
+	}
+}
+
+func TestSelectRecvClauseDefines(t *testing.T) {
+	fi, fset, f, info := analyzeF(t, `package p
+func F(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+	return 0
+}`)
+	defs := fi.DefsOf(useAt(t, fset, f, info, "v", 5))
+	if got := rhsStrings(defs); len(got) != 1 || got[0] != "<-ch" {
+		t.Fatalf("defs of select-bound v = %v, want [<-ch]", got)
+	}
+}
+
+func TestGoClosureAssignForcesOpaque(t *testing.T) {
+	fi, fset, f, info := analyzeF(t, `package p
+func F(in chan int) chan int {
+	ch := in
+	go func() { ch = nil }()
+	return ch
+}`)
+	// The spawned literal rebinds ch at an unknown time; every def of
+	// ch must go opaque so chanown never trusts a stale alias chain.
+	defs := fi.DefsOf(useAt(t, fset, f, info, "ch", 5))
+	if got := rhsStrings(defs); len(got) != 1 || got[0] != "?" {
+		t.Fatalf("defs of go-closure-assigned ch = %v, want [?]", got)
+	}
+}
+
+func TestChannelRebindKillsDef(t *testing.T) {
+	fi, fset, f, info := analyzeF(t, `package p
+func F(a, b chan int) chan int {
+	ch := a
+	ch = b
+	return ch
+}`)
+	defs := fi.DefsOf(useAt(t, fset, f, info, "ch", 5))
+	if got := rhsStrings(defs); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("defs of rebound ch = %v, want [b]", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Fixtures for the wgsync analyzer: Add inside the spawned goroutine,
+// Adds that do not dominate the spawn, Waits that can never return,
+// balanced clean shapes, and the daemon exemption.
+package wsync
+
+import "sync"
+
+var sink int
+
+func work(v int) { sink += v }
+
+func pump() { sink++ }
+
+// Balanced is the canonical clean shape: Add dominates the spawn in
+// the loop body, Done is deferred inside, Wait follows the loop.
+func Balanced(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			work(v)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// AddInside accounts for the goroutine from inside it: the spawner can
+// reach Wait before the goroutine is scheduled.
+func AddInside() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Add(1) // want "Add inside the spawned goroutine"
+		defer wg.Done()
+		defer wg.Done()
+		work(1)
+	}()
+	wg.Wait()
+}
+
+// BranchAdd only Adds on one branch, but spawns unconditionally: the
+// must-analysis sees the add-free path into the go statement.
+func BranchAdd(fast bool) {
+	var wg sync.WaitGroup
+	if fast {
+		wg.Add(1)
+	}
+	go func() { // want "does not reach the spawn on every path"
+		defer wg.Done()
+		work(2)
+	}()
+	wg.Wait()
+}
+
+// WaitForever waits on a group that is Added but never Doned anywhere
+// in the module.
+func WaitForever() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go pump()
+	wg.Wait() // want "can never return"
+}
+
+// Pool spawns a declared method; the field-keyed group links the
+// constructor's Add to the worker's deferred Done across functions.
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	work(4)
+}
+
+func Start(p *Pool, n int) {
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+}
+
+func (p *Pool) Stop() {
+	p.wg.Wait()
+}
+
+// DaemonSpawn uses Done as a readiness signal from a declared daemon;
+// the directive exempts the spawn from the domination check.
+func DaemonSpawn(fast bool) {
+	var wg sync.WaitGroup
+	if fast {
+		wg.Add(1)
+	}
+	//hetpnoc:daemon readiness ping from a process-lifetime pump
+	go func() {
+		wg.Done()
+		for {
+			work(3)
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,12 @@
+package wgsync_test
+
+import (
+	"testing"
+
+	"hetpnoc/internal/analysis/analysistest"
+	"hetpnoc/internal/analysis/wgsync"
+)
+
+func TestWgsyncFixtures(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), wgsync.Analyzer, "wg/wsync")
+}

@@ -11,6 +11,7 @@ import (
 
 	"hetpnoc/internal/event"
 	"hetpnoc/internal/fabric"
+	"hetpnoc/internal/testutil/leakcheck"
 	"hetpnoc/internal/traffic"
 )
 
@@ -245,9 +246,11 @@ func TestPartitionIndependence(t *testing.T) {
 
 // TestRunCancellationDrains is the -race soak: canceling mid-batch
 // aborts the in-flight members promptly, drains every worker without
-// leaking goroutines, and a resubmitted plan reproduces the uncanceled
-// results byte-identically.
+// leaking goroutines (leakcheck snapshots the live goroutines and
+// names any survivor), and a resubmitted plan reproduces the
+// uncanceled results byte-identically.
 func TestRunCancellationDrains(t *testing.T) {
+	leakcheck.Check(t)
 	long := func(seed uint64) fabric.Config {
 		s := spec(seed, 1)
 		s.Cycles = 50_000_000
@@ -255,7 +258,6 @@ func TestRunCancellationDrains(t *testing.T) {
 		return s
 	}
 	specs := []fabric.Config{long(1), long(2), long(3), long(4)}
-	before := runtime.NumGoroutine()
 
 	p := mustPlan(t, specs, Options{Workers: 2, Fork: ForkPristine})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -281,21 +283,6 @@ func TestRunCancellationDrains(t *testing.T) {
 	if drain := time.Since(canceledAt); drain > 2*time.Second {
 		t.Errorf("drain took %v after cancel", drain)
 	}
-	// Goroutine-leak bound: the worker pool is joined before Run
-	// returns, so the count settles back to the baseline (polling
-	// tolerates unrelated runtime goroutines winding down).
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Errorf("goroutines did not settle: %d now, %d before the batch", runtime.NumGoroutine(), before)
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-
 	// Resubmit: the same Plan runs again from fresh fabrics and must
 	// reproduce an uncanceled reference byte-for-byte.
 	short := []fabric.Config{spec(1, 1), spec(2, 1), spec(3, 2)}

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hetpnoc/internal/testutil/leakcheck"
 )
 
 // TestSoakConcurrentClients is the service's concurrency proof (run it
@@ -21,6 +23,7 @@ import (
 // response may be lost, duplicates must be byte-identical and produce
 // cache hits, and the server must drain cleanly afterwards.
 func TestSoakConcurrentClients(t *testing.T) {
+	leakcheck.Check(t)
 	const (
 		clients     = 32
 		perClient   = 4
@@ -158,6 +161,7 @@ func TestSoakConcurrentClients(t *testing.T) {
 // its simulation within the fabric's cancellation check interval and
 // hands the worker back.
 func TestSoakClientCancellation(t *testing.T) {
+	leakcheck.Check(t)
 	s := New(Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -216,6 +220,7 @@ func TestSoakClientCancellation(t *testing.T) {
 // concurrent distinct request must be answered 429 with a Retry-After
 // hint while the first two are still running/queued.
 func TestSoakSaturation429(t *testing.T) {
+	leakcheck.Check(t)
 	s := New(Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

@@ -1,0 +1,71 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseID(t *testing.T) {
+	id, ok := parseID("goroutine 42 [chan receive]:\nmain.main()")
+	if !ok || id != 42 {
+		t.Fatalf("parseID = %d, %v; want 42, true", id, ok)
+	}
+	if _, ok := parseID("goroutine profile: total 7"); ok {
+		t.Error("non-dump header parsed as a goroutine")
+	}
+	if _, ok := parseID(""); ok {
+		t.Error("empty chunk parsed as a goroutine")
+	}
+}
+
+func TestVerifyFlagsBlockedGoroutine(t *testing.T) {
+	before := snapshot()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	leaked := verify(before, defaultAllow, 50*time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("got %d leaked goroutines, want the blocked one:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	if !strings.Contains(leaked[0], "leakcheck.TestVerifyFlagsBlockedGoroutine") {
+		t.Errorf("leak report does not name the spawn site:\n%s", leaked[0])
+	}
+
+	close(block)
+	if leaked := verify(before, defaultAllow, 5*time.Second); len(leaked) != 0 {
+		t.Errorf("goroutine exited but verify still reports %d leaks", len(leaked))
+	}
+}
+
+func TestVerifyHonorsAllowlist(t *testing.T) {
+	before := snapshot()
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	allow := append([]string{"leakcheck.TestVerifyHonorsAllowlist"}, defaultAllow...)
+	if leaked := verify(before, allow, 50*time.Millisecond); len(leaked) != 0 {
+		t.Errorf("allowlisted goroutine reported as a leak:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestCheckPassesOnCleanTest(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
